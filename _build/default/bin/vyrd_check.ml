@@ -1,0 +1,219 @@
+(* vyrd-check: record instrumented executions of the benchmark subjects and
+   check serialized logs offline — the paper's two-phase architecture split
+   into two processes.
+
+     dune exec bin/vyrd_check.exe -- subjects
+     dune exec bin/vyrd_check.exe -- record --subject Cache --bug -o cache.log
+     dune exec bin/vyrd_check.exe -- check --subject Cache --mode view cache.log
+*)
+
+open Vyrd
+open Vyrd_harness
+open Cmdliner
+
+let subject_names = List.map (fun (s : Subjects.t) -> s.name) Subjects.all
+
+let subject_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "subject"; "s" ] ~docv:"NAME" ~doc:"Benchmark subject to use.")
+
+let resolve name =
+  match Subjects.find name with
+  | s -> s
+  | exception Not_found ->
+    Fmt.epr "unknown subject %S; one of: %a@." name
+      Fmt.(list ~sep:comma string)
+      subject_names;
+    exit 2
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : Subjects.t) -> Fmt.pr "%-22s %s@." s.name s.bug_description)
+      Subjects.all
+  in
+  Cmd.v (Cmd.info "subjects" ~doc:"List the benchmark subjects.")
+    Term.(const run $ const ())
+
+let record_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the log.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N") in
+  let ops = Arg.(value & opt int 50 & info [ "ops" ] ~docv:"N" ~doc:"Calls per thread.") in
+  let bug = Arg.(value & flag & info [ "bug" ] ~doc:"Enable the subject's injected bug.") in
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("io", `Io); ("view", `View); ("full", `Full) ]) `View
+      & info [ "level" ] ~docv:"LEVEL" ~doc:"Logging granularity (io, view, full).")
+  in
+  let run subject out seed threads ops bug level =
+    let subject = resolve subject in
+    let cfg =
+      { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
+    in
+    let log = Harness.run cfg (subject.build ~bug) in
+    Log.to_file out log;
+    Fmt.pr "recorded %d events of %s%s to %s@." (Log.length log) subject.name
+      (if bug then " (buggy)" else "")
+      out
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a random workload (paper §7.1) and serialize its log.")
+    Term.(const run $ subject_arg $ out $ seed $ threads $ ops $ bug $ level)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("io", `Io); ("view", `View) ]) `View
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Refinement notion to check (io or view).")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ] ~doc:"Also check the subject's runtime invariants.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"On a violation, render the trailing events as a per-thread timeline.")
+  in
+  let run subject mode invariants explain file =
+    let subject = resolve subject in
+    let log = Log.of_file file in
+    let report =
+      match mode with
+      | `Io -> Checker.check ~mode:`Io log subject.spec
+      | `View ->
+        Checker.check ~mode:`View ~view:subject.view
+          ~invariants:(if invariants then subject.invariants else [])
+          log subject.spec
+    in
+    Fmt.pr "%a@." Report.pp report;
+    if (not (Report.is_pass report)) && explain then begin
+      Fmt.pr "@.%s@."
+        (Timeline.tail
+           ~options:{ Timeline.default with show_writes = true }
+           log ~until:report.Report.stats.events_processed);
+      Fmt.pr "%s@." (Timeline.witness log)
+    end;
+    if Report.is_pass report then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a serialized log against a subject's specification.")
+    Term.(const run $ subject_arg $ mode $ invariants $ explain $ file)
+
+let timeline_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let writes =
+    Arg.(value & flag & info [ "writes" ] ~doc:"Include shared-variable writes.")
+  in
+  let width =
+    Arg.(value & opt int 22 & info [ "width" ] ~docv:"N" ~doc:"Column width.")
+  in
+  let run writes width file =
+    let log = Log.of_file file in
+    print_string
+      (Timeline.render
+         ~options:{ Timeline.col_width = width; show_writes = writes; max_events = None }
+         log);
+    print_string (Timeline.witness log)
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Render a recorded log as a per-thread timeline (Fig. 3 style).")
+    Term.(const run $ writes $ width $ file)
+
+let explore_cmd =
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~docv:"N") in
+  let ops =
+    Arg.(value & opt int 1 & info [ "ops" ] ~docv:"N" ~doc:"Calls per thread.")
+  in
+  let bug = Arg.(value & flag & info [ "bug" ] ~doc:"Enable the subject's injected bug.") in
+  let budget =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-schedules" ] ~docv:"N" ~doc:"Schedule budget.")
+  in
+  let opseed =
+    Arg.(
+      value & opt int 0
+      & info [ "opseed" ] ~docv:"N"
+          ~doc:"Seed selecting which operations the scenario performs.")
+  in
+  let pb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemption-bound"; "pb" ] ~docv:"N"
+          ~doc:
+            "Explore only schedules with at most $(docv) preemptions \
+             (CHESS-style context bounding).")
+  in
+  let run subject threads ops bug budget opseed pb =
+    let subject = resolve subject in
+    let violations = ref 0 in
+    let first = ref None in
+    let r =
+      Vyrd_sched.Explore.explore ~max_schedules:budget ?preemption_bound:pb
+        ~stop:(fun () -> !first <> None)
+        (fun () ->
+          let log = Log.create ~level:`View () in
+          let finished = ref 0 in
+          fun sched ->
+            let ctx = Instrument.make sched log in
+            let b = subject.build ~bug ctx in
+            for t = 1 to threads do
+              sched.Vyrd_sched.Sched.spawn (fun () ->
+                  let rng = Vyrd_sched.Prng.create ((opseed * 1223) + t) in
+                  for _ = 1 to ops do
+                    b.Harness.random_op rng (Vyrd_sched.Prng.int rng 8)
+                  done;
+                  incr finished;
+                  if !finished = threads then begin
+                    let report =
+                      Checker.check ~mode:`View ~view:subject.view log subject.spec
+                    in
+                    if not (Report.is_pass report) then begin
+                      incr violations;
+                      if !first = None then first := Some (report, log)
+                    end
+                  end)
+            done)
+    in
+    Fmt.pr "%d schedules explored (%s), %d deadlocking, %d violating@."
+      r.Vyrd_sched.Explore.schedules
+      (if r.Vyrd_sched.Explore.exhausted then "space exhausted" else "budget hit")
+      r.Vyrd_sched.Explore.deadlocks !violations;
+    match !first with
+    | None -> ()
+    | Some (report, log) ->
+      Fmt.pr "@.first violating schedule:@.%a@.@." Report.pp report;
+      print_string
+        (Timeline.render ~options:{ Timeline.default with show_writes = true } log);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore every schedule of a small scenario, checking \
+          view refinement on each (bounded verification).")
+    Term.(const run $ subject_arg $ threads $ ops $ bug $ budget $ opseed $ pb)
+
+let () =
+  let doc = "runtime refinement-violation detection (PLDI 2005 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vyrd-check" ~doc)
+          [ list_cmd; record_cmd; check_cmd; timeline_cmd; explore_cmd ]))

@@ -1,0 +1,1 @@
+dev/pbtest.ml: Checker Explore Fmt Instrument List Log Multiset_spec Multiset_vector Report Sched Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+dev/pbtest.mli:

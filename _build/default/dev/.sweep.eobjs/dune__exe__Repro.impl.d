@@ -1,0 +1,1 @@
+dev/repro.ml: Blink_tree Bnode Checker Coop Event Fmt Instrument List Log Prng Replay Report Repr String Vyrd Vyrd_boxwood Vyrd_sched

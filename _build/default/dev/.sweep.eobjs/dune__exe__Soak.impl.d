@@ -1,0 +1,1 @@
+dev/soak.ml: Array Checker Fmt Harness List Report String Subjects Sys Vyrd Vyrd_harness

@@ -1,0 +1,1 @@
+dev/sweep.ml: Checker Coop Fmt Instrument Log Multiset_btree Multiset_spec Multiset_vector Printf Prng Report Vyrd Vyrd_boxwood Vyrd_multiset Vyrd_sched

@@ -1,0 +1,60 @@
+(* quick measurement: schedule-space sizes with and without preemption
+   bounding on the insert || insert_pair scenario *)
+open Vyrd
+open Vyrd_sched
+open Vyrd_multiset
+
+let scenario ~bugs check () =
+  let log = Log.create ~level:`View () in
+  let finished = ref 0 in
+  fun (s : Sched.t) ->
+    let ctx = Instrument.make s log in
+    let ms = Multiset_vector.create ~bugs ~capacity:4 ctx in
+    let done_one () =
+      incr finished;
+      if !finished = 2 then check log
+    in
+    s.spawn (fun () ->
+        ignore (Multiset_vector.insert ms 1);
+        done_one ());
+    s.spawn (fun () ->
+        ignore (Multiset_vector.insert_pair ms 1 2);
+        done_one ())
+
+let () =
+  let view = Multiset_vector.viewdef ~capacity:4 in
+  List.iter
+    (fun pb ->
+      let failures = ref 0 in
+      let check log =
+        if
+          not
+            (Report.is_pass (Checker.check ~mode:`View ~view log Multiset_spec.spec))
+        then incr failures
+      in
+      let r =
+        Explore.explore ?preemption_bound:pb ~max_schedules:500_000
+          (scenario ~bugs:[] check)
+      in
+      Fmt.pr "correct, pb=%s: %d schedules, exhausted=%b, violations=%d@."
+        (match pb with None -> "inf" | Some b -> string_of_int b)
+        r.Explore.schedules r.Explore.exhausted !failures)
+    [ Some 0; Some 1; Some 2; Some 3; None ];
+  (* buggy: violation must be reachable within small bounds *)
+  List.iter
+    (fun pb ->
+      let failures = ref 0 in
+      let check log =
+        if
+          not
+            (Report.is_pass (Checker.check ~mode:`View ~view log Multiset_spec.spec))
+        then incr failures
+      in
+      let r =
+        Explore.explore ?preemption_bound:pb ~max_schedules:500_000
+          (scenario ~bugs:[ Multiset_vector.Racy_find_slot ] check)
+      in
+      Fmt.pr "buggy,   pb=%s: %d schedules, exhausted=%b, violations=%d@."
+        (match pb with None -> "inf" | Some b -> string_of_int b)
+        r.Explore.schedules r.Explore.exhausted !failures)
+    [ Some 0; Some 1; Some 2 ]

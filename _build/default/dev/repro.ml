@@ -1,0 +1,63 @@
+(* debug: reproduce the order-2 compress view violation *)
+open Vyrd
+open Vyrd_sched
+open Vyrd_boxwood
+
+let () =
+  let seed = 0 in
+  let log = Log.create ~level:`View () in
+  Coop.run ~seed (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~order:2 (Bnode.mem_store ctx) ctx in
+      let stop = ref false in
+      s.spawn (fun () ->
+          while not !stop do
+            Blink_tree.compress tree;
+            s.yield ()
+          done);
+      let remaining = ref 5 in
+      for t = 1 to 5 do
+        s.spawn (fun () ->
+            let rng = Prng.create ((seed * 2357) + t) in
+            for _ = 1 to 25 do
+              let k = Prng.int rng 20 in
+              match Prng.int rng 10 with
+              | 0 | 1 | 2 | 3 -> Blink_tree.insert tree k (Prng.int rng 1000)
+              | 4 | 5 -> ignore (Blink_tree.delete tree k)
+              | _ -> ignore (Blink_tree.lookup tree k)
+            done;
+            decr remaining;
+            if !remaining = 0 then stop := true)
+      done);
+  let report = Checker.check ~mode:`View ~view:Blink_tree.viewdef log Blink_tree.spec in
+  Fmt.pr "%a@." Report.pp report;
+  (* replay events up to the failing commit and dump every node *)
+  let failing_commit = 16 in
+  let replay = Replay.create () in
+  let commits = ref 0 in
+  (try
+     Log.iter
+       (fun ev ->
+         (match ev with
+         | Event.Write { tid; var; value } -> Replay.write replay tid var value
+         | Event.Block_begin { tid } -> Replay.block_begin replay tid
+         | Event.Block_end { tid } -> Replay.block_end replay tid
+         | Event.Commit { tid } ->
+           Replay.commit replay tid;
+           incr commits
+         | _ -> ());
+         if !commits >= failing_commit then raise Exit)
+       log
+   with Exit -> ());
+  Fmt.pr "--- shadow state after commit %d ---@." !commits;
+  (match Replay.lookup replay "tree.root" with
+  | Some r -> Fmt.pr "root: %a@." Repr.pp r
+  | None -> Fmt.pr "no root@.");
+  Replay.fold
+    (fun var v () ->
+      if String.length var > 4 && String.sub var 0 4 = "node" then
+        Fmt.pr "%s = %a@." var Repr.pp v)
+    replay ();
+  (* also print the event log tail *)
+  Fmt.pr "--- events ---@.";
+  List.iteri (fun i ev -> Fmt.pr "%3d %a@." i Event.pp ev) (Log.events log)

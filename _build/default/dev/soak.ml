@@ -1,0 +1,59 @@
+(* Long randomized campaign across every subject: correct variants must
+   pass, buggy variants are swept until detection; prints a summary table.
+   Development/release tool — not part of the test suite because of its
+   runtime.
+
+     dune exec dev/soak.exe [seeds-per-config]
+*)
+
+open Vyrd
+open Vyrd_harness
+
+let () =
+  let seeds = try int_of_string Sys.argv.(1) with _ -> 100 in
+  let any_failure = ref false in
+  Fmt.pr "soak: %d seeds per configuration@.@." seeds;
+  Fmt.pr "%-22s %12s %12s %14s %14s@." "subject" "correct io" "correct view"
+    "bug seen (io)" "bug seen (view)";
+  Fmt.pr "%s@." (String.make 80 '-');
+  List.iter
+    (fun (s : Subjects.t) ->
+      let correct_io = ref 0 and correct_view = ref 0 in
+      let bug_io = ref 0 and bug_view = ref 0 in
+      for seed = 0 to seeds - 1 do
+        let cfg =
+          { Harness.default with threads = 5; ops_per_thread = 30; key_pool = 10;
+            key_range = 16; seed }
+        in
+        let log = Harness.run cfg (s.build ~bug:false) in
+        let io = Checker.check ~mode:`Io log s.spec in
+        let view =
+          Checker.check ~mode:`View ~view:s.view ~invariants:s.invariants log s.spec
+        in
+        if Report.is_pass io then incr correct_io
+        else begin
+          any_failure := true;
+          Fmt.pr "!! %s seed %d io: %a@." s.name seed Report.pp io
+        end;
+        if Report.is_pass view then incr correct_view
+        else begin
+          any_failure := true;
+          Fmt.pr "!! %s seed %d view: %a@." s.name seed Report.pp view
+        end;
+        let blog = Harness.run cfg (s.build ~bug:true) in
+        if not (Report.is_pass (Checker.check ~mode:`Io blog s.spec)) then incr bug_io;
+        if
+          not
+            (Report.is_pass
+               (Checker.check ~mode:`View ~view:s.view ~invariants:s.invariants blog
+                  s.spec))
+        then incr bug_view
+      done;
+      Fmt.pr "%-22s %9d/%d %9d/%d %11d/%d %11d/%d@." s.name !correct_io seeds
+        !correct_view seeds !bug_io seeds !bug_view seeds)
+    Subjects.all;
+  if !any_failure then begin
+    Fmt.pr "@.SOAK FAILED@.";
+    exit 1
+  end
+  else Fmt.pr "@.SOAK CLEAN@."

@@ -1,0 +1,111 @@
+(* robustness sweep: correct impls must pass across many seeds *)
+open Vyrd
+open Vyrd_sched
+open Vyrd_multiset
+
+let () =
+  let fails = ref 0 in
+  for seed = 0 to 400 do
+    let log = Log.create ~level:`View () in
+    Coop.run ~seed (fun s ->
+        let ctx = Instrument.make s log in
+        let ms = Multiset_vector.create ~capacity:16 ctx in
+        for t = 1 to 6 do
+          s.spawn (fun () ->
+              let rng = Prng.create ((seed * 7919) + t) in
+              for _ = 1 to 40 do
+                let x = Prng.int rng 6 in
+                match Prng.int rng 10 with
+                | 0 | 1 | 2 -> ignore (Multiset_vector.insert ms x)
+                | 3 | 4 -> ignore (Multiset_vector.insert_pair ms x (Prng.int rng 6))
+                | 5 | 6 -> ignore (Multiset_vector.delete ms x)
+                | 7 | 8 -> ignore (Multiset_vector.lookup ms x)
+                | _ -> ignore (Multiset_vector.count ms x)
+              done)
+        done);
+    let io = Checker.check ~mode:`Io log Multiset_spec.spec in
+    let view =
+      Checker.check ~mode:`View ~view:(Multiset_vector.viewdef ~capacity:16) log
+        Multiset_spec.spec
+    in
+    if not (Report.is_pass io) then begin
+      incr fails;
+      Fmt.pr "seed %d io: %a@." seed Report.pp io
+    end;
+    if not (Report.is_pass view) then begin
+      incr fails;
+      Fmt.pr "seed %d view: %a@." seed Report.pp view
+    end
+  done;
+  (* btree sweep *)
+  for seed = 0 to 200 do
+    let log = Log.create ~level:`View () in
+    Coop.run ~seed (fun s ->
+        let ctx = Instrument.make s log in
+        let ms = Multiset_btree.create ctx in
+        let stop = ref false in
+        s.spawn (fun () -> while not !stop do Multiset_btree.compress ms; s.yield () done);
+        let remaining = ref 5 in
+        for t = 1 to 5 do
+          s.spawn (fun () ->
+              let rng = Prng.create ((seed * 31) + t) in
+              for _ = 1 to 30 do
+                let x = Prng.int rng 6 in
+                (match Prng.int rng 10 with
+                | 0 | 1 | 2 | 3 -> ignore (Multiset_btree.insert ms x)
+                | 4 | 5 -> ignore (Multiset_btree.delete ms x)
+                | 6 | 7 -> ignore (Multiset_btree.lookup ms x)
+                | _ -> ignore (Multiset_btree.count ms x))
+              done;
+              decr remaining;
+              if !remaining = 0 then stop := true)
+        done);
+    let view =
+      Checker.check ~mode:`View ~view:Multiset_btree.viewdef log Multiset_spec.spec
+    in
+    if not (Report.is_pass view) then begin
+      incr fails;
+      Fmt.pr "btree seed %d view: %a@." seed Report.pp view
+    end
+  done;
+  (* blink tree sweep *)
+  let module BW = Vyrd_boxwood in
+  for seed = 0 to 200 do
+    let log = Log.create ~level:`View () in
+    Coop.run ~seed (fun s ->
+        let ctx = Instrument.make s log in
+        let tree = BW.Blink_tree.create ~order:2 (BW.Bnode.mem_store ctx) ctx in
+        let stop = ref false in
+        s.spawn (fun () ->
+            while not !stop do
+              BW.Blink_tree.compress tree;
+              s.yield ()
+            done);
+        let remaining = ref 5 in
+        for t = 1 to 5 do
+          s.spawn (fun () ->
+              let rng = Prng.create ((seed * 2357) + t) in
+              for _ = 1 to 40 do
+                let k = Prng.int rng 20 in
+                match Prng.int rng 10 with
+                | 0 | 1 | 2 | 3 -> BW.Blink_tree.insert tree k (Prng.int rng 1000)
+                | 4 | 5 -> ignore (BW.Blink_tree.delete tree k)
+                | _ -> ignore (BW.Blink_tree.lookup tree k)
+              done;
+              decr remaining;
+              if !remaining = 0 then stop := true)
+        done);
+    let view =
+      Checker.check ~mode:`View ~view:BW.Blink_tree.viewdef log BW.Blink_tree.spec
+    in
+    if not (Report.is_pass view) then begin
+      incr fails;
+      Fmt.pr "blink seed %d view: %a@." seed Report.pp view
+    end;
+    let io = Checker.check ~mode:`Io log BW.Blink_tree.spec in
+    if not (Report.is_pass io) then begin
+      incr fails;
+      Fmt.pr "blink seed %d io: %a@." seed Report.pp io
+    end
+  done;
+  if !fails = 0 then print_endline "SWEEP CLEAN" else Printf.printf "%d failures\n" !fails

@@ -1,0 +1,1 @@
+examples/atomized_spec.ml: Checker Coop Fmt Instrument Log Multiset_seq Multiset_spec Multiset_vector Prng Report Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+examples/atomized_spec.mli:

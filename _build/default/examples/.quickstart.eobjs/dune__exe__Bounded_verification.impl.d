@@ -1,0 +1,1 @@
+examples/bounded_verification.ml: Checker Explore Fmt Instrument List Log Multiset_spec Multiset_vector Report Timeline Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+examples/boxwood_debugging.ml: Blink_tree Cache Cached_store Char Checker Chunk_manager Coop Fmt Instrument Log Prng Report String Vyrd Vyrd_boxwood Vyrd_sched

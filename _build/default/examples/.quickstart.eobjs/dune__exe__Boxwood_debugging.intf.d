@@ -1,0 +1,1 @@
+examples/boxwood_debugging.mli:

@@ -1,0 +1,1 @@
+examples/filesystem_check.ml: Array Char Coop Fmt Instrument Log Online Prng Report Scanfs String Vyrd Vyrd_scanfs Vyrd_sched

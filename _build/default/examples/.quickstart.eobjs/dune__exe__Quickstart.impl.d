@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Coop Filename Fmt Instrument Log Multiset_spec Multiset_vector Prng Report Sys Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+examples/witness_interleaving.ml: Checker Event Fmt Log Report Repr Timeline Vyrd Vyrd_multiset

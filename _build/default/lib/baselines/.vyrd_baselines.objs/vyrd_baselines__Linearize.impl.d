@@ -1,0 +1,1 @@
+lib/baselines/linearize.ml: Array Event Hashtbl List Log Repr Spec Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/baselines/linearize.mli: Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/baselines/reduction.ml: Event Fmt Hashtbl List Log Option Set String Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/baselines/reduction.mli: Format Vyrd

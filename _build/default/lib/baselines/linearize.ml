@@ -1,0 +1,88 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type exec = {
+  x_tid : Tid.t;
+  x_mid : string;
+  x_args : Repr.t list;
+  x_ret : Repr.t;
+  x_call : int;
+  x_ret_at : int;
+}
+
+let executions log =
+  let open_calls : (Tid.t, string * Repr.t list * int) Hashtbl.t = Hashtbl.create 16 in
+  let execs = ref [] in
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Event.Call { tid; mid; args } -> Hashtbl.replace open_calls tid (mid, args, i)
+      | Event.Return { tid; mid; value } -> (
+        match Hashtbl.find_opt open_calls tid with
+        | Some (mid', args, call) when mid = mid' ->
+          Hashtbl.remove open_calls tid;
+          execs :=
+            { x_tid = tid; x_mid = mid; x_args = args; x_ret = value; x_call = call;
+              x_ret_at = i }
+            :: !execs
+        | Some _ | None -> ())
+      | _ -> ())
+    (Log.events log);
+  List.sort (fun a b -> compare a.x_call b.x_call) !execs
+
+type result =
+  | Linearizable of int
+  | Not_linearizable of int
+  | Budget_exhausted of int
+
+let cost = function
+  | Linearizable n | Not_linearizable n | Budget_exhausted n -> n
+
+exception Found
+exception Out_of_budget
+
+let check ?(budget = 1_000_000) log spec =
+  let module Sp = (val spec : Spec.S) in
+  let execs = Array.of_list (executions log) in
+  let n = Array.length execs in
+  let used = Array.make n false in
+  let explored = ref 0 in
+  (* [e] may come next iff every unserialized execution that returned before
+     [e]'s call has already been serialized (real-time order). *)
+  let minimal i =
+    let e = execs.(i) in
+    let blocked = ref false in
+    for j = 0 to n - 1 do
+      if (not !blocked) && (not used.(j)) && j <> i && execs.(j).x_ret_at < e.x_call
+      then blocked := true
+    done;
+    not !blocked
+  in
+  let step state e k =
+    incr explored;
+    if !explored > budget then raise Out_of_budget;
+    match Sp.kind e.x_mid with
+    | Spec.Observer ->
+      if Sp.observe state ~mid:e.x_mid ~args:e.x_args ~ret:e.x_ret then k state
+    | Spec.Mutator | Spec.Internal -> (
+      match Sp.apply state ~mid:e.x_mid ~args:e.x_args ~ret:e.x_ret with
+      | Ok state' -> k (Sp.snapshot state')
+      | Error _ ->
+        (* a black-box checker cannot see commits, so an execution that
+           performed no transition is also tried as a pure observation *)
+        if Sp.observe state ~mid:e.x_mid ~args:e.x_args ~ret:e.x_ret then k state)
+  in
+  let rec dfs state depth =
+    if depth = n then raise Found;
+    for i = 0 to n - 1 do
+      if (not used.(i)) && minimal i then begin
+        used.(i) <- true;
+        step state execs.(i) (fun state' -> dfs state' (depth + 1));
+        used.(i) <- false
+      end
+    done
+  in
+  match dfs (Sp.snapshot (Sp.init ())) 0 with
+  | () -> Not_linearizable !explored
+  | exception Found -> Linearizable !explored
+  | exception Out_of_budget -> Budget_exhausted !explored

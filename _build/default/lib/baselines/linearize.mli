@@ -1,0 +1,35 @@
+(** Naive linearizability checking — the strawman of paper §2.
+
+    Without commit-point annotations, a black-box checker must search the
+    serializations of the overlapping method executions ("they could be
+    serialized in any one of 4! ways ... this method would not scale").
+    This module implements that search: a DFS over real-time-consistent
+    serialization prefixes, pruned against the specification, with a node
+    budget.  The ablation benchmark compares its exponential cost with
+    VYRD's single pass down the commit-order witness. *)
+
+type exec = {
+  x_tid : Vyrd_sched.Tid.t;
+  x_mid : string;
+  x_args : Vyrd.Repr.t list;
+  x_ret : Vyrd.Repr.t;
+  x_call : int;  (** log index of the call event *)
+  x_ret_at : int;  (** log index of the return event *)
+}
+
+(** Completed method executions of a log, in call order.  Executions still
+    open at the end of the log are dropped. *)
+val executions : Vyrd.Log.t -> exec list
+
+type result =
+  | Linearizable of int  (** spec transitions explored *)
+  | Not_linearizable of int
+  | Budget_exhausted of int
+
+(** [check ?budget log spec] searches for a serialization accepted by
+    [spec].  [budget] bounds the number of spec transitions explored
+    (default [1_000_000]). *)
+val check : ?budget:int -> Vyrd.Log.t -> Vyrd.Spec.t -> result
+
+(** Transitions explored, regardless of outcome. *)
+val cost : result -> int

@@ -1,0 +1,132 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type method_summary = { mid : string; executions : int; atomic : int }
+type result = { racy_vars : string list; methods : method_summary list }
+
+module SSet = Set.Make (String)
+
+(* Phase 1: lockset analysis.  For each variable, intersect the sets of
+   locks held at its accesses; a variable touched by several threads with an
+   empty intersection has no consistent lock discipline. *)
+let locksets log =
+  let held : (Tid.t, (string * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let lockset tid =
+    match Hashtbl.find_opt held tid with
+    | Some locks -> SSet.of_list (List.map fst locks)
+    | None -> SSet.empty
+  in
+  let acquire tid lock =
+    let locks = Option.value ~default:[] (Hashtbl.find_opt held tid) in
+    let locks =
+      match List.assoc_opt lock locks with
+      | Some n -> (lock, n + 1) :: List.remove_assoc lock locks
+      | None -> (lock, 1) :: locks
+    in
+    Hashtbl.replace held tid locks
+  in
+  let release tid lock =
+    let locks = Option.value ~default:[] (Hashtbl.find_opt held tid) in
+    let locks =
+      match List.assoc_opt lock locks with
+      | Some n when n > 1 -> (lock, n - 1) :: List.remove_assoc lock locks
+      | Some _ -> List.remove_assoc lock locks
+      | None -> locks
+    in
+    Hashtbl.replace held tid locks
+  in
+  let candidate : (string, SSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let accessors : (string, Tid.t list) Hashtbl.t = Hashtbl.create 64 in
+  let access tid var =
+    let ls = lockset tid in
+    (match Hashtbl.find_opt candidate var with
+    | Some cur -> Hashtbl.replace candidate var (SSet.inter cur ls)
+    | None -> Hashtbl.replace candidate var ls);
+    let ts = Option.value ~default:[] (Hashtbl.find_opt accessors var) in
+    if not (List.mem tid ts) then Hashtbl.replace accessors var (tid :: ts)
+  in
+  Log.iter
+    (fun ev ->
+      match ev with
+      | Event.Acquire { tid; lock } -> acquire tid lock
+      | Event.Release { tid; lock } -> release tid lock
+      | Event.Read { tid; var } | Event.Write { tid; var; _ } -> access tid var
+      | _ -> ())
+    log;
+  let racy =
+    Hashtbl.fold
+      (fun var ls acc ->
+        let multi =
+          match Hashtbl.find_opt accessors var with
+          | Some (_ :: _ :: _) -> true
+          | _ -> false
+        in
+        if multi && SSet.is_empty ls then var :: acc else acc)
+      candidate []
+  in
+  SSet.of_list racy
+
+(* Phase 2: per-execution mover strings checked against (R|B)* N? (L|B)*. *)
+type phase = Pre | Post
+
+let analyze log =
+  let racy = locksets log in
+  let current : (Tid.t, string * phase * bool) Hashtbl.t = Hashtbl.create 16 in
+  (* per mid: (executions, atomic) *)
+  let tally : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let step tid update =
+    match Hashtbl.find_opt current tid with
+    | None -> ()  (* action outside any method execution *)
+    | Some (mid, phase, ok) ->
+      let phase', ok' = update (phase, ok) in
+      Hashtbl.replace current tid (mid, phase', ok')
+  in
+  let right_mover (phase, ok) =
+    match phase with Pre -> (Pre, ok) | Post -> (Post, false)
+  in
+  let left_mover (_, ok) = (Post, ok) in
+  let non_mover (phase, ok) =
+    match phase with Pre -> (Post, ok) | Post -> (Post, false)
+  in
+  let both_mover state = state in
+  Log.iter
+    (fun ev ->
+      match ev with
+      | Event.Call { tid; mid; _ } -> Hashtbl.replace current tid (mid, Pre, true)
+      | Event.Return { tid; _ } -> (
+        match Hashtbl.find_opt current tid with
+        | None -> ()
+        | Some (mid, _, ok) ->
+          Hashtbl.remove current tid;
+          let execs, atomic =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt tally mid)
+          in
+          Hashtbl.replace tally mid (execs + 1, if ok then atomic + 1 else atomic))
+      | Event.Acquire { tid; _ } -> step tid right_mover
+      | Event.Release { tid; _ } -> step tid left_mover
+      | Event.Read { tid; var } | Event.Write { tid; var; _ } ->
+        step tid (if SSet.mem var racy then non_mover else both_mover)
+      | Event.Commit _ | Event.Block_begin _ | Event.Block_end _ -> ())
+    log;
+  {
+    racy_vars = List.sort compare (SSet.elements racy);
+    methods =
+      Hashtbl.fold
+        (fun mid (executions, atomic) acc -> { mid; executions; atomic } :: acc)
+        tally []
+      |> List.sort (fun a b -> compare a.mid b.mid);
+  }
+
+let method_atomic result mid =
+  match List.find_opt (fun m -> m.mid = mid) result.methods with
+  | Some m -> m.atomic = m.executions
+  | None -> true
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>racy variables: %a@ %a@]"
+    Fmt.(list ~sep:comma string)
+    r.racy_vars
+    Fmt.(
+      list ~sep:cut (fun ppf m ->
+          pf ppf "%-14s %d/%d executions reducible" m.mid m.atomic m.executions))
+    r.methods

@@ -1,0 +1,35 @@
+(** Atomizer-style dynamic atomicity checking by Lipton reduction
+    (Flanagan & Freund [6]; paper §8).
+
+    The analysis consumes a [`Full]-level log (reads, writes, lock
+    transitions).  Phase 1 computes locksets: a variable accessed by more
+    than one thread with no common protecting lock is {e racy}.  Phase 2
+    classifies each action of each method execution — lock acquires are
+    right-movers, releases left-movers, accesses to race-free variables
+    both-movers, racy accesses non-movers — and an execution is {e atomic}
+    iff its action string matches [(R|B)* N? (L|B)*].
+
+    The paper's §8 point, reproduced by the [baseline-atomizer] benchmark
+    and the related-work tests: correct methods such as the multiset's
+    [insert_pair] (two lock-protected writes released in between) are not
+    reducible, so atomicity checking raises false alarms exactly where
+    refinement checking proves the implementation correct. *)
+
+type method_summary = {
+  mid : string;
+  executions : int;
+  atomic : int;  (** executions matching the reducible pattern *)
+}
+
+type result = {
+  racy_vars : string list;  (** variables with no consistent lock discipline *)
+  methods : method_summary list;  (** sorted by method name *)
+}
+
+val analyze : Vyrd.Log.t -> result
+
+(** Every execution of [mid] was reducible.  Methods never executed count as
+    atomic. *)
+val method_atomic : result -> string -> bool
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/boxwood/blink_tree.ml: Bnode Hashtbl Instrument Int List Map Option Printf Repr Spec View Vyrd Vyrd_sched

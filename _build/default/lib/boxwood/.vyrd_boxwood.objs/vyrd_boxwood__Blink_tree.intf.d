@@ -1,0 +1,1 @@
+lib/boxwood/blink_tree.mli: Bnode Vyrd

@@ -1,0 +1,1 @@
+lib/boxwood/bnode.ml: Hashtbl Instrument List Printf Repr Vyrd Vyrd_sched

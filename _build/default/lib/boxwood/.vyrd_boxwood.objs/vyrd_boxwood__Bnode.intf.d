@@ -1,0 +1,1 @@
+lib/boxwood/bnode.mli: Vyrd

@@ -1,0 +1,1 @@
+lib/boxwood/cache.ml: Array Checker Chunk_manager Fun Instrument Int List Map Printf Repr Spec String View Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/boxwood/cache.mli: Chunk_manager Vyrd

@@ -1,0 +1,1 @@
+lib/boxwood/cached_store.ml: Bnode Cache Instrument Printf Vyrd Vyrd_sched

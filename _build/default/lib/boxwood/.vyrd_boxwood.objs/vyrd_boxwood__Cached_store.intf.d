@@ -1,0 +1,1 @@
+lib/boxwood/cached_store.mli: Bnode Cache Vyrd

@@ -1,0 +1,1 @@
+lib/boxwood/chunk_manager.ml: Array Instrument Printf Repr Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/boxwood/chunk_manager.mli: Vyrd

@@ -1,0 +1,98 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+
+type t = {
+  level : int;
+  keys : int list;
+  vals : int list;
+  vers : int list;
+  children : int list;
+  high : int;
+  right : int option;
+  dead : bool;
+}
+
+let leaf n = n.level = 0
+
+let empty_leaf =
+  { level = 0; keys = []; vals = []; vers = []; children = []; high = max_int;
+    right = None; dead = false }
+
+let var h = Printf.sprintf "node[%d]" h
+
+let ints xs = Repr.List (List.map (fun i -> Repr.Int i) xs)
+
+let to_repr n =
+  Repr.List
+    [
+      Repr.Int n.level;
+      ints n.keys;
+      ints n.vals;
+      ints n.vers;
+      ints n.children;
+      Repr.Int n.high;
+      (match n.right with None -> Repr.Unit | Some h -> Repr.Int h);
+      Repr.Bool n.dead;
+    ]
+
+let bad () = raise (Repr.Parse_error "not a B-link node encoding")
+
+let int_list = function
+  | Repr.List vs ->
+    List.map (function Repr.Int i -> i | _ -> bad ()) vs
+  | _ -> bad ()
+
+let of_repr = function
+  | Repr.List
+      [ Repr.Int level; keys; vals; vers; children; Repr.Int high; right; Repr.Bool dead ]
+    ->
+    let right = match right with Repr.Unit -> None | Repr.Int h -> Some h | _ -> bad () in
+    { level; keys = int_list keys; vals = int_list vals; vers = int_list vers;
+      children = int_list children; high; right; dead }
+  | _ -> bad ()
+
+let serialize n = Repr.to_text (to_repr n)
+
+let deserialize bytes =
+  (* stored buffers are NUL-padded to a fixed size *)
+  let v, _ = Repr.of_text_sub bytes 0 in
+  of_repr v
+
+type store = {
+  alloc : unit -> int;
+  read_node : int -> t;
+  write_node : int -> t -> unit;
+  write_node_commit : int -> t -> unit;
+}
+
+let mem_store ctx =
+  let sched = ctx.Instrument.sched in
+  let nodes : (int, t) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let alloc () =
+    Sched.atomic sched (fun () ->
+        let h = !next in
+        incr next;
+        Hashtbl.replace nodes h empty_leaf;
+        h)
+  in
+  let read_node h =
+    sched.Sched.yield ();
+    match Sched.atomic sched (fun () -> Hashtbl.find_opt nodes h) with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "mem_store: unallocated handle %d" h)
+  in
+  let write_node h n =
+    sched.Sched.yield ();
+    Sched.atomic sched (fun () ->
+        Hashtbl.replace nodes h n;
+        Instrument.log_write ctx ~var:(var h) (to_repr n))
+  in
+  let write_node_commit h n =
+    sched.Sched.yield ();
+    Sched.atomic sched (fun () ->
+        Hashtbl.replace nodes h n;
+        Instrument.log_write ctx ~var:(var h) (to_repr n);
+        Instrument.commit ctx)
+  in
+  { alloc; read_node; write_node; write_node_commit }

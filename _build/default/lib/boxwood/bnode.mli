@@ -1,0 +1,54 @@
+(** B-link tree nodes and the node store abstraction (paper §7.2.3, [12]).
+
+    Nodes follow Sagiv's B-link structure: every node carries an exclusive
+    upper bound ([high]) and a link to its right sibling, which lets
+    concurrent operations recover from splits by "moving right".  Leaves
+    hold the (key, value) pairs; internal nodes hold separators and child
+    handles.  A leaf emptied by the compression thread is marked [dead] and
+    keeps its right link so in-flight traversals can pass through it.
+
+    A {!store} abstracts where nodes live.  {!mem_store} keeps them in
+    memory; {!Blink_tree.cached_store} keeps them serialized as byte arrays
+    behind the Boxwood Cache + Chunk Manager, mirroring Fig. 10.  Either
+    way, node writes are logged as single coarse-grained events named
+    ["node[h]"] (§6.2) in the {e tree}'s log. *)
+
+type t = {
+  level : int;  (** 0 = leaf *)
+  keys : int list;  (** leaf: pair keys; internal: separators *)
+  vals : int list;  (** leaf only; same length as [keys] *)
+  vers : int list;
+      (** leaf only; per-pair version numbers, bumped on overwrite —
+          the paper's §7.2.4 view includes them *)
+  children : int list;  (** internal only; length [keys]+1 *)
+  high : int;  (** exclusive upper bound; [max_int] on the right spine *)
+  right : int option;  (** right sibling handle *)
+  dead : bool;
+}
+
+val leaf : t -> bool
+val empty_leaf : t
+
+(** Canonical value logged to / replayed from the log. *)
+val to_repr : t -> Vyrd.Repr.t
+
+(** @raise Vyrd.Repr.Parse_error on values that do not encode a node. *)
+val of_repr : Vyrd.Repr.t -> t
+
+(** Byte-array (de)serialization for storage behind the chunk manager. *)
+val serialize : t -> string
+
+val deserialize : string -> t
+
+(** Log variable name for handle [h]. *)
+val var : int -> string
+
+type store = {
+  alloc : unit -> int;
+  read_node : int -> t;
+  write_node : int -> t -> unit;  (** logged, no commit *)
+  write_node_commit : int -> t -> unit;  (** logged write + commit, atomic *)
+}
+
+(** In-memory store logging into [ctx]'s log. *)
+val mem_store : Vyrd.Instrument.ctx -> store

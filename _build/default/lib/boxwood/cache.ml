@@ -1,0 +1,329 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+module Cell = Instrument.Cell
+
+type bug = Unprotected_dirty_copy
+
+type entry_state = Absent | Clean | Dirty
+
+type entry = { state : entry_state Cell.t; data : char Cell.t array }
+
+type t = {
+  ctx : Instrument.ctx;
+  cm : Chunk_manager.t;
+  reclaim : Sched.rwlock;
+  clean_lock : Sched.mutex;  (* Fig. 8's LOCK(clean) *)
+  entries : entry array;
+  buf_size : int;
+  bugs : bug list;
+}
+
+let state_var h = Printf.sprintf "cache.state[%d]" h
+let data_var h j = Printf.sprintf "cache.data[%d][%d]" h j
+
+let state_repr = function
+  | Absent -> Repr.Str "none"
+  | Clean -> Repr.Str "clean"
+  | Dirty -> Repr.Str "dirty"
+
+let create ?(bugs = []) ~buf_size ctx cm =
+  let entry h =
+    {
+      state = Cell.make ctx ~name:(state_var h) ~repr:state_repr Absent;
+      data =
+        Array.init buf_size (fun j ->
+            Cell.make ctx ~name:(data_var h j)
+              ~repr:(fun c -> Repr.Str (String.make 1 c))
+              '\000');
+    }
+  in
+  {
+    ctx;
+    cm;
+    reclaim = ctx.Instrument.sched.Sched.new_rwlock ~name:"reclaim" ();
+    clean_lock = Instrument.mutex ctx ~name:"clean";
+    entries = Array.init (Chunk_manager.handles cm) entry;
+    buf_size;
+    bugs;
+  }
+
+let entry t h =
+  if h < 0 || h >= Array.length t.entries then
+    invalid_arg (Printf.sprintf "cache: no handle %d" h);
+  t.entries.(h)
+
+let pad t s =
+  let n = String.length s in
+  if n = t.buf_size then s
+  else if n > t.buf_size then String.sub s 0 t.buf_size
+  else s ^ String.make (t.buf_size - n) '\000'
+
+(* Fig. 8's COPY-TO-CACHE: an in-place byte-by-byte copy. *)
+let copy_to_cache t e data =
+  let data = pad t data in
+  Array.iteri (fun j cell -> Cell.set cell data.[j]) e.data
+
+(* Live read of an entry's buffer — deliberately not atomic: a concurrent
+   in-place copy yields a torn mix, which is the corruption of §7.2.2. *)
+let read_entry e = String.init (Array.length e.data) (fun j -> Cell.get e.data.(j))
+
+let buggy t = List.mem Unprotected_dirty_copy t.bugs
+
+(* Fig. 8 WRITE.  Three commit points: publishing a new entry on the dirty
+   list, republishing a clean entry as dirty, and completing the in-place
+   copy to an already-dirty entry. *)
+let write t h data =
+  let body () =
+    t.reclaim.Sched.begin_read ();
+    let e = entry t h in
+    t.clean_lock.Sched.lock ();
+    (match Cell.get e.state with
+    | Absent | Clean ->
+      Instrument.with_block t.ctx (fun () ->
+          copy_to_cache t e data;
+          Cell.set_and_commit e.state Dirty);
+      t.clean_lock.Sched.unlock ()
+    | Dirty ->
+      if buggy t then begin
+        (* BUG (§7.2.2): the copy to the dirty entry is not protected by
+           LOCK(clean); a concurrent FLUSH can interleave. *)
+        t.clean_lock.Sched.unlock ();
+        Instrument.with_block t.ctx (fun () ->
+            copy_to_cache t e data;
+            Instrument.commit t.ctx)
+      end
+      else begin
+        Instrument.with_block t.ctx (fun () ->
+            copy_to_cache t e data;
+            Instrument.commit t.ctx);
+        t.clean_lock.Sched.unlock ()
+      end);
+    t.reclaim.Sched.end_read ();
+    Repr.Unit
+  in
+  ignore (Instrument.op t.ctx "write" [ Repr.Int h; Repr.Str (pad t data) ] body)
+
+let read t h =
+  let body () =
+    t.reclaim.Sched.begin_read ();
+    let e = entry t h in
+    let v =
+      Sched.with_lock t.clean_lock (fun () ->
+          match Cell.get e.state with
+          | Absent ->
+            let s = Chunk_manager.read t.cm h in
+            if s = "" then "" else pad t s
+          | Clean | Dirty -> read_entry e)
+    in
+    t.reclaim.Sched.end_read ();
+    Repr.Str v
+  in
+  match Instrument.op t.ctx "read" [ Repr.Int h ] body with
+  | Repr.Str s -> s
+  | _ -> assert false
+
+let read_fill t h =
+  let body () =
+    t.reclaim.Sched.begin_read ();
+    let e = entry t h in
+    let v =
+      Sched.with_lock t.clean_lock (fun () ->
+          match Cell.get e.state with
+          | Absent ->
+            let s = Chunk_manager.read t.cm h in
+            if s = "" then ""
+            else begin
+              (* install a clean entry holding exactly the chunk bytes;
+                 view-neutral, so no commit action *)
+              let s = pad t s in
+              copy_to_cache t e s;
+              Cell.set e.state Clean;
+              s
+            end
+          | Clean | Dirty -> read_entry e)
+    in
+    t.reclaim.Sched.end_read ();
+    Repr.Str v
+  in
+  match Instrument.op t.ctx "read" [ Repr.Int h ] body with
+  | Repr.Str s -> s
+  | _ -> assert false
+
+(* Fig. 8 FLUSH: one internal execution, one commit; the abstract store is
+   unchanged (dirty bytes become chunk bytes but keep masking them). *)
+let flush t =
+  let body () =
+    Sched.with_lock t.clean_lock (fun () ->
+        Instrument.with_block t.ctx (fun () ->
+            Array.iteri
+              (fun h e ->
+                if Cell.get e.state = Dirty then begin
+                  Chunk_manager.write t.cm h (read_entry e);
+                  Cell.set e.state Clean
+                end)
+              t.entries;
+            Instrument.commit t.ctx));
+    Repr.Unit
+  in
+  ignore (Instrument.op t.ctx "flush" [] body)
+
+let evict t h =
+  let body () =
+    t.reclaim.Sched.begin_write ();
+    let e = entry t h in
+    Sched.with_lock t.clean_lock (fun () ->
+        match Cell.get e.state with
+        | Absent -> Instrument.commit t.ctx
+        | Clean ->
+          (* trusted to match the chunk — no write-back; with a corrupted
+             chunk this commit is where view refinement fires *)
+          Cell.set_and_commit e.state Absent
+        | Dirty ->
+          Instrument.with_block t.ctx (fun () ->
+              Chunk_manager.write t.cm h (read_entry e);
+              Cell.set e.state Absent;
+              Instrument.commit t.ctx));
+    t.reclaim.Sched.end_write ();
+    Repr.Unit
+  in
+  ignore (Instrument.op t.ctx "evict" [ Repr.Int h ] body)
+
+(* Views ------------------------------------------------------------------ *)
+
+let lookup_state lookup h =
+  match lookup (state_var h) with
+  | Some (Repr.Str "clean") -> Clean
+  | Some (Repr.Str "dirty") -> Dirty
+  | Some _ | None -> Absent
+
+let lookup_entry_bytes lookup ~buf_size h =
+  String.init buf_size (fun j ->
+      match lookup (data_var h j) with
+      | Some (Repr.Str s) when String.length s = 1 -> s.[0]
+      | _ -> '\000')
+
+let pad_to n s =
+  let l = String.length s in
+  if l = 0 then ""
+  else if l >= n then String.sub s 0 n
+  else s ^ String.make (n - l) '\000'
+
+let lookup_chunk_bytes lookup ~buf_size h =
+  match lookup (Chunk_manager.var h) with
+  | Some (Repr.Str s) -> pad_to buf_size s
+  | Some _ | None -> ""
+
+let abstract_value lookup ~buf_size h =
+  match lookup_state lookup h with
+  | Clean | Dirty -> lookup_entry_bytes lookup ~buf_size h
+  | Absent -> lookup_chunk_bytes lookup ~buf_size h
+
+(* Handles never written map to the empty string and are omitted, so the
+   Full and Keyed views and the specification all agree on the canonical
+   form: the assoc of written handles only. *)
+let viewdef ~chunks ~buf_size : View.t =
+  View.Full
+    (fun lookup ->
+      View.canonical_of_assoc
+        (List.filter_map
+           (fun h ->
+             match abstract_value lookup ~buf_size h with
+             | "" -> None
+             | v -> Some (Repr.Int h, Repr.Str v))
+           (List.init chunks Fun.id)))
+
+(* Keyed view: every cache/chunk variable names its handle between the first
+   '[' and the following ']'. *)
+let handle_of_var var =
+  match String.index_opt var '[' with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt var i ']' with
+    | None -> None
+    | Some j -> int_of_string_opt (String.sub var (i + 1) (j - i - 1)))
+
+let viewdef_keyed : View.t =
+  View.Keyed
+    {
+      keys_of_var =
+        (fun var ->
+          match handle_of_var var with Some h -> [ Repr.Int h ] | None -> []);
+      project =
+        (fun lookup key ->
+          match key with
+          | Repr.Int h ->
+            (* infer the buffer size from the entry cells present; chunk
+               bytes carry their own length *)
+            let rec size j =
+              if lookup (data_var h j) = None then j else size (j + 1)
+            in
+            let buf_size = size 0 in
+            let v =
+              match lookup_state lookup h with
+              | Clean | Dirty -> lookup_entry_bytes lookup ~buf_size h
+              | Absent -> (
+                match lookup (Chunk_manager.var h) with
+                | Some (Repr.Str s) ->
+                  if s = "" then "" else pad_to (max buf_size (String.length s)) s
+                | Some _ | None -> "")
+            in
+            if v = "" then None else Some (Repr.Str v)
+          | _ -> None);
+    }
+
+let invariant_clean_matches_chunk ~chunks ~buf_size : Checker.invariant =
+  ( "clean cache entry matches chunk manager",
+    fun lookup ->
+      List.for_all
+        (fun h ->
+          match lookup_state lookup h with
+          | Clean ->
+            lookup_entry_bytes lookup ~buf_size h
+            = lookup_chunk_bytes lookup ~buf_size h
+          | Dirty | Absent -> true)
+        (List.init chunks Fun.id) )
+
+(* Specification: the abstract data store. ------------------------------- *)
+
+module IntMap = Map.Make (Int)
+
+let spec ~chunks : Spec.t =
+  let module S = struct
+    type state = string IntMap.t
+
+    let name = "cache+chunk store"
+    let init () = IntMap.empty
+
+    let kind = function
+      | "write" -> Spec.Mutator
+      | "read" -> Spec.Observer
+      | "flush" | "evict" -> Spec.Internal
+      | m -> invalid_arg ("cache spec: unknown method " ^ m)
+
+    let bad fmt = Printf.ksprintf (fun m -> Error m) fmt
+    let contents st h = match IntMap.find_opt h st with Some s -> s | None -> ""
+
+    let apply st ~mid ~args ~ret =
+      match (mid, args, ret) with
+      | "write", [ Repr.Int h; Repr.Str d ], Repr.Unit ->
+        if h >= 0 && h < chunks then Ok (IntMap.add h d st)
+        else bad "write to unknown handle %d" h
+      | "flush", [], Repr.Unit -> Ok st
+      | "evict", [ Repr.Int _ ], Repr.Unit -> Ok st
+      | mid, _, _ -> bad "no %s transition matches the observed arguments/return" mid
+
+    let observe st ~mid ~args ~ret =
+      match (mid, args, ret) with
+      | "read", [ Repr.Int h ], Repr.Str s -> s = contents st h
+      | ("flush" | "evict"), _, Repr.Unit -> true
+      | _ -> false
+
+    let view st =
+      View.canonical_of_assoc
+        (IntMap.fold
+           (fun h s acc -> if s = "" then acc else (Repr.Int h, Repr.Str s) :: acc)
+           st [])
+
+    let snapshot st = st
+  end in
+  (module S)

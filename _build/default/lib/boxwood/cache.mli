@@ -1,0 +1,63 @@
+(** Boxwood's Cache module (paper Fig. 8, §7.2.1–7.2.2).
+
+    The cache sits between clients (the B-link tree) and the
+    {!Chunk_manager}, holding per-handle entries that are [`None], [`Clean]
+    or [`Dirty].  [write] follows the three paths of Fig. 8 (new entry /
+    clean entry / dirty entry), each with its own commit point; [flush]
+    writes dirty entries back to the chunk manager and marks them clean;
+    [evict] drops an entry, writing it back first only when dirty — a clean
+    entry is trusted to match stable storage.
+
+    The injectable bug is exactly §7.2.2: on the dirty-entry path the
+    in-place [COPY-TO-CACHE] runs without [LOCK(clean)], so a concurrent
+    [flush] can read a half-copied buffer, push the corrupt bytes to the
+    chunk manager and mark the entry clean.  The corruption is masked while
+    the entry stays cached and surfaces when a clean [evict] drops it — view
+    refinement reports it at that commit, and the runtime invariant
+    {!invariant_clean_matches_chunk} reports it already at the flush.
+
+    All buffers have the fixed length [buf_size]; [write] pads or truncates
+    its argument.  To use the cache as an unverified substrate (for the
+    B-link tree), instantiate it on a context whose log has level [`None]:
+    scheduling behaviour is preserved while no events are recorded. *)
+
+type bug = Unprotected_dirty_copy
+
+type t
+
+val create :
+  ?bugs:bug list -> buf_size:int -> Vyrd.Instrument.ctx -> Chunk_manager.t -> t
+
+(** Fig. 8 WRITE. *)
+val write : t -> int -> string -> unit
+
+(** Read-through (no cache fill): cached bytes, else chunk bytes padded to
+    [buf_size] (or [""] if never written). *)
+val read : t -> int -> string
+
+(** Like {!read}, but a miss installs a clean entry (the usual cache-fill
+    discipline).  Still an observer: the entry it installs holds exactly the
+    chunk's bytes, so the abstract store — and hence [viewI] — is unchanged
+    by the fill. *)
+val read_fill : t -> int -> string
+
+(** Fig. 8 FLUSH: write back every dirty entry, mark clean.  Internal
+    method — the abstract store is unchanged. *)
+val flush : t -> unit
+
+(** Drop handle [h]'s entry (writing back first when dirty).  Internal. *)
+val evict : t -> int -> unit
+
+(** [viewdef ~chunks ~buf_size] — abstract store contents: cache entry if
+    present, else chunk bytes. *)
+val viewdef : chunks:int -> buf_size:int -> Vyrd.View.t
+
+(** Incremental variant of {!viewdef} (§6.4): a write to any
+    [cache.*[h]]/[chunk[h]] variable dirties only key [h]. *)
+val viewdef_keyed : Vyrd.View.t
+
+(** Paper invariant (i): a clean entry's bytes equal the chunk's bytes. *)
+val invariant_clean_matches_chunk : chunks:int -> buf_size:int -> Vyrd.Checker.invariant
+
+(** Specification: the abstract store, a map from handle to bytes. *)
+val spec : chunks:int -> Vyrd.Spec.t

@@ -1,0 +1,31 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+
+let make cache ~tree_ctx =
+  let sched = tree_ctx.Instrument.sched in
+  let next = ref 0 in
+  let alloc () =
+    Sched.atomic sched (fun () ->
+        let h = !next in
+        incr next;
+        h)
+  in
+  let read_node h =
+    let bytes = Cache.read cache h in
+    if bytes = "" then
+      invalid_arg (Printf.sprintf "cached_store: handle %d was never written" h)
+    else Bnode.deserialize bytes
+  in
+  let store h n =
+    let bytes = Bnode.serialize n in
+    Cache.write cache h bytes
+  in
+  let write_node h n =
+    store h n;
+    Instrument.log_write tree_ctx ~var:(Bnode.var h) (Bnode.to_repr n)
+  in
+  let write_node_commit h n =
+    store h n;
+    Instrument.log_write_commit tree_ctx ~var:(Bnode.var h) (Bnode.to_repr n)
+  in
+  { Bnode.alloc; read_node; write_node; write_node_commit }

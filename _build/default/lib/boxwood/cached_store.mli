@@ -1,0 +1,14 @@
+(** Node store backed by the Boxwood Cache + Chunk Manager (Fig. 10).
+
+    Nodes are serialized into fixed-size byte arrays and stored through
+    {!Cache.write}/{!Cache.read}.  Following the paper's modular
+    verification (§7.2), the cache layer is treated as a correct substrate:
+    instantiate it on a context whose log has level [`None], and give this
+    store the {e tree}'s context — node writes then appear in the tree's
+    log as single coarse-grained events (§6.2) while cache internals stay
+    unlogged. *)
+
+(** [make cache ~tree_ctx] @raise Invalid_argument if the cache's buffers
+    are too small to hold a serialized node ([buf_size] of 512 is ample for
+    the default tree order). *)
+val make : Cache.t -> tree_ctx:Vyrd.Instrument.ctx -> Bnode.store

@@ -1,0 +1,39 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+module Cell = Instrument.Cell
+
+type chunk = { data : string Cell.t; ver : int Cell.t }
+
+type t = { lock : Sched.mutex; chunks : chunk array }
+
+let var h = Printf.sprintf "chunk[%d]" h
+
+let create ~chunks ctx =
+  let chunk h =
+    {
+      data = Cell.make ctx ~name:(var h) ~repr:(fun s -> Repr.Str s) "";
+      ver = Cell.make_silent ctx ~name:(Printf.sprintf "chunkver[%d]" h) 0;
+    }
+  in
+  { lock = ctx.Instrument.sched.Sched.new_mutex ~name:"chunkmgr" (); chunks = Array.init chunks chunk }
+
+let handles t = Array.length t.chunks
+
+let get t h =
+  if h < 0 || h >= handles t then
+    invalid_arg (Printf.sprintf "chunk_manager: no handle %d" h);
+  t.chunks.(h)
+
+let read t h =
+  let c = get t h in
+  Sched.with_lock t.lock (fun () -> Cell.get c.data)
+
+let write t h data =
+  let c = get t h in
+  Sched.with_lock t.lock (fun () ->
+      Cell.set c.data data;
+      Cell.set c.ver (Cell.get c.ver + 1))
+
+let version t h =
+  let c = get t h in
+  Sched.with_lock t.lock (fun () -> Cell.get c.ver)

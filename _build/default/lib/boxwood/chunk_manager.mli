@@ -1,0 +1,28 @@
+(** Boxwood's Chunk Manager (paper §7.2, Fig. 10).
+
+    The stable-storage substrate: every shared variable is a byte array
+    identified by a unique handle, with a version number incremented on each
+    write.  The paper assumes this module correct and verifies the layers
+    above it; accordingly it is coarse-locked and simple.
+
+    Writes are logged as single whole-buffer events (the paper's
+    coarse-grained logging, §6.2) under the variable name ["chunk[h]"]. *)
+
+type t
+
+(** [create ~chunks ctx] pre-allocates handles [0 .. chunks-1], all holding
+    the empty byte array. *)
+val create : chunks:int -> Vyrd.Instrument.ctx -> t
+
+val handles : t -> int
+
+(** [read t h] returns a copy of the chunk's current contents. *)
+val read : t -> int -> string
+
+(** [write t h data] replaces the contents and bumps the version. *)
+val write : t -> int -> string -> unit
+
+val version : t -> int -> int
+
+(** Variable name used in the log for handle [h]. *)
+val var : int -> string

@@ -1,0 +1,1 @@
+lib/core/atomize.ml: Repr Spec

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Event Hashtbl List Log Option Printf Queue Replay Report Repr Spec View Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Event Log Report Spec View

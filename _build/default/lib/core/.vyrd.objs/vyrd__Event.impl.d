@@ -1,0 +1,1 @@
+lib/core/event.ml: Fmt Printf Repr String Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Event Log Repr Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Log Repr Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/log.ml: Event Fun List Mutex String Vyrd_sched

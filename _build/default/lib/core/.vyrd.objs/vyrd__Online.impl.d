@@ -1,0 +1,1 @@
+lib/core/online.ml: Checker Domain Event Log Report Squeue

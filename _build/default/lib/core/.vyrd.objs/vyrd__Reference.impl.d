@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Checker Event Hashtbl List Log Option Printf Replay Report Repr Result Spec View Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Hashtbl Repr Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Repr Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/report.ml: Event Fmt Repr Vyrd_sched

@@ -1,0 +1,1 @@
+lib/core/repr.ml: Buffer Bytes Char Fmt List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/repr.mli: Format

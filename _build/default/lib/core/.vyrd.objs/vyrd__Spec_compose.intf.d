@@ -1,0 +1,1 @@
+lib/core/spec_compose.mli: Spec View

@@ -1,0 +1,1 @@
+lib/core/squeue.ml: Condition Mutex Queue

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Buffer Event Fmt Hashtbl List Log Printf Repr String Vyrd_sched

@@ -1,0 +1,21 @@
+(** Atomized implementations as specifications (paper §4.4).
+
+    When no separate specification exists, a sequential ("atomized")
+    interpretation of the implementation serves as one: methods run one at a
+    time, take the observed return value as an extra input, and compute the
+    new abstract state.  This adapter packages such an interpretation as a
+    {!Spec.S} module; [copy] provides the state snapshots the checker needs
+    for observer windows. *)
+
+type 'impl ops = {
+  az_name : string;
+  az_create : unit -> 'impl;
+  az_copy : 'impl -> 'impl;
+  az_kind : string -> Spec.kind;
+  az_apply : 'impl -> mid:string -> args:Repr.t list -> ret:Repr.t -> (unit, string) result;
+      (** mutate [impl] in place according to the atomized method *)
+  az_observe : 'impl -> mid:string -> args:Repr.t list -> ret:Repr.t -> bool;
+  az_view : 'impl -> Repr.t;
+}
+
+val spec : 'impl ops -> Spec.t

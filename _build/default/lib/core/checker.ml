@@ -1,0 +1,314 @@
+module Tid = Vyrd_sched.Tid
+module Vec = Vyrd_sched.Vec
+
+type mode = [ `Io | `View ]
+
+type t = {
+  c_feed : Event.t -> Report.violation option;
+  c_report : unit -> Report.t;
+  c_violation : unit -> Report.violation option;
+  c_methods : unit -> int;
+  c_projections : unit -> int;
+}
+
+(* One committed mutator execution waiting for its specification transition.
+   Transitions happen in commit order; [ret] arrives with the method's
+   return event. *)
+type pending_commit = {
+  pc_tid : Tid.t;
+  pc_mid : string;
+  pc_args : Repr.t list;
+  pc_kind : Spec.kind;
+  mutable pc_ret : Repr.t option;
+  pc_view_i : Repr.t option;  (* viewI snapshot taken at the commit action *)
+}
+
+(* An observer whose return value still awaits a matching spec state.
+   Eligible state ordinals are [o_start..o_end] (Fig. 7). *)
+type pending_observer = {
+  o_exec : Report.exec;
+  o_start : int;
+  o_end : int;
+  mutable o_next : int;
+}
+
+type open_exec = {
+  oe_mid : string;
+  oe_args : Repr.t list;
+  oe_kind : Spec.kind;
+  oe_start : int;  (* commits logged when the call was made *)
+  mutable oe_commit : pending_commit option;
+}
+
+type invariant = string * (View.lookup -> bool)
+
+let create ?(mode = `Io) ?view ?(invariants = []) (spec : Spec.t) : t =
+  let module Sp = (val spec) in
+  let view_eval =
+    match (mode, view) with
+    | `Io, _ -> None
+    | `View, Some v -> Some (View.make_eval v)
+    | `View, None -> invalid_arg "Checker.create: `View mode requires a view definition"
+  in
+  (* Specification states are kept only while an observer window may still
+     need them: [state_window] holds states [base .. base + length - 1],
+     where index i is the state after the first i commits of the witness
+     interleaving.  The prefix below every live observer's cursor is pruned
+     periodically, so memory stays bounded on long runs. *)
+  let state_window : Sp.state Vec.t = Vec.create () in
+  let state_base = ref 0 in
+  Vec.push state_window (Sp.snapshot (Sp.init ()));
+  let state_at i =
+    if i < !state_base then
+      invalid_arg (Printf.sprintf "checker: state %d already pruned (base %d)" i !state_base)
+    else Vec.get state_window (i - !state_base)
+  in
+  let push_state s = Vec.push state_window s in
+  let replay = Replay.create () in
+  let open_execs : (Tid.t, open_exec) Hashtbl.t = Hashtbl.create 16 in
+  let pending_commits : pending_commit Queue.t = Queue.create () in
+  let pending_observers : pending_observer Vec.t = Vec.create () in
+  let commits_logged = ref 0 in
+  let commits_resolved = ref 0 in
+  let events_processed = ref 0 in
+  let methods_checked = ref 0 in
+  let per_method : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let count_method mid =
+    incr methods_checked;
+    Hashtbl.replace per_method mid
+      (1 + Option.value ~default:0 (Hashtbl.find_opt per_method mid))
+  in
+  let violation = ref None in
+  let fail v = if !violation = None then violation := Some v in
+  let exec_of ~tid ~mid ~args ~ret : Report.exec =
+    { e_tid = tid; e_mid = mid; e_args = args; e_ret = ret }
+  in
+  let ill_formed ?event reason = fail (Report.Ill_formed { event; reason }) in
+
+  (* Advance one pending observer as far as current resolution allows;
+     true when it reached a verdict and should be dropped. *)
+  let step_observer (o : pending_observer) =
+    let limit = min !commits_resolved o.o_end in
+    let rec go () =
+      if o.o_next > o.o_end then begin
+        fail (Report.Observer_violation { exec = o.o_exec; window = (o.o_start, o.o_end) });
+        true
+      end
+      else if o.o_next > limit then false (* wait for more resolutions *)
+      else begin
+        let s = state_at o.o_next in
+        let ret = Option.get o.o_exec.e_ret in
+        if Sp.observe s ~mid:o.o_exec.e_mid ~args:o.o_exec.e_args ~ret then begin
+          count_method o.o_exec.e_mid;
+          true
+        end
+        else begin
+          o.o_next <- o.o_next + 1;
+          go ()
+        end
+      end
+    in
+    go ()
+  in
+  let prune_states () =
+    (* keep from the lowest index any live observer may still test — either
+       a pending observer's cursor or the window start of an execution that
+       has not returned yet; the current state is always retained *)
+    let lowest =
+      Vec.fold_left
+        (fun acc (o : pending_observer) -> min acc o.o_next)
+        !commits_resolved pending_observers
+    in
+    let lowest =
+      Hashtbl.fold (fun _ oe acc -> min acc oe.oe_start) open_execs lowest
+    in
+    let drop = lowest - !state_base in
+    if drop > 1024 then begin
+      let keep = Vec.length state_window - drop in
+      let kept = Vec.sub_list state_window ~pos:drop ~len:keep in
+      Vec.clear state_window;
+      List.iter (Vec.push state_window) kept;
+      state_base := lowest
+    end
+  in
+  let advance_observers () =
+    let i = ref 0 in
+    while !violation = None && !i < Vec.length pending_observers do
+      if step_observer (Vec.get pending_observers !i) then
+        ignore (Vec.swap_remove pending_observers !i)
+      else incr i
+    done;
+    prune_states ()
+  in
+
+  (* Resolve specification transitions for committed executions whose return
+     value has arrived, in commit order. *)
+  let rec resolve () =
+    if !violation = None then
+      match Queue.peek_opt pending_commits with
+      | Some pc when pc.pc_ret <> None ->
+        ignore (Queue.pop pending_commits);
+        let ret = Option.get pc.pc_ret in
+        let ordinal = !commits_resolved + 1 in
+        let cur = state_at !commits_resolved in
+        let exec = exec_of ~tid:pc.pc_tid ~mid:pc.pc_mid ~args:pc.pc_args ~ret:(Some ret) in
+        (match Sp.apply cur ~mid:pc.pc_mid ~args:pc.pc_args ~ret with
+        | Error reason -> fail (Report.Io_violation { exec; commit_ordinal = ordinal; reason })
+        | Ok next ->
+          push_state (Sp.snapshot next);
+          commits_resolved := ordinal;
+          (match pc.pc_view_i with
+          | Some view_i ->
+            let view_s = Sp.view next in
+            if not (Repr.equal view_i view_s) then
+              fail
+                (Report.View_violation { exec; commit_ordinal = ordinal; view_i; view_s })
+          | None -> ());
+          if !violation = None then begin
+            count_method pc.pc_mid;
+            advance_observers ();
+            resolve ()
+          end)
+      | Some _ | None -> ()
+  in
+
+  let on_call ev tid mid args =
+    match Hashtbl.find_opt open_execs tid with
+    | Some open_e ->
+      ill_formed ~event:ev
+        (Printf.sprintf "%s called %s while %s is still executing"
+           (Tid.to_string tid) mid open_e.oe_mid)
+    | None ->
+      (match Sp.kind mid with
+      | kind ->
+        Hashtbl.replace open_execs tid
+          { oe_mid = mid; oe_args = args; oe_kind = kind; oe_start = !commits_logged;
+            oe_commit = None }
+      | exception Invalid_argument m -> ill_formed ~event:ev m)
+  in
+
+  let on_commit ev tid =
+    match Hashtbl.find_opt open_execs tid with
+    | None ->
+      ill_formed ~event:ev
+        (Tid.to_string tid ^ " committed outside any method execution")
+    | Some oe -> (
+      match oe.oe_kind with
+      | Spec.Observer ->
+        ill_formed ~event:ev
+          (Printf.sprintf "observer %s carries a commit annotation" oe.oe_mid)
+      | Spec.Mutator | Spec.Internal ->
+        if oe.oe_commit <> None then
+          ill_formed ~event:ev
+            (Printf.sprintf "%s has two commit actions in one execution of %s"
+               (Tid.to_string tid) oe.oe_mid)
+        else begin
+          Replay.commit replay tid;
+          let view_i = Option.map (fun ev' -> View.recompute ev' replay) view_eval in
+          (match
+             List.find_opt
+               (fun (_, pred) -> not (pred (Replay.lookup replay)))
+               invariants
+           with
+          | Some (name, _) ->
+            fail
+              (Report.Invariant_violation
+                 {
+                   exec =
+                     exec_of ~tid ~mid:oe.oe_mid ~args:oe.oe_args ~ret:None;
+                   commit_ordinal = !commits_logged + 1;
+                   invariant = name;
+                 })
+          | None -> ());
+          incr commits_logged;
+          let pc =
+            { pc_tid = tid; pc_mid = oe.oe_mid; pc_args = oe.oe_args;
+              pc_kind = oe.oe_kind; pc_ret = None; pc_view_i = view_i }
+          in
+          Queue.push pc pending_commits;
+          oe.oe_commit <- Some pc
+        end)
+  in
+
+  let on_return ev tid mid value =
+    match Hashtbl.find_opt open_execs tid with
+    | None ->
+      ill_formed ~event:ev (Tid.to_string tid ^ " returned from " ^ mid ^ " without a call")
+    | Some oe when oe.oe_mid <> mid ->
+      ill_formed ~event:ev
+        (Printf.sprintf "%s returned from %s while executing %s" (Tid.to_string tid)
+           mid oe.oe_mid)
+    | Some oe -> (
+      Hashtbl.remove open_execs tid;
+      let as_observer () =
+        let o =
+          { o_exec = exec_of ~tid ~mid ~args:oe.oe_args ~ret:(Some value);
+            o_start = oe.oe_start;
+            o_end = !commits_logged;
+            o_next = oe.oe_start }
+        in
+        if not (step_observer o) then Vec.push pending_observers o
+      in
+      match (oe.oe_kind, oe.oe_commit) with
+      | (Spec.Mutator | Spec.Internal), Some pc ->
+        pc.pc_ret <- Some value;
+        resolve ()
+      | (Spec.Mutator | Spec.Internal), None ->
+        (* An execution that never committed performed no transition: it is
+           checked like an observer (window semantics).  The specification's
+           [observe] rejects return values that would have required a
+           mutation, so a genuinely missing commit annotation still
+           surfaces as a violation. *)
+        as_observer ()
+      | Spec.Observer, _ -> as_observer ())
+  in
+
+  let feed ev =
+    if !violation = None then begin
+      incr events_processed;
+      (try
+         match ev with
+         | Event.Call { tid; mid; args } -> on_call ev tid mid args
+         | Event.Return { tid; mid; value } -> on_return ev tid mid value
+         | Event.Commit { tid } -> on_commit ev tid
+         | Event.Write { tid; var; value } -> Replay.write replay tid var value
+         | Event.Block_begin { tid } -> Replay.block_begin replay tid
+         | Event.Block_end { tid } -> Replay.block_end replay tid
+         | Event.Read _ | Event.Acquire _ | Event.Release _ -> ()
+       with Replay.Ill_formed reason -> ill_formed ~event:ev reason);
+      !violation
+    end
+    else None
+  in
+  let report () : Report.t =
+    let stats : Report.stats =
+      { events_processed = !events_processed;
+        methods_checked = !methods_checked;
+        commits_resolved = !commits_resolved;
+        per_method =
+          Hashtbl.fold (fun mid n acc -> (mid, n) :: acc) per_method []
+          |> List.sort compare }
+    in
+    match !violation with
+    | Some v -> { outcome = Report.Fail v; stats }
+    | None -> { outcome = Report.Pass; stats }
+  in
+  {
+    c_feed = feed;
+    c_report = report;
+    c_violation = (fun () -> !violation);
+    c_methods = (fun () -> !methods_checked);
+    c_projections =
+      (fun () -> match view_eval with Some e -> View.projections e | None -> 0);
+  }
+
+let feed t ev = t.c_feed ev
+let report t = t.c_report ()
+let violation t = t.c_violation ()
+let methods_checked t = t.c_methods ()
+let view_projections t = t.c_projections ()
+
+let check ?mode ?view ?invariants log spec =
+  let t = create ?mode ?view ?invariants spec in
+  Log.iter (fun ev -> ignore (feed t ev)) log;
+  report t

@@ -1,0 +1,57 @@
+(** The runtime refinement checker (paper §4–§5).
+
+    The checker is an incremental state machine: {!feed} it the events of a
+    log in order (offline after the run, or online as they are appended) and
+    it maintains the witness interleaving and the specification run.
+
+    Checking logic, in brief:
+    - mutator commits are serialized in commit-action order; each commit's
+      specification transition is resolved as soon as the method's return
+      value is known (the paper's "looking ahead in the execution");
+    - observers are validated against every specification state whose commit
+      ordinal falls in their call–return window (Fig. 7); an execution of a
+      {e mutator} that never reached a commit action performed no transition
+      and is validated the same way (exceptional terminations, §1);
+    - in [`View] mode, [viewI] is recomputed from the shadow replay at each
+      commit (after publishing that thread's commit block) and compared with
+      [viewS] of the specification state the transition produces.
+
+    The first violation freezes the checker; statistics record how many
+    method executions had been checked — the paper's time-to-detection
+    metric.
+
+    [`View] mode presumes the log was recorded at level [`View] (or
+    [`Full]): with call/return/commit-only logs the shadow replay stays
+    empty and every mutation looks like a view mismatch. *)
+
+type mode = [ `Io | `View ]
+
+type t
+
+(** A named predicate over the replayed implementation state, checked at
+    every commit action — the paper's runtime invariants for Boxwood's cache
+    (§7.2.1).  Requires view-level logging but works in either mode. *)
+type invariant = string * (View.lookup -> bool)
+
+(** [create ~mode ?view ?invariants spec] builds a checker.
+    @param view required when [mode = `View]. *)
+val create : ?mode:mode -> ?view:View.t -> ?invariants:invariant list -> Spec.t -> t
+
+(** [feed t ev] processes one event.  Returns the first violation when this
+    event triggers it; afterwards the checker ignores further events. *)
+val feed : t -> Event.t -> Report.violation option
+
+(** Current report; also usable mid-stream. *)
+val report : t -> Report.t
+
+val violation : t -> Report.violation option
+
+(** Methods fully checked so far. *)
+val methods_checked : t -> int
+
+(** Key projections performed by a [Keyed] view (ablation instrumentation). *)
+val view_projections : t -> int
+
+(** [check ?mode ?view log spec] runs a whole log through a fresh checker. *)
+val check :
+  ?mode:mode -> ?view:View.t -> ?invariants:invariant list -> Log.t -> Spec.t -> Report.t

@@ -1,0 +1,124 @@
+module Tid = Vyrd_sched.Tid
+
+type t =
+  | Call of { tid : Tid.t; mid : string; args : Repr.t list }
+  | Return of { tid : Tid.t; mid : string; value : Repr.t }
+  | Commit of { tid : Tid.t }
+  | Write of { tid : Tid.t; var : string; value : Repr.t }
+  | Block_begin of { tid : Tid.t }
+  | Block_end of { tid : Tid.t }
+  | Read of { tid : Tid.t; var : string }
+  | Acquire of { tid : Tid.t; lock : string }
+  | Release of { tid : Tid.t; lock : string }
+
+let tid = function
+  | Call { tid; _ }
+  | Return { tid; _ }
+  | Commit { tid }
+  | Write { tid; _ }
+  | Block_begin { tid }
+  | Block_end { tid }
+  | Read { tid; _ }
+  | Acquire { tid; _ }
+  | Release { tid; _ } -> tid
+
+let equal = ( = )
+
+let pp ppf = function
+  | Call { tid; mid; args } ->
+    Fmt.pf ppf "%s: call %s(%a)" (Tid.to_string tid) mid
+      Fmt.(list ~sep:comma Repr.pp)
+      args
+  | Return { tid; mid; value } ->
+    Fmt.pf ppf "%s: ret %s -> %a" (Tid.to_string tid) mid Repr.pp value
+  | Commit { tid } -> Fmt.pf ppf "%s: commit" (Tid.to_string tid)
+  | Write { tid; var; value } ->
+    Fmt.pf ppf "%s: write %s := %a" (Tid.to_string tid) var Repr.pp value
+  | Block_begin { tid } -> Fmt.pf ppf "%s: block-begin" (Tid.to_string tid)
+  | Block_end { tid } -> Fmt.pf ppf "%s: block-end" (Tid.to_string tid)
+  | Read { tid; var } -> Fmt.pf ppf "%s: read %s" (Tid.to_string tid) var
+  | Acquire { tid; lock } -> Fmt.pf ppf "%s: acquire %s" (Tid.to_string tid) lock
+  | Release { tid; lock } -> Fmt.pf ppf "%s: release %s" (Tid.to_string tid) lock
+
+let to_line ev =
+  let name s = Repr.to_text (Repr.Str s) in
+  match ev with
+  | Call { tid; mid; args } ->
+    Printf.sprintf "call %d %s %s" tid (name mid) (Repr.to_text (Repr.List args))
+  | Return { tid; mid; value } ->
+    Printf.sprintf "ret %d %s %s" tid (name mid) (Repr.to_text value)
+  | Commit { tid } -> Printf.sprintf "commit %d" tid
+  | Write { tid; var; value } ->
+    Printf.sprintf "write %d %s %s" tid (name var) (Repr.to_text value)
+  | Block_begin { tid } -> Printf.sprintf "bbegin %d" tid
+  | Block_end { tid } -> Printf.sprintf "bend %d" tid
+  | Read { tid; var } -> Printf.sprintf "read %d %s" tid (name var)
+  | Acquire { tid; lock } -> Printf.sprintf "acq %d %s" tid (name lock)
+  | Release { tid; lock } -> Printf.sprintf "rel %d %s" tid (name lock)
+
+let parse_tid s i =
+  let n = String.length s in
+  let rec scan j = if j < n && s.[j] >= '0' && s.[j] <= '9' then scan (j + 1) else j in
+  let j = scan i in
+  if j = i then raise (Repr.Parse_error ("expected thread id in: " ^ s))
+  else (int_of_string (String.sub s i (j - i)), j)
+
+let parse_name s i =
+  match Repr.of_text_sub s i with
+  | Repr.Str name, j -> (name, j)
+  | _ -> raise (Repr.Parse_error ("expected quoted name in: " ^ s))
+  | exception Repr.Parse_error m -> raise (Repr.Parse_error (m ^ " in: " ^ s))
+
+let of_line line =
+  let space =
+    match String.index_opt line ' ' with
+    | Some i -> i
+    | None -> String.length line
+  in
+  let keyword = String.sub line 0 space in
+  let rest_at = min (space + 1) (String.length line) in
+  let tid, i = parse_tid line rest_at in
+  let expect_done j =
+    if String.trim (String.sub line j (String.length line - j)) <> "" then
+      raise (Repr.Parse_error ("trailing garbage in: " ^ line))
+  in
+  match keyword with
+  | "call" ->
+    let mid, j = parse_name line (i + 1) in
+    (match Repr.of_text_sub line j with
+    | Repr.List args, j' ->
+      expect_done j';
+      Call { tid; mid; args }
+    | _ -> raise (Repr.Parse_error ("expected argument list in: " ^ line)))
+  | "ret" ->
+    let mid, j = parse_name line (i + 1) in
+    let value, j' = Repr.of_text_sub line j in
+    expect_done j';
+    Return { tid; mid; value }
+  | "commit" ->
+    expect_done i;
+    Commit { tid }
+  | "write" ->
+    let var, j = parse_name line (i + 1) in
+    let value, j' = Repr.of_text_sub line j in
+    expect_done j';
+    Write { tid; var; value }
+  | "bbegin" ->
+    expect_done i;
+    Block_begin { tid }
+  | "bend" ->
+    expect_done i;
+    Block_end { tid }
+  | "read" ->
+    let var, j = parse_name line (i + 1) in
+    expect_done j;
+    Read { tid; var }
+  | "acq" ->
+    let lock, j = parse_name line (i + 1) in
+    expect_done j;
+    Acquire { tid; lock }
+  | "rel" ->
+    let lock, j = parse_name line (i + 1) in
+    expect_done j;
+    Release { tid; lock }
+  | kw -> raise (Repr.Parse_error ("unknown event keyword " ^ kw))

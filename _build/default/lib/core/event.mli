@@ -1,0 +1,31 @@
+(** Log events.
+
+    The instrumented implementation records these during execution (paper
+    §4.2, §5.1); the verification thread replays them.  Call, return and
+    commit actions support I/O refinement; writes and commit-block brackets
+    additionally support view refinement; reads and lock events are recorded
+    only at the [`Full] level for the reduction (Atomizer-style) baseline. *)
+
+type t =
+  | Call of { tid : Vyrd_sched.Tid.t; mid : string; args : Repr.t list }
+      (** invocation of public method [mid] *)
+  | Return of { tid : Vyrd_sched.Tid.t; mid : string; value : Repr.t }
+  | Commit of { tid : Vyrd_sched.Tid.t }
+      (** the commit action of [tid]'s currently executing method *)
+  | Write of { tid : Vyrd_sched.Tid.t; var : string; value : Repr.t }
+      (** update of a shared variable in [supp(view)] *)
+  | Block_begin of { tid : Vyrd_sched.Tid.t }  (** start of a commit block (§5.2) *)
+  | Block_end of { tid : Vyrd_sched.Tid.t }
+  | Read of { tid : Vyrd_sched.Tid.t; var : string }
+  | Acquire of { tid : Vyrd_sched.Tid.t; lock : string }
+  | Release of { tid : Vyrd_sched.Tid.t; lock : string }
+
+val tid : t -> Vyrd_sched.Tid.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** One event per line; inverse of {!of_line}. *)
+val to_line : t -> string
+
+(** @raise Repr.Parse_error on malformed input. *)
+val of_line : string -> t

@@ -1,0 +1,79 @@
+module Vec = Vyrd_sched.Vec
+
+type level = [ `None | `Io | `View | `Full ]
+
+type t = {
+  lvl : level;
+  events : Event.t Vec.t;
+  lock : Mutex.t;
+  listeners : (Event.t -> unit) Vec.t;
+}
+
+let create ?(level = `View) () =
+  { lvl = level; events = Vec.create (); lock = Mutex.create (); listeners = Vec.create () }
+
+let level t = t.lvl
+
+let rank = function `None -> 0 | `Io -> 1 | `View -> 2 | `Full -> 3
+
+let required : Event.t -> level = function
+  | Event.Call _ | Event.Return _ | Event.Commit _ -> `Io
+  | Event.Write _ | Event.Block_begin _ | Event.Block_end _ -> `View
+  | Event.Read _ | Event.Acquire _ | Event.Release _ -> `Full
+
+let admits lvl ev = rank lvl >= rank (required ev)
+let records_io t = rank t.lvl >= rank `Io
+let records_writes t = rank t.lvl >= rank `View
+let records_reads t = rank t.lvl >= rank `Full
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let append t ev =
+  if admits t.lvl ev then
+    locked t (fun () ->
+        Vec.push t.events ev;
+        Vec.iter (fun f -> f ev) t.listeners)
+
+let length t = locked t (fun () -> Vec.length t.events)
+let get t i = locked t (fun () -> Vec.get t.events i)
+let events t = locked t (fun () -> Vec.to_list t.events)
+let iter f t = List.iter f (events t)
+let subscribe t f = locked t (fun () -> Vec.push t.listeners f)
+
+let to_channel oc t =
+  List.iter
+    (fun ev ->
+      output_string oc (Event.to_line ev);
+      output_char oc '\n')
+    (events t)
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc t)
+
+let of_events evs =
+  let t = create ~level:`Full () in
+  List.iter (append t) evs;
+  t
+
+let of_channel ic =
+  let t = create ~level:`Full () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then append t (Event.of_line line)
+     done
+   with End_of_file -> ());
+  t
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_channel ic)

@@ -1,0 +1,70 @@
+(** The execution log (paper §4.2, §6.1–6.2).
+
+    Implementation threads append events as they run; the verification thread
+    consumes them either offline (after the run) or online (through a
+    {!subscribe}d listener).  Appends are serialized by an internal lock, so
+    events appear in the log in a single global order — the order the checker
+    treats as the order of occurrence.
+
+    The {!level} controls instrumentation granularity and is what Table 2 of
+    the paper varies:
+
+    - [`None]: nothing is recorded (the "program alone" baseline);
+    - [`Io]: call, return and commit actions (I/O refinement);
+    - [`View]: additionally shared-variable writes and commit-block brackets
+      (view refinement);
+    - [`Full]: additionally shared reads and lock acquire/release (needed
+      only by the reduction baseline). *)
+
+type level = [ `None | `Io | `View | `Full ]
+
+type t
+
+val create : ?level:level -> unit -> t
+(** Default level is [`View]. *)
+
+val level : t -> level
+
+(** [admits level event] tells whether [event] is recorded at [level]. *)
+val admits : level -> Event.t -> bool
+
+(** Fast-path guards so instrumentation can skip constructing events that
+    the level would drop anyway. *)
+val records_io : t -> bool
+
+val records_writes : t -> bool
+val records_reads : t -> bool
+
+(** [append t ev] records [ev] if the level admits it, and notifies
+    subscribers. *)
+val append : t -> Event.t -> unit
+
+val length : t -> int
+
+(** [get t i] returns the [i]-th event appended.  Events are never removed,
+    so indices are stable. *)
+val get : t -> int -> Event.t
+
+(** [events t] snapshots the current contents. *)
+val events : t -> Event.t list
+
+val iter : (Event.t -> unit) -> t -> unit
+
+(** [subscribe t f] registers [f] to run synchronously, under the log lock,
+    for every subsequently admitted event.  Used by online checking; [f]
+    must be fast and must not touch the log. *)
+val subscribe : t -> (Event.t -> unit) -> unit
+
+(** {1 Persistence} *)
+
+val to_channel : out_channel -> t -> unit
+val to_file : string -> t -> unit
+
+(** [of_channel ic] reads a serialized log back (at level [`Full], so no
+    event is dropped). @raise Repr.Parse_error on malformed input. *)
+val of_channel : in_channel -> t
+
+val of_file : string -> t
+
+(** [of_events evs] builds an in-memory log from a list (level [`Full]). *)
+val of_events : Event.t list -> t

@@ -1,0 +1,29 @@
+type t = {
+  queue : Event.t option Squeue.t;
+  domain : Report.t Domain.t;
+  mutable closed : bool;
+}
+
+let start ?mode ?view log spec =
+  let queue = Squeue.create () in
+  Log.subscribe log (fun ev -> Squeue.push queue (Some ev));
+  let domain =
+    Domain.spawn (fun () ->
+        let checker = Checker.create ?mode ?view spec in
+        let rec loop () =
+          match Squeue.pop queue with
+          | Some ev ->
+            ignore (Checker.feed checker ev);
+            loop ()
+          | None -> Checker.report checker
+        in
+        loop ())
+  in
+  { queue; domain; closed = false }
+
+let finish t =
+  if not t.closed then begin
+    t.closed <- true;
+    Squeue.push t.queue None
+  end;
+  Domain.join t.domain

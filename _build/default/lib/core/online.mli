@@ -1,0 +1,14 @@
+(** Online refinement checking (paper §4.2, Table 3).
+
+    [start log spec] subscribes to [log] and spawns a verification domain
+    that feeds every subsequently appended event to a {!Checker.t}
+    concurrently with the instrumented program, mirroring the paper's
+    separate verification thread reading the log tail.
+
+    Call {!finish} after the program completes: it closes the stream, joins
+    the verifier and returns the report. *)
+
+type t
+
+val start : ?mode:Checker.mode -> ?view:View.t -> Log.t -> Spec.t -> t
+val finish : t -> Report.t

@@ -1,0 +1,161 @@
+module Tid = Vyrd_sched.Tid
+
+type exec = {
+  x_tid : Tid.t;
+  x_mid : string;
+  x_args : Repr.t list;
+  x_ret : Repr.t;
+  x_kind : Spec.kind;
+  x_call_at : int;
+  x_ret_at : int;
+  x_commit_at : int option;  (* log index of the commit action, if any *)
+}
+
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* Phase 1: structure the log into method executions (§3.2 well-formedness
+   and the §4.1 commit-annotation rules). *)
+let executions (module Sp : Spec.S) events =
+  let open_calls : (Tid.t, string * Repr.t list * int * int option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | ev :: rest -> (
+      match ev with
+      | Event.Call { tid; mid; args } ->
+        if Hashtbl.mem open_calls tid then
+          fail "event %d: %s calls %s inside another execution" i
+            (Tid.to_string tid) mid
+        else (
+          match Sp.kind mid with
+          | _ ->
+            Hashtbl.replace open_calls tid (mid, args, i, None);
+            go (i + 1) acc rest
+          | exception Invalid_argument m -> Error m)
+      | Event.Commit { tid } -> (
+        match Hashtbl.find_opt open_calls tid with
+        | None -> fail "event %d: %s commits outside any execution" i (Tid.to_string tid)
+        | Some (mid, _, _, Some _) ->
+          fail "event %d: second commit in %s's execution of %s" i (Tid.to_string tid)
+            mid
+        | Some (mid, args, call_at, None) ->
+          if Sp.kind mid = Spec.Observer then
+            fail "event %d: observer %s carries a commit annotation" i mid
+          else begin
+            Hashtbl.replace open_calls tid (mid, args, call_at, Some i);
+            go (i + 1) acc rest
+          end)
+      | Event.Return { tid; mid; value } -> (
+        match Hashtbl.find_opt open_calls tid with
+        | None ->
+          fail "event %d: %s returns from %s without a call" i (Tid.to_string tid) mid
+        | Some (mid', _, _, _) when mid' <> mid ->
+          fail "event %d: %s returns from %s while executing %s" i (Tid.to_string tid)
+            mid mid'
+        | Some (_, args, call_at, commit_at) ->
+          Hashtbl.remove open_calls tid;
+          let x =
+            { x_tid = tid; x_mid = mid; x_args = args; x_ret = value;
+              x_kind = Sp.kind mid; x_call_at = call_at; x_ret_at = i;
+              x_commit_at = commit_at }
+          in
+          go (i + 1) (x :: acc) rest)
+      | Event.Write _ | Event.Block_begin _ | Event.Block_end _ | Event.Read _
+      | Event.Acquire _ | Event.Release _ -> go (i + 1) acc rest)
+  in
+  go 0 [] events
+
+(* The shadow state after the first [upto] events, rebuilt from scratch
+   (exclusive bound). *)
+let shadow_at events ~upto =
+  let replay = Replay.create () in
+  List.iteri
+    (fun i ev ->
+      if i < upto then
+        match ev with
+        | Event.Write { tid; var; value } -> Replay.write replay tid var value
+        | Event.Block_begin { tid } -> Replay.block_begin replay tid
+        | Event.Block_end { tid } -> Replay.block_end replay tid
+        | Event.Commit { tid } -> Replay.commit replay tid
+        | _ -> ())
+    events;
+  replay
+
+let check ?view log spec =
+  let module Sp = (val spec : Spec.S) in
+  let events = Log.events log in
+  let* execs = executions (module Sp) events in
+  let committed =
+    List.filter (fun x -> x.x_commit_at <> None) execs
+    |> List.sort (fun a b -> compare a.x_commit_at b.x_commit_at)
+  in
+  (* Phase 2: fold the specification along the witness interleaving,
+     checking viewI = viewS at every commit when a view is given. *)
+  let* states =
+    (* states.(i) = state after i commits; returned in reverse fold order *)
+    List.fold_left
+      (fun acc x ->
+        let* states = acc in
+        let current = List.hd states in
+        match Sp.apply current ~mid:x.x_mid ~args:x.x_args ~ret:x.x_ret with
+        | Error reason ->
+          fail "commit of %s %s: %s" (Tid.to_string x.x_tid) x.x_mid reason
+        | Ok next ->
+          let next = Sp.snapshot next in
+          let* () =
+            match view with
+            | None -> Ok ()
+            | Some v ->
+              let commit_at = Option.get x.x_commit_at in
+              let replay =
+                (* include the commit event itself so the committing
+                   thread's block is published *)
+                shadow_at events ~upto:(commit_at + 1)
+              in
+              let view_i = View.recompute (View.make_eval v) replay in
+              let view_s = Sp.view next in
+              if Repr.equal view_i view_s then Ok ()
+              else
+                fail "view mismatch at commit of %s %s: viewI %s, viewS %s"
+                  (Tid.to_string x.x_tid) x.x_mid (Repr.to_string view_i)
+                  (Repr.to_string view_s)
+          in
+          Ok (next :: states))
+      (Ok [ Sp.snapshot (Sp.init ()) ])
+      committed
+  in
+  let states = Array.of_list (List.rev states) in
+  (* commit ordinal of the i-th committed execution = i + 1; map a log
+     position to the number of commits at or before it *)
+  let commits_before pos =
+    List.length (List.filter (fun x -> Option.get x.x_commit_at < pos) committed)
+  in
+  (* Phase 3: window checks for observers and non-committing executions. *)
+  let check_window x =
+    let lo = commits_before x.x_call_at in
+    let hi = commits_before x.x_ret_at in
+    let rec any i =
+      i <= hi
+      && (Sp.observe states.(i) ~mid:x.x_mid ~args:x.x_args ~ret:x.x_ret
+         || any (i + 1))
+    in
+    if any lo then Ok ()
+    else
+      fail "no state in window [%d..%d] admits %s %s -> %s" lo hi
+        (Tid.to_string x.x_tid) x.x_mid (Repr.to_string x.x_ret)
+  in
+  List.fold_left
+    (fun acc x ->
+      let* () = acc in
+      if x.x_commit_at = None then check_window x else Ok ())
+    (Ok ()) execs
+
+let agrees_with_checker ?view log spec =
+  let reference = Result.is_ok (check ?view log spec) in
+  let fast =
+    let mode = match view with None -> `Io | Some _ -> `View in
+    Report.is_pass (Checker.check ~mode ?view log spec)
+  in
+  reference = fast

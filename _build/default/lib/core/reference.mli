@@ -1,0 +1,27 @@
+(** Reference refinement checker — a direct, clarity-first transcription of
+    the paper's definitions (§4, §5), used as a test oracle.
+
+    Unlike {!Checker}, which resolves everything incrementally in one pass,
+    this implementation works in whole phases over a complete log:
+
+    + match calls and returns into method executions and collect the commit
+      actions (rejecting ill-formed logs);
+    + sort committed executions by commit position — the witness
+      interleaving — and fold the specification over it;
+    + for view refinement, rebuild the shadow state {e from scratch} for
+      every commit prefix and compare [viewI] with [viewS];
+    + validate every non-committing execution against each specification
+      state in its window.
+
+    It is quadratic and allocation-happy by design; its only job is to be
+    obviously faithful to the paper so the fast checker can be validated
+    against it ([test/test_oracle.ml]). *)
+
+(** [check ?view log spec] returns [Ok ()] or a description of the first
+    problem found (phase order, not log order — agreement with {!Checker}
+    is on pass/fail only). *)
+val check : ?view:View.t -> Log.t -> Spec.t -> (unit, string) result
+
+(** Convenience: agreement on the pass/fail verdict with a {!Checker} run
+    in the same mode. *)
+val agrees_with_checker : ?view:View.t -> Log.t -> Spec.t -> bool

@@ -1,0 +1,59 @@
+module Tid = Vyrd_sched.Tid
+module Vec = Vyrd_sched.Vec
+
+exception Ill_formed of string
+
+type block = { buffered : (string * Repr.t) Vec.t; mutable published : bool }
+
+type t = {
+  visible : (string, Repr.t) Hashtbl.t;
+  blocks : (Tid.t, block) Hashtbl.t;
+  dirty : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  { visible = Hashtbl.create 64; blocks = Hashtbl.create 8; dirty = Hashtbl.create 64 }
+
+let publish t var v =
+  let unchanged =
+    match Hashtbl.find_opt t.visible var with Some v0 -> Repr.equal v0 v | None -> false
+  in
+  if not unchanged then begin
+    Hashtbl.replace t.visible var v;
+    Hashtbl.replace t.dirty var ()
+  end
+
+let write t tid var v =
+  match Hashtbl.find_opt t.blocks tid with
+  | Some b when not b.published -> Vec.push b.buffered (var, v)
+  | Some _ | None -> publish t var v
+
+let block_begin t tid =
+  if Hashtbl.mem t.blocks tid then
+    raise (Ill_formed (Tid.to_string tid ^ ": nested commit block"));
+  Hashtbl.replace t.blocks tid { buffered = Vec.create (); published = false }
+
+let drain t b =
+  Vec.iter (fun (var, v) -> publish t var v) b.buffered;
+  Vec.clear b.buffered;
+  b.published <- true
+
+let commit t tid =
+  match Hashtbl.find_opt t.blocks tid with
+  | Some b when not b.published -> drain t b
+  | Some _ | None -> ()
+
+let block_end t tid =
+  match Hashtbl.find_opt t.blocks tid with
+  | Some b ->
+    if not b.published then drain t b;
+    Hashtbl.remove t.blocks tid
+  | None -> raise (Ill_formed (Tid.to_string tid ^ ": block end without begin"))
+
+let lookup t var = Hashtbl.find_opt t.visible var
+let fold f t acc = Hashtbl.fold f t.visible acc
+
+let take_dirty t =
+  let vars = Hashtbl.fold (fun var () acc -> var :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  vars

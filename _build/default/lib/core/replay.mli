@@ -1,0 +1,40 @@
+(** Shadow replay of the implementation state (paper §5.1–5.2).
+
+    The verification thread reconstructs the shared variables in
+    [supp(viewI)] from logged [Write] events.  Commit blocks make the
+    reconstruction match the paper's τ → τ′ transformation: writes performed
+    inside an open commit block are buffered and become visible only at that
+    thread's commit action (or, if the block commits nothing, at its end),
+    so [viewI] computed at {e another} thread's commit never sees a dirty
+    half-updated state. *)
+
+type t
+
+exception Ill_formed of string
+
+val create : unit -> t
+
+(** [write t tid var v] records a shared write: applied immediately, or
+    buffered if [tid] has an open, not-yet-committed commit block. *)
+val write : t -> Vyrd_sched.Tid.t -> string -> Repr.t -> unit
+
+(** @raise Ill_formed on nested commit blocks. *)
+val block_begin : t -> Vyrd_sched.Tid.t -> unit
+
+(** Ends [tid]'s commit block, publishing any writes still buffered.
+    @raise Ill_formed if no block is open. *)
+val block_end : t -> Vyrd_sched.Tid.t -> unit
+
+(** [commit t tid] publishes the buffered writes of [tid]'s open commit
+    block, if any; writes after the commit (still inside the block) apply
+    immediately.  A no-op for threads without an open block. *)
+val commit : t -> Vyrd_sched.Tid.t -> unit
+
+(** Committed (visible) value of a variable. *)
+val lookup : t -> string -> Repr.t option
+
+val fold : (string -> Repr.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [take_dirty t] returns the variables whose visible value changed since
+    the previous call, and resets the dirty set (incremental views, §6.4). *)
+val take_dirty : t -> string list

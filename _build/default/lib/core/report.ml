@@ -1,0 +1,78 @@
+module Tid = Vyrd_sched.Tid
+
+type exec = {
+  e_tid : Tid.t;
+  e_mid : string;
+  e_args : Repr.t list;
+  e_ret : Repr.t option;
+}
+
+type violation =
+  | Io_violation of { exec : exec; commit_ordinal : int; reason : string }
+  | Observer_violation of { exec : exec; window : int * int }
+  | View_violation of {
+      exec : exec;
+      commit_ordinal : int;
+      view_i : Repr.t;
+      view_s : Repr.t;
+    }
+  | Invariant_violation of { exec : exec; commit_ordinal : int; invariant : string }
+  | Ill_formed of { event : Event.t option; reason : string }
+
+type stats = {
+  events_processed : int;
+  methods_checked : int;
+  commits_resolved : int;
+  per_method : (string * int) list;
+}
+type outcome = Pass | Fail of violation
+type t = { outcome : outcome; stats : stats }
+
+let is_pass t = t.outcome = Pass
+
+let pp_exec ppf e =
+  Fmt.pf ppf "%s %s(%a)%a" (Tid.to_string e.e_tid) e.e_mid
+    Fmt.(list ~sep:comma Repr.pp)
+    e.e_args
+    Fmt.(option (fun ppf v -> Fmt.pf ppf " -> %a" Repr.pp v))
+    e.e_ret
+
+let pp_violation ppf = function
+  | Io_violation { exec; commit_ordinal; reason } ->
+    Fmt.pf ppf
+      "@[<v 2>I/O refinement violation at commit #%d:@ execution: %a@ reason: %s@]"
+      commit_ordinal pp_exec exec reason
+  | Observer_violation { exec; window = lo, hi } ->
+    Fmt.pf ppf
+      "@[<v 2>I/O refinement violation (observer):@ execution: %a@ no \
+       specification state in window [%d..%d] admits the return value@]"
+      pp_exec exec lo hi
+  | View_violation { exec; commit_ordinal; view_i; view_s } ->
+    Fmt.pf ppf
+      "@[<v 2>view refinement violation at commit #%d:@ execution: %a@ viewI: \
+       %a@ viewS: %a@]"
+      commit_ordinal pp_exec exec Repr.pp view_i Repr.pp view_s
+  | Invariant_violation { exec; commit_ordinal; invariant } ->
+    Fmt.pf ppf
+      "@[<v 2>invariant %S violated at commit #%d:@ execution: %a@]" invariant
+      commit_ordinal pp_exec exec
+  | Ill_formed { event; reason } ->
+    Fmt.pf ppf "@[<v 2>ill-formed log:@ %s%a@]" reason
+      Fmt.(option (fun ppf ev -> Fmt.pf ppf "@ at event: %a" Event.pp ev))
+      event
+
+let pp ppf t =
+  (match t.outcome with
+  | Pass -> Fmt.pf ppf "PASS"
+  | Fail v -> Fmt.pf ppf "FAIL: %a" pp_violation v);
+  Fmt.pf ppf "@ (%d events, %d methods checked, %d commits)"
+    t.stats.events_processed t.stats.methods_checked t.stats.commits_resolved
+
+let tag t =
+  match t.outcome with
+  | Pass -> "pass"
+  | Fail (Io_violation _) -> "io"
+  | Fail (Observer_violation _) -> "observer"
+  | Fail (View_violation _) -> "view"
+  | Fail (Invariant_violation _) -> "invariant"
+  | Fail (Ill_formed _) -> "ill-formed"

@@ -1,0 +1,19 @@
+type kind = Mutator | Observer | Internal
+
+let pp_kind ppf k =
+  Fmt.string ppf
+    (match k with Mutator -> "mutator" | Observer -> "observer" | Internal -> "internal")
+
+module type S = sig
+  type state
+
+  val name : string
+  val init : unit -> state
+  val kind : string -> kind
+  val apply : state -> mid:string -> args:Repr.t list -> ret:Repr.t -> (state, string) result
+  val observe : state -> mid:string -> args:Repr.t list -> ret:Repr.t -> bool
+  val view : state -> Repr.t
+  val snapshot : state -> state
+end
+
+type t = (module S)

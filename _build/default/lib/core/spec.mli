@@ -1,0 +1,50 @@
+(** Executable specifications (paper §3).
+
+    A specification is a method-atomic, deterministic state transition
+    system: given a state, a method, its arguments and its observed return
+    value, there is at most one successor state.  Return-value
+    nondeterminism is allowed (e.g. [Insert] may succeed or terminate
+    exceptionally) — determinism is required only {e given} the return
+    value, which the checker supplies by looking ahead in the log. *)
+
+type kind =
+  | Mutator  (** may modify abstract state; carries a commit annotation *)
+  | Observer
+      (** never modifies abstract state; not annotated — checked against
+          every specification state in its call–return window (§4.3) *)
+  | Internal
+      (** housekeeping work of a data-structure worker thread (e.g. a
+          compression step): treated like a mutator whose transition must
+          leave the abstract view unchanged (§7.2.3) *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+module type S = sig
+  type state
+
+  val name : string
+  val init : unit -> state
+
+  (** [kind mid] classifies public method [mid].
+      @raise Invalid_argument for unknown methods. *)
+  val kind : string -> kind
+
+  (** [apply state ~mid ~args ~ret] takes the unique transition of mutator
+      (or internal) method [mid] that returns [ret], or explains why no such
+      transition exists. *)
+  val apply : state -> mid:string -> args:Repr.t list -> ret:Repr.t -> (state, string) result
+
+  (** [observe state ~mid ~args ~ret] tells whether observer [mid] may
+      return [ret] in [state]. *)
+  val observe : state -> mid:string -> args:Repr.t list -> ret:Repr.t -> bool
+
+  (** [view state] is the canonical abstract contents [viewS] (§5). *)
+  val view : state -> Repr.t
+
+  (** [snapshot state] returns a state unaffected by later [apply] calls.
+      The identity for persistent states; a deep copy for specs built from
+      atomized imperative code (§4.4). *)
+  val snapshot : state -> state
+end
+
+type t = (module S)

@@ -1,0 +1,32 @@
+(* Routing: a method belongs to the left component iff [A.kind] accepts it;
+   otherwise it is handed to the right component (whose [kind] raises for
+   genuinely unknown names). *)
+
+let pair (speca : Spec.t) (specb : Spec.t) : Spec.t =
+  let module A = (val speca) in
+  let module B = (val specb) in
+  let module P = struct
+    type state = A.state * B.state
+
+    let name = A.name ^ " * " ^ B.name
+    let init () = (A.init (), B.init ())
+
+    let left mid =
+      match A.kind mid with _ -> true | exception Invalid_argument _ -> false
+
+    let kind mid = if left mid then A.kind mid else B.kind mid
+
+    let apply (sa, sb) ~mid ~args ~ret =
+      if left mid then
+        Result.map (fun sa' -> (sa', sb)) (A.apply sa ~mid ~args ~ret)
+      else Result.map (fun sb' -> (sa, sb')) (B.apply sb ~mid ~args ~ret)
+
+    let observe (sa, sb) ~mid ~args ~ret =
+      if left mid then A.observe sa ~mid ~args ~ret else B.observe sb ~mid ~args ~ret
+
+    let view (sa, sb) = Repr.Pair (A.view sa, B.view sb)
+    let snapshot (sa, sb) = (A.snapshot sa, B.snapshot sb)
+  end in
+  (module P)
+
+let pair_views va vb = View.Pair (va, vb)

@@ -1,0 +1,24 @@
+type 'a t = { q : 'a Queue.t; lock : Mutex.t; nonempty : Condition.t }
+
+let create () = { q = Queue.create (); lock = Mutex.create (); nonempty = Condition.create () }
+
+let push t x =
+  Mutex.lock t.lock;
+  Queue.push x t.q;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.q do
+    Condition.wait t.nonempty t.lock
+  done;
+  let x = Queue.pop t.q in
+  Mutex.unlock t.lock;
+  x
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,12 @@
+(** Unbounded blocking queue used to hand events from the instrumented
+    program to the online verification domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+(** [pop t] blocks until an element is available. *)
+val pop : 'a t -> 'a
+
+val length : 'a t -> int

@@ -1,0 +1,32 @@
+(** Textual rendering of a log as a per-thread timeline — the style of the
+    paper's Fig. 3 and Fig. 6, with time flowing downward, one column per
+    thread, and commit actions marked.
+
+    Used by the examples to regenerate the paper's figures from real logs,
+    and handy when debugging a refinement violation: render the prefix up to
+    the failing commit to see which executions were in flight. *)
+
+type options = {
+  col_width : int;  (** characters per thread column (default 22) *)
+  show_writes : bool;  (** include [Write]/block events (default false) *)
+  max_events : int option;  (** truncate long logs (default [None]) *)
+}
+
+val default : options
+
+(** [render ?options log] lays the events out as a grid, one row per
+    rendered event, one column per thread (in order of first appearance). *)
+val render : ?options:options -> Log.t -> string
+
+(** [render_events evs] is {!render} on an ad-hoc event list. *)
+val render_events : ?options:options -> Event.t list -> string
+
+(** [tail ?window log ~until] renders the last [window] (default 25)
+    events up to log position [until] (exclusive) — for explaining a
+    violation, pass [Report.stats.events_processed]. *)
+val tail : ?options:options -> ?window:int -> Log.t -> until:int -> string
+
+(** [witness log] summarizes the witness interleaving: the method
+    executions in commit-action order, one line each — the serialization
+    the checker validates the specification against (§4). *)
+val witness : Log.t -> string

@@ -1,0 +1,58 @@
+type lookup = string -> Repr.t option
+
+type keyed = {
+  keys_of_var : string -> Repr.t list;
+  project : lookup -> Repr.t -> Repr.t option;
+}
+
+type t =
+  | Full of (lookup -> Repr.t)
+  | Keyed of keyed
+  | Pair of t * t
+
+let canonical_of_assoc kvs =
+  Repr.List
+    (List.sort Repr.compare (List.map (fun (k, v) -> Repr.Pair (k, v)) kvs))
+
+type eval =
+  | Efull of (lookup -> Repr.t)
+  | Ekeyed of {
+      spec : keyed;
+      table : (Repr.t, Repr.t) Hashtbl.t;
+      mutable projections : int;
+    }
+  | Epair of eval * eval
+
+let rec make_eval = function
+  | Full f -> Efull f
+  | Keyed spec -> Ekeyed { spec; table = Hashtbl.create 64; projections = 0 }
+  | Pair (a, b) -> Epair (make_eval a, make_eval b)
+
+(* The replay's dirty set is drained once per commit and shared by every
+   [Keyed] component of the evaluator tree. *)
+let rec recompute_dirty eval replay dirty =
+  match eval with
+  | Efull f -> f (Replay.lookup replay)
+  | Ekeyed e ->
+    let keys =
+      List.concat_map e.spec.keys_of_var dirty |> List.sort_uniq Repr.compare
+    in
+    List.iter
+      (fun key ->
+        e.projections <- e.projections + 1;
+        match e.spec.project (Replay.lookup replay) key with
+        | Some v -> Hashtbl.replace e.table key v
+        | None -> Hashtbl.remove e.table key)
+      keys;
+    canonical_of_assoc (Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.table [])
+  | Epair (a, b) ->
+    let va = recompute_dirty a replay dirty in
+    let vb = recompute_dirty b replay dirty in
+    Repr.Pair (va, vb)
+
+let recompute eval replay = recompute_dirty eval replay (Replay.take_dirty replay)
+
+let rec projections = function
+  | Efull _ -> 0
+  | Ekeyed e -> e.projections
+  | Epair (a, b) -> projections a + projections b

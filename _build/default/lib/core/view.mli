@@ -1,0 +1,41 @@
+(** Implementation-side view definitions ([viewI], paper §5, §6.3–6.4).
+
+    A view extracts the canonical abstract contents from the shadow replay
+    of the implementation's shared state.  [Full] recomputes the whole view
+    at every commit; [Keyed] declares which abstract key each shared
+    variable contributes to, so only keys touched since the last commit are
+    recomputed and re-compared — the incremental scheme of §6.4.  [Pair]
+    composes the views of two structures living in the same log (their
+    variable spaces must be disjoint); it matches a specification composed
+    with {!Spec_compose}. *)
+
+type lookup = string -> Repr.t option
+
+type keyed = {
+  keys_of_var : string -> Repr.t list;
+      (** abstract keys a write to this variable may affect (often one) *)
+  project : lookup -> Repr.t -> Repr.t option;
+      (** current value at a key, [None] when absent from the structure *)
+}
+
+type t =
+  | Full of (lookup -> Repr.t)
+  | Keyed of keyed
+  | Pair of t * t
+
+(** [canonical_of_assoc kvs] sorts an association list into the canonical
+    [List [Pair (k, v); ...]] form both view sides use. *)
+val canonical_of_assoc : (Repr.t * Repr.t) list -> Repr.t
+
+(** Evaluator state for a view over a replay. *)
+type eval
+
+val make_eval : t -> eval
+
+(** [recompute eval replay] returns the current [viewI], recomputing only
+    dirty keys in the [Keyed] case.  Consumes the replay's dirty set. *)
+val recompute : eval -> Replay.t -> Repr.t
+
+(** Number of key projections performed so far ([Keyed] components only) —
+    exposed for the incremental-view ablation benchmark. *)
+val projections : eval -> int

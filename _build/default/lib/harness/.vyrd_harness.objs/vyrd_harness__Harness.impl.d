@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Array Instrument Log Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Vyrd Vyrd_sched

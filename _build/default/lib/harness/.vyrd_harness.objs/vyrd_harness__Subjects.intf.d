@@ -1,0 +1,1 @@
+lib/harness/subjects.mli: Harness Vyrd

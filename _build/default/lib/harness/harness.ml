@@ -1,0 +1,73 @@
+open Vyrd
+module Prng = Vyrd_sched.Prng
+module Sched = Vyrd_sched.Sched
+
+type built = {
+  random_op : Prng.t -> int -> unit;
+  daemon : (unit -> unit) option;
+}
+
+type config = {
+  threads : int;
+  ops_per_thread : int;
+  key_pool : int;
+  key_range : int;
+  seed : int;
+  log_level : Log.level;
+}
+
+let default =
+  {
+    threads = 4;
+    ops_per_thread = 50;
+    key_pool = 16;
+    key_range = 64;
+    seed = 0;
+    log_level = `View;
+  }
+
+(* The shared key pool of §7.1: every thread draws from a prefix that
+   shrinks as its own run progresses. *)
+let make_pool config =
+  let rng = Prng.create (config.seed * 31 + 17) in
+  Array.init (max 2 config.key_pool) (fun _ -> Prng.int rng config.key_range)
+
+let run_on ~spawn_engine config build =
+  let log = Log.create ~level:config.log_level () in
+  spawn_engine (fun (sched : Sched.t) ->
+      let ctx = Instrument.make sched log in
+      let b = build ctx in
+      let pool = make_pool config in
+      let stop = ref false in
+      (match b.daemon with
+      | Some step ->
+        sched.Sched.spawn (fun () ->
+            while not !stop do
+              step ();
+              sched.Sched.yield ()
+            done)
+      | None -> ());
+      let remaining = ref config.threads in
+      for t = 1 to config.threads do
+        sched.Sched.spawn (fun () ->
+            let rng = Prng.create ((config.seed * 7919) + t) in
+            let n = config.ops_per_thread in
+            for i = 0 to n - 1 do
+              (* shrink the live pool prefix from its full size down to 2 *)
+              let live =
+                max 2 (Array.length pool - (i * (Array.length pool - 2) / max 1 n))
+              in
+              let key = pool.(Prng.int rng live) in
+              b.random_op rng key
+            done;
+            decr remaining;
+            if !remaining = 0 then stop := true)
+      done);
+  log
+
+let run config build =
+  run_on config build ~spawn_engine:(fun main ->
+      Vyrd_sched.Coop.run ~seed:config.seed ~max_steps:200_000_000 main)
+
+let run_native config build =
+  run_on config build ~spawn_engine:Vyrd_sched.Native.run

@@ -1,0 +1,26 @@
+(** The benchmark subjects of the paper's evaluation (§7, Tables 1–3): one
+    entry per program, each with its specification, its [viewI] definition,
+    its random-operation mix, and its injectable bug. *)
+
+type t = {
+  name : string;  (** as it appears in the paper's tables *)
+  bug_description : string;  (** Table 1's "error" column *)
+  spec : Vyrd.Spec.t;
+  view : Vyrd.View.t;
+  invariants : Vyrd.Checker.invariant list;  (** extra runtime invariants (§7.2.1) *)
+  build : bug:bool -> Vyrd.Instrument.ctx -> Harness.built;
+}
+
+val multiset_vector : t
+val multiset_btree : t
+val jvector : t
+val string_buffer : t
+val blink_tree : t
+val cache : t
+val scanfs : t
+
+(** All subjects, in the paper's Table 1 order (plus ScanFS). *)
+val all : t list
+
+(** @raise Not_found for unknown names. *)
+val find : string -> t

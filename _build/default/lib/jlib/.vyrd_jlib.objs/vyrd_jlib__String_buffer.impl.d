@@ -1,0 +1,1 @@
+lib/jlib/string_buffer.ml: Array Fun Instrument Int List Map Printf Repr Spec String View Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/jlib/string_buffer.mli: Vyrd

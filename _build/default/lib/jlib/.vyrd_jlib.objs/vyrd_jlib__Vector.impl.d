@@ -1,0 +1,1 @@
+lib/jlib/vector.ml: Array Instrument List Printf Repr Spec View Vyrd Vyrd_sched

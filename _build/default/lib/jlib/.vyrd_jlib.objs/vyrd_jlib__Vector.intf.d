@@ -1,0 +1,1 @@
+lib/jlib/vector.mli: Vyrd

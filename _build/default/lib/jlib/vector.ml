@@ -1,0 +1,291 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+module Cell = Instrument.Cell
+
+type bug = Non_atomic_last_index_of
+
+type t = {
+  ctx : Instrument.ctx;
+  lock : Sched.mutex;
+  count : int Cell.t;
+  elems : int Cell.t array;
+  bugs : bug list;
+}
+
+type outcome = Success | Failure
+
+let count_var = "count"
+let elem_var i = Printf.sprintf "elem[%d]" i
+
+let create ?(bugs = []) ~capacity ctx =
+  {
+    ctx;
+    lock = Instrument.mutex ctx ~name:"vector";
+    count = Cell.make ctx ~name:count_var ~repr:(fun c -> Repr.Int c) 0;
+    elems =
+      Array.init capacity (fun i ->
+          Cell.make ctx ~name:(elem_var i) ~repr:(fun x -> Repr.Int x) 0);
+    bugs;
+  }
+
+let capacity t = Array.length t.elems
+
+let add t x =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if c >= capacity t then Repr.failure
+        else begin
+          Cell.set t.elems.(c) x;
+          Cell.set_and_commit t.count (c + 1);
+          Repr.success
+        end)
+  in
+  if Repr.is_success (Instrument.op t.ctx "add" [ Repr.Int x ] body) then Success
+  else Failure
+
+let remove_last t =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if c = 0 then Repr.Bool false
+        else begin
+          (* The stale element beyond the new count stays in its slot, as in
+             the JDK — feeding the lastIndexOf bug. *)
+          Cell.set_and_commit t.count (c - 1);
+          Repr.Bool true
+        end)
+  in
+  Instrument.op t.ctx "remove_last" [] body = Repr.Bool true
+
+(* Shifting updates touch several visible slots; brackets them in a commit
+   block so the replayed view only changes at the count write. *)
+let insert_at t i x =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if i < 0 || i > c || c >= capacity t then Repr.failure
+        else begin
+          Instrument.with_block t.ctx (fun () ->
+              for j = c - 1 downto i do
+                Cell.set t.elems.(j + 1) (Cell.get t.elems.(j))
+              done;
+              Cell.set t.elems.(i) x;
+              Cell.set_and_commit t.count (c + 1));
+          Repr.success
+        end)
+  in
+  if Repr.is_success (Instrument.op t.ctx "insert_at" [ Repr.Int i; Repr.Int x ] body)
+  then Success
+  else Failure
+
+let remove_at t i =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if i < 0 || i >= c then Repr.Bool false
+        else begin
+          Instrument.with_block t.ctx (fun () ->
+              for j = i to c - 2 do
+                Cell.set t.elems.(j) (Cell.get t.elems.(j + 1))
+              done;
+              Cell.set_and_commit t.count (c - 1));
+          Repr.Bool true
+        end)
+  in
+  Instrument.op t.ctx "remove_at" [ Repr.Int i ] body = Repr.Bool true
+
+let set t i x =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if i < 0 || i >= c then Repr.Bool false
+        else begin
+          Cell.set_and_commit t.elems.(i) x;
+          Repr.Bool true
+        end)
+  in
+  Instrument.op t.ctx "set" [ Repr.Int i; Repr.Int x ] body = Repr.Bool true
+
+let clear t =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        Cell.set_and_commit t.count 0;
+        Repr.Unit)
+  in
+  ignore (Instrument.op t.ctx "clear" [] body)
+
+let get t i =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        if i >= 0 && i < c then Repr.Int (Cell.get t.elems.(i))
+        else Repr.Str "out_of_bounds")
+  in
+  match Instrument.op t.ctx "get" [ Repr.Int i ] body with
+  | Repr.Int v -> Some v
+  | _ -> None
+
+let size t =
+  let body () = Sched.with_lock t.lock (fun () -> Repr.Int (Cell.get t.count)) in
+  match Instrument.op t.ctx "size" [] body with Repr.Int n -> n | _ -> assert false
+
+let is_empty t =
+  let body () = Sched.with_lock t.lock (fun () -> Repr.Bool (Cell.get t.count = 0)) in
+  Instrument.op t.ctx "is_empty" [] body = Repr.Bool true
+
+let index_of t x =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        let rec go i =
+          if i >= c then -1 else if Cell.get t.elems.(i) = x then i else go (i + 1)
+        in
+        Repr.Int (go 0))
+  in
+  match Instrument.op t.ctx "index_of" [ Repr.Int x ] body with
+  | Repr.Int i -> i
+  | _ -> assert false
+
+let contains t x =
+  let body () =
+    Sched.with_lock t.lock (fun () ->
+        let c = Cell.get t.count in
+        let rec go i =
+          if i >= c then false else Cell.get t.elems.(i) = x || go (i + 1)
+        in
+        Repr.Bool (go 0))
+  in
+  Instrument.op t.ctx "contains" [ Repr.Int x ] body = Repr.Bool true
+
+(* The scan from [from] downwards, under the monitor. *)
+let scan_down t x from =
+  let rec go i = if i < 0 then -1 else if Cell.get t.elems.(i) = x then i else go (i - 1) in
+  go from
+
+exception Index_out_of_bounds
+
+let last_index_of t x =
+  let buggy = List.mem Non_atomic_last_index_of t.bugs in
+  let body () =
+    if buggy then begin
+      (* JDK bug: lastIndexOf(Object) reads elementCount outside the
+         monitor, then calls the synchronized lastIndexOf(Object, index)
+         whose bounds check throws if the vector shrank in between.  The
+         exceptional return is never admitted by the specification, which is
+         how refinement checking catches this observer-only bug. *)
+      let c = Sched.with_lock t.lock (fun () -> Cell.get t.count) in
+      t.ctx.Instrument.sched.Sched.yield ();
+      Sched.with_lock t.lock (fun () ->
+          let cur = Cell.get t.count in
+          if c > cur then Repr.Str "index_out_of_bounds"
+          else Repr.Int (scan_down t x (c - 1)))
+    end
+    else
+      Sched.with_lock t.lock (fun () ->
+          let c = Cell.get t.count in
+          Repr.Int (scan_down t x (c - 1)))
+  in
+  match Instrument.op t.ctx "last_index_of" [ Repr.Int x ] body with
+  | Repr.Int i -> i
+  | _ -> raise Index_out_of_bounds
+
+let viewdef ~capacity : View.t =
+  View.Full
+    (fun lookup ->
+      let c = match lookup count_var with Some (Repr.Int c) -> c | _ -> 0 in
+      let elt i =
+        match lookup (elem_var i) with Some (Repr.Int x) -> Repr.Int x | _ -> Repr.Int 0
+      in
+      Repr.List (List.init (min c capacity) elt))
+
+let unsafe_contents t =
+  List.init (Cell.peek t.count) (fun i -> Cell.peek t.elems.(i))
+
+(* Specification: the sequence of elements. ------------------------------ *)
+
+module S = struct
+  type state = int list
+
+  let name = "vector"
+  let init () = []
+
+  let kind = function
+    | "add" | "remove_last" | "insert_at" | "remove_at" | "set" | "clear" ->
+      Spec.Mutator
+    | "get" | "size" | "is_empty" | "contains" | "index_of" | "last_index_of" ->
+      Spec.Observer
+    | m -> invalid_arg ("vector spec: unknown method " ^ m)
+
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+  let apply st ~mid ~args ~ret =
+    match (mid, args, ret) with
+    | "add", [ Repr.Int x ], ret when Repr.is_success ret -> Ok (st @ [ x ])
+    | "add", [ Repr.Int _ ], ret when Repr.equal ret Repr.failure -> Ok st
+    | "remove_last", [], Repr.Bool true -> (
+      match List.rev st with
+      | _ :: rest -> Ok (List.rev rest)
+      | [] -> bad "remove_last returned true on an empty vector")
+    | "remove_last", [], Repr.Bool false ->
+      if st = [] then Ok st else bad "remove_last returned false on a non-empty vector"
+    | "insert_at", [ Repr.Int i; Repr.Int x ], ret when Repr.is_success ret ->
+      let len = List.length st in
+      if i < 0 || i > len then bad "insert_at(%d) succeeded out of bounds" i
+      else
+        Ok (List.filteri (fun j _ -> j < i) st @ [ x ] @ List.filteri (fun j _ -> j >= i) st)
+    | "insert_at", _, ret when Repr.equal ret Repr.failure -> Ok st
+    | "remove_at", [ Repr.Int i ], Repr.Bool true ->
+      if i >= 0 && i < List.length st then Ok (List.filteri (fun j _ -> j <> i) st)
+      else bad "remove_at(%d) returned true out of bounds" i
+    | "remove_at", [ Repr.Int i ], Repr.Bool false ->
+      if i < 0 || i >= List.length st then Ok st
+      else bad "remove_at(%d) returned false in bounds" i
+    | "set", [ Repr.Int i; Repr.Int x ], Repr.Bool true ->
+      if i >= 0 && i < List.length st then
+        Ok (List.mapi (fun j v -> if j = i then x else v) st)
+      else bad "set(%d) returned true out of bounds" i
+    | "set", [ Repr.Int i; Repr.Int _ ], Repr.Bool false ->
+      if i < 0 || i >= List.length st then Ok st
+      else bad "set(%d) returned false in bounds" i
+    | "clear", [], Repr.Unit -> Ok []
+    | mid, _, _ -> bad "no %s transition matches the observed arguments/return" mid
+
+  let observe st ~mid ~args ~ret =
+    let len = List.length st in
+    match (mid, args, ret) with
+    | "size", [], Repr.Int n -> n = len
+    | "get", [ Repr.Int i ], Repr.Int v -> i >= 0 && i < len && List.nth st i = v
+    | "get", [ Repr.Int i ], Repr.Str "out_of_bounds" -> i < 0 || i >= len
+    | "contains", [ Repr.Int x ], Repr.Bool b -> b = List.mem x st
+    | "last_index_of", [ Repr.Int x ], Repr.Int r ->
+      let last =
+        List.fold_left
+          (fun (i, acc) v -> (i + 1, if v = x then i else acc))
+          (0, -1) st
+        |> snd
+      in
+      r = last
+    | "is_empty", [], Repr.Bool b -> b = (len = 0)
+    | "index_of", [ Repr.Int x ], Repr.Int r ->
+      let rec first i = function
+        | [] -> -1
+        | v :: _ when v = x -> i
+        | _ :: rest -> first (i + 1) rest
+      in
+      r = first 0 st
+    (* non-committing mutator executions *)
+    | "add", _, ret -> Repr.equal ret Repr.failure
+    | "remove_last", [], Repr.Bool false -> len = 0
+    (* insert_at may also fail on a full vector, which the specification
+       cannot observe, so any failure is admissible *)
+    | "insert_at", _, ret -> Repr.equal ret Repr.failure
+    | "remove_at", [ Repr.Int i ], Repr.Bool false -> i < 0 || i >= len
+    | "set", [ Repr.Int i; _ ], Repr.Bool false -> i < 0 || i >= len
+    | _ -> false
+
+  let view st = Repr.List (List.map (fun x -> Repr.Int x) st)
+  let snapshot st = st
+end
+
+let spec : Spec.t = (module S)

@@ -1,0 +1,1 @@
+lib/multiset/multiset_btree.ml: Hashtbl Instrument List Multiset_spec Multiset_vector Option Printf Repr View Vyrd Vyrd_sched

@@ -1,0 +1,1 @@
+lib/multiset/multiset_btree.mli: Multiset_vector Vyrd

@@ -1,0 +1,1 @@
+lib/multiset/multiset_seq.ml: Atomize Hashtbl Option Printf Repr Spec View Vyrd

@@ -1,0 +1,1 @@
+lib/multiset/multiset_seq.mli: Vyrd

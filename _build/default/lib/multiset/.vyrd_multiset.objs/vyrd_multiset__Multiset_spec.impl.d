@@ -1,0 +1,1 @@
+lib/multiset/multiset_spec.ml: Int Map Printf Repr Spec View Vyrd

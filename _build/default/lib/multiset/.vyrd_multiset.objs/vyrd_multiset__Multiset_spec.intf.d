@@ -1,0 +1,1 @@
+lib/multiset/multiset_spec.mli: Int Map Vyrd

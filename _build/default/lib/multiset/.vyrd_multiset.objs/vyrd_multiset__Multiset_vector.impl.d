@@ -1,0 +1,1 @@
+lib/multiset/multiset_vector.ml: Array Hashtbl Instrument List Multiset_spec Option Printf Repr View Vyrd Vyrd_sched

@@ -1,0 +1,297 @@
+open Vyrd
+module Sched = Vyrd_sched.Sched
+module Cell = Instrument.Cell
+
+type bug = Unlock_parent_early
+
+type node = {
+  id : int;
+  key : int;
+  key_cell : int Cell.t;  (* logged once so the replayer can see it *)
+  count : int Cell.t;
+  left : int option Cell.t;
+  right : int option Cell.t;
+  lock : Sched.mutex;
+}
+
+type t = {
+  ctx : Instrument.ctx;
+  root : int option Cell.t;
+  root_lock : Sched.mutex;
+  nodes : (int, node) Hashtbl.t;
+  mutable next_id : int;
+  bugs : bug list;
+}
+
+type outcome = Multiset_vector.outcome = Success | Failure
+
+let child_repr = function None -> Repr.Unit | Some id -> Repr.Int id
+let key_var id = Printf.sprintf "n%d.key" id
+let count_var id = Printf.sprintf "n%d.count" id
+let left_var id = Printf.sprintf "n%d.left" id
+let right_var id = Printf.sprintf "n%d.right" id
+
+let create ?(bugs = []) ctx =
+  {
+    ctx;
+    root = Cell.make ctx ~name:"root" ~repr:child_repr None;
+    root_lock = Instrument.mutex ctx ~name:"root_lock";
+    nodes = Hashtbl.create 64;
+    next_id = 0;
+    bugs;
+  }
+
+let node_of t id =
+  Sched.atomic t.ctx.Instrument.sched (fun () -> Hashtbl.find t.nodes id)
+
+(* Allocate and log a fresh node.  It is unreachable until a child pointer
+   (or the root) is pointed at it, so these writes never affect the view. *)
+let new_node t x =
+  let id =
+    Sched.atomic t.ctx.Instrument.sched (fun () ->
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        id)
+  in
+  let n =
+    {
+      id;
+      key = x;
+      key_cell = Cell.make t.ctx ~name:(key_var id) ~repr:(fun k -> Repr.Int k) x;
+      count = Cell.make t.ctx ~name:(count_var id) ~repr:(fun c -> Repr.Int c) 1;
+      left = Cell.make t.ctx ~name:(left_var id) ~repr:child_repr None;
+      right = Cell.make t.ctx ~name:(right_var id) ~repr:child_repr None;
+      lock = Instrument.mutex t.ctx ~name:(Printf.sprintf "n%d" id);
+    }
+  in
+  Sched.atomic t.ctx.Instrument.sched (fun () -> Hashtbl.replace t.nodes id n);
+  Cell.poke n.key_cell x;
+  Cell.poke n.count 1;
+  n
+
+let has_bug t b = List.mem b t.bugs
+
+(* Link a freshly created node at [dir_cell], which the caller found to be
+   empty while holding [parent_lock].  The buggy variant gives up the lock
+   before writing, opening the lost-subtree window of Table 1. *)
+let link_new t parent_lock dir_cell child =
+  if has_bug t Unlock_parent_early then begin
+    parent_lock.Sched.unlock ();
+    t.ctx.Instrument.sched.Sched.yield ();
+    Cell.set_and_commit dir_cell (Some child.id)
+  end
+  else begin
+    Cell.set_and_commit dir_cell (Some child.id);
+    parent_lock.Sched.unlock ()
+  end
+
+let insert t x =
+  let body () =
+    t.root_lock.Sched.lock ();
+    match Cell.get t.root with
+    | None ->
+      let n = new_node t x in
+      if has_bug t Unlock_parent_early then begin
+        t.root_lock.Sched.unlock ();
+        t.ctx.Instrument.sched.Sched.yield ();
+        Cell.set_and_commit t.root (Some n.id)
+      end
+      else begin
+        Cell.set_and_commit t.root (Some n.id);
+        t.root_lock.Sched.unlock ()
+      end;
+      Repr.success
+    | Some rid ->
+      let r = node_of t rid in
+      r.lock.Sched.lock ();
+      t.root_lock.Sched.unlock ();
+      let rec descend n =
+        if x = n.key then begin
+          Cell.set_and_commit n.count (Cell.get n.count + 1);
+          n.lock.Sched.unlock ();
+          Repr.success
+        end
+        else begin
+          let dir = if x < n.key then n.left else n.right in
+          match Cell.get dir with
+          | None ->
+            let nn = new_node t x in
+            link_new t n.lock dir nn;
+            Repr.success
+          | Some cid ->
+            let c = node_of t cid in
+            c.lock.Sched.lock ();
+            n.lock.Sched.unlock ();
+            descend c
+        end
+      in
+      descend r
+  in
+  let ret = Instrument.op t.ctx Multiset_spec.mid_insert [ Repr.Int x ] body in
+  if Repr.is_success ret then Success else Failure
+
+(* Hand-over-hand search shared by delete / lookup / count: runs [found]
+   with the node's lock held, or [absent] if the key is not in the tree. *)
+let search t x ~found ~absent =
+  t.root_lock.Sched.lock ();
+  match Cell.get t.root with
+  | None ->
+    t.root_lock.Sched.unlock ();
+    absent ()
+  | Some rid ->
+    let r = node_of t rid in
+    r.lock.Sched.lock ();
+    t.root_lock.Sched.unlock ();
+    let rec descend n =
+      if x = n.key then begin
+        let v = found n in
+        n.lock.Sched.unlock ();
+        v
+      end
+      else begin
+        let dir = if x < n.key then n.left else n.right in
+        match Cell.get dir with
+        | None ->
+          n.lock.Sched.unlock ();
+          absent ()
+        | Some cid ->
+          let c = node_of t cid in
+          c.lock.Sched.lock ();
+          n.lock.Sched.unlock ();
+          descend c
+      end
+    in
+    descend r
+
+let delete t x =
+  let body () =
+    search t x
+      ~found:(fun n ->
+        let c = Cell.get n.count in
+        if c > 0 then begin
+          Cell.set_and_commit n.count (c - 1);
+          Repr.Bool true
+        end
+        else Repr.Bool false)
+      ~absent:(fun () -> Repr.Bool false)
+  in
+  Instrument.op t.ctx Multiset_spec.mid_delete [ Repr.Int x ] body = Repr.Bool true
+
+let lookup t x =
+  let body () =
+    search t x
+      ~found:(fun n -> Repr.Bool (Cell.get n.count > 0))
+      ~absent:(fun () -> Repr.Bool false)
+  in
+  Instrument.op t.ctx Multiset_spec.mid_lookup [ Repr.Int x ] body = Repr.Bool true
+
+let count t x =
+  let body () =
+    search t x
+      ~found:(fun n -> Repr.Int (Cell.get n.count))
+      ~absent:(fun () -> Repr.Int 0)
+  in
+  match Instrument.op t.ctx Multiset_spec.mid_count [ Repr.Int x ] body with
+  | Repr.Int n -> n
+  | _ -> assert false
+
+let is_leaf_tombstone n =
+  Cell.get n.count = 0 && Cell.get n.left = None && Cell.get n.right = None
+
+(* One compression step: hand-over-hand sweep that unlinks at most one
+   tombstone leaf, so the execution has exactly one commit action. *)
+let compress t =
+  let body () =
+    let rec sweep n =
+      (* invariant: n.lock held; released before returning *)
+      let try_dir dir_cell =
+        match Cell.get dir_cell with
+        | None -> `Empty
+        | Some cid ->
+          let c = node_of t cid in
+          c.lock.Sched.lock ();
+          if is_leaf_tombstone c then begin
+            Cell.set_and_commit dir_cell None;
+            c.lock.Sched.unlock ();
+            `Pruned
+          end
+          else `Child c
+      in
+      match try_dir n.left with
+      | `Pruned ->
+        n.lock.Sched.unlock ();
+        true
+      | `Child c ->
+        n.lock.Sched.unlock ();
+        sweep c
+      | `Empty -> (
+        match try_dir n.right with
+        | `Pruned ->
+          n.lock.Sched.unlock ();
+          true
+        | `Child c ->
+          n.lock.Sched.unlock ();
+          sweep c
+        | `Empty ->
+          n.lock.Sched.unlock ();
+          false)
+    in
+    t.root_lock.Sched.lock ();
+    let pruned =
+      match Cell.get t.root with
+      | None ->
+        t.root_lock.Sched.unlock ();
+        false
+      | Some rid ->
+        let r = node_of t rid in
+        r.lock.Sched.lock ();
+        if is_leaf_tombstone r then begin
+          Cell.set_and_commit t.root None;
+          r.lock.Sched.unlock ();
+          t.root_lock.Sched.unlock ();
+          true
+        end
+        else begin
+          t.root_lock.Sched.unlock ();
+          sweep r
+        end
+    in
+    if not pruned then Instrument.commit t.ctx;
+    Repr.Unit
+  in
+  ignore (Instrument.op t.ctx Multiset_spec.mid_compress [] body)
+
+let viewdef : View.t =
+  View.Full
+    (fun lookup ->
+      let counts = Hashtbl.create 16 in
+      let visited = Hashtbl.create 16 in
+      let rec walk = function
+        | Some (Repr.Int id) when not (Hashtbl.mem visited id) ->
+          Hashtbl.replace visited id ();
+          (match (lookup (key_var id), lookup (count_var id)) with
+          | Some (Repr.Int key), Some (Repr.Int c) when c > 0 ->
+            Hashtbl.replace counts key
+              (c + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          | _ -> ());
+          walk (lookup (left_var id));
+          walk (lookup (right_var id))
+        | Some _ | None -> ()
+      in
+      walk (lookup "root");
+      View.canonical_of_assoc
+        (Hashtbl.fold (fun x n acc -> (Repr.Int x, Repr.Int n) :: acc) counts []))
+
+let unsafe_contents t =
+  let acc = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some id ->
+      let n = Hashtbl.find t.nodes id in
+      let c = Cell.peek n.count in
+      if c > 0 then acc := (n.key, c) :: !acc;
+      walk (Cell.peek n.left);
+      walk (Cell.peek n.right)
+  in
+  walk (Cell.peek t.root);
+  List.sort compare !acc

@@ -1,0 +1,36 @@
+(** Binary-search-tree multiset with hand-over-hand (lock-crabbing)
+    traversal and a concurrent compression thread (§7.4.2).
+
+    Each key has at most one node carrying an occurrence count; deleting the
+    last occurrence leaves a count-0 tombstone that [compress] later unlinks
+    when it has become a leaf.  Compression is an {e internal} method: its
+    specification transition is the identity, and view refinement checks
+    that pruning never changes the abstract bag (§7.2.3).
+
+    The injectable bug is the "unlocking parent before insertion" row of
+    Table 1: the parent's lock is released before the new node is linked, so
+    two concurrent inserts below the same link can overwrite each other and
+    lose a whole subtree. *)
+
+type bug = Unlock_parent_early
+
+type t
+
+val create : ?bugs:bug list -> Vyrd.Instrument.ctx -> t
+
+type outcome = Multiset_vector.outcome = Success | Failure
+
+val insert : t -> int -> outcome
+val delete : t -> int -> bool
+val lookup : t -> int -> bool
+val count : t -> int -> int
+
+(** One compression step: unlinks at most one tombstone leaf.  Runs as an
+    internal method execution with exactly one commit action. *)
+val compress : t -> unit
+
+(** [viewdef] walks the shadow tree from the logged root pointer and bags up
+    (key, multiplicity) pairs of live nodes. *)
+val viewdef : Vyrd.View.t
+
+val unsafe_contents : t -> (int * int) list

@@ -1,0 +1,73 @@
+open Vyrd
+
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let multiplicity t x = Option.value ~default:0 (Hashtbl.find_opt t x)
+
+let add t x = Hashtbl.replace t x (multiplicity t x + 1)
+
+let remove t x =
+  match multiplicity t x with
+  | 0 -> false
+  | 1 ->
+    Hashtbl.remove t x;
+    true
+  | n ->
+    Hashtbl.replace t x (n - 1);
+    true
+
+let bad fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let az_apply t ~mid ~args ~ret =
+  match (mid, args, ret) with
+  | "insert", [ Repr.Int x ], ret when Repr.is_success ret ->
+    add t x;
+    Ok ()
+  | "insert", [ Repr.Int _ ], ret when Repr.equal ret Repr.failure -> Ok ()
+  | "insert_pair", [ Repr.Int x; Repr.Int y ], ret when Repr.is_success ret ->
+    add t x;
+    add t y;
+    Ok ()
+  | "insert_pair", [ Repr.Int _; Repr.Int _ ], ret when Repr.equal ret Repr.failure ->
+    Ok ()
+  | "delete", [ Repr.Int x ], Repr.Bool true ->
+    if remove t x then Ok ()
+    else bad "delete(%d) returned true but %d is not in the multiset" x x
+  | "delete", [ Repr.Int x ], Repr.Bool false ->
+    if multiplicity t x = 0 then Ok ()
+    else bad "delete(%d) returned false but %d is in the multiset" x x
+  | "compress", [], Repr.Unit -> Ok ()
+  | mid, _, _ -> bad "atomized multiset: no %s transition matches" mid
+
+let az_observe t ~mid ~args ~ret =
+  match (mid, args, ret) with
+  | "lookup", [ Repr.Int x ], Repr.Bool b -> b = (multiplicity t x > 0)
+  | "count", [ Repr.Int x ], Repr.Int n -> n = multiplicity t x
+  (* Non-committing executions of mutators: exceptional terminations are
+     always allowed; mutating return values are not. *)
+  | ("insert" | "insert_pair"), _, ret -> Repr.equal ret Repr.failure
+  | "delete", [ Repr.Int x ], Repr.Bool false -> multiplicity t x = 0
+  | _ -> false
+
+let az_view t =
+  View.canonical_of_assoc
+    (Hashtbl.fold (fun x n acc -> (Repr.Int x, Repr.Int n) :: acc) t [])
+
+let spec =
+  Atomize.spec
+    {
+      Atomize.az_name = "multiset-atomized";
+      az_create = create;
+      az_copy = Hashtbl.copy;
+      az_kind =
+        (fun mid ->
+          match mid with
+          | "insert" | "insert_pair" | "delete" -> Spec.Mutator
+          | "lookup" | "count" -> Spec.Observer
+          | "compress" -> Spec.Internal
+          | m -> invalid_arg ("atomized multiset: unknown method " ^ m));
+      az_apply;
+      az_observe;
+      az_view;
+    }

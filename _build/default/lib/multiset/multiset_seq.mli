@@ -1,0 +1,16 @@
+(** Sequential multiset used as an atomized specification (paper §4.4).
+
+    When a separate specification is not available, the implementation's own
+    atomized interpretation serves as one: methods run atomically, take the
+    observed return value as an extra input, and update a plain imperative
+    bag.  {!spec} packages this interpretation through {!Vyrd.Atomize}. *)
+
+type t
+
+val create : unit -> t
+val multiplicity : t -> int -> int
+
+(** The multiset specification derived from the atomized sequential code.
+    Behaviourally equivalent to {!Multiset_spec.spec}; tests check that the
+    two are interchangeable. *)
+val spec : Vyrd.Spec.t

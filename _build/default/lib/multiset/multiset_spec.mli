@@ -1,0 +1,30 @@
+(** Executable specification of the multiset (paper Fig. 1, §2.1).
+
+    Abstract state: a bag of integers.  Methods:
+
+    - ["insert"] [x] → [success] adds one occurrence of [x]; [failure]
+      (resource contention / full array) leaves the bag unchanged;
+    - ["insert_pair"] [x y] → [success] adds one occurrence of each;
+      [failure] leaves the bag unchanged — inserting only one of the two is
+      a refinement violation;
+    - ["delete"] [x] → [true] removes one occurrence (only allowed when
+      present); [false] is allowed only when [x] is absent;
+    - ["lookup"] [x] (observer) → membership;
+    - ["count"] [x] (observer) → multiplicity;
+    - ["compress"] (internal) → identity on the abstract state. *)
+
+val spec : Vyrd.Spec.t
+
+(** The abstract bag, exposed for white-box tests. *)
+type state = int Map.Make(Int).t
+
+val view_of_state : state -> Vyrd.Repr.t
+
+(** {1 Method-call encodings} — shared by implementations and tests. *)
+
+val mid_insert : string
+val mid_insert_pair : string
+val mid_delete : string
+val mid_lookup : string
+val mid_count : string
+val mid_compress : string

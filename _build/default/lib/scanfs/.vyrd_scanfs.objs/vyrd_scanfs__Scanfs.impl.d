@@ -1,0 +1,1 @@
+lib/scanfs/scanfs.ml: Array Checker Fun Hashtbl Instrument List Map Option Printf Repr Spec String View Vyrd Vyrd_sched

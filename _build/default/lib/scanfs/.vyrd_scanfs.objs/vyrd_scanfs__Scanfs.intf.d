@@ -1,0 +1,1 @@
+lib/scanfs/scanfs.mli: Vyrd

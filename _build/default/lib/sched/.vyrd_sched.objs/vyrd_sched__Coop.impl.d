@@ -1,0 +1,1 @@
+lib/sched/coop.ml: Array Buffer Effect List Printexc Printf Prng Sched String Tid Vec

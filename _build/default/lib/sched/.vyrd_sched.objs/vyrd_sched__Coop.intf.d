@@ -1,0 +1,1 @@
+lib/sched/coop.mli: Sched Tid

@@ -1,0 +1,1 @@
+lib/sched/native.ml: Condition Hashtbl List Mutex Printexc Printf Sched Thread Tid

@@ -1,0 +1,1 @@
+lib/sched/native.mli: Sched

@@ -1,0 +1,1 @@
+lib/sched/prng.ml: Int64

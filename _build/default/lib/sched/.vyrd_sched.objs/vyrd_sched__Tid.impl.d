@@ -1,0 +1,1 @@
+lib/sched/tid.ml: Format Int

@@ -1,0 +1,1 @@
+lib/sched/vec.ml: Array List Printf

@@ -1,0 +1,307 @@
+open Effect
+open Effect.Deep
+
+exception Deadlock of string
+exception Livelock of int
+
+type stats = { steps : int; threads : int }
+
+type task =
+  | Start of (unit -> unit)
+  | Resume of (unit, unit) continuation
+
+type choice = { candidates : Tid.t array; running : Tid.t option }
+
+(* Effects performed by fibers; handled by the trampoline in [run]. *)
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Spawn : (unit -> unit) -> unit Effect.t
+  | Suspend : (Tid.t -> (unit, unit) continuation -> unit) -> unit Effect.t
+
+type cmutex = {
+  cm_name : string;
+  mutable cm_owner : Tid.t option;
+  mutable cm_depth : int;
+  cm_waiters : (Tid.t * (unit, unit) continuation) Vec.t;
+}
+
+type crwlock = {
+  crw_name : string;
+  mutable crw_readers : int;
+  mutable crw_writer : Tid.t option;
+  crw_read_waiters : (Tid.t * (unit, unit) continuation) Vec.t;
+  crw_write_waiters : (Tid.t * (unit, unit) continuation) Vec.t;
+}
+
+type state = {
+  decide : choice -> int;  (* scheduling decisions over labeled candidates *)
+  mutable last_ran : Tid.t option;  (* tid of the previously executed slice *)
+  runq : (Tid.t * task) Vec.t;
+  mutable current : Tid.t;
+  mutable live : int;
+  mutable next_tid : int;
+  mutable steps : int;
+  mutable in_atomic : bool;
+  mutable first_exn : (exn * Printexc.raw_backtrace) option;
+  max_steps : int;
+  mutexes : cmutex Vec.t;  (* registry, for deadlock diagnostics *)
+}
+
+let fresh_tid st =
+  let t = st.next_tid in
+  st.next_tid <- t + 1;
+  t
+
+let record_exn st e bt = if st.first_exn = None then st.first_exn <- Some (e, bt)
+
+let make_runnable st tid k = Vec.push st.runq (tid, Resume k)
+
+(* A scheduling point.  Inside an [atomically] section control must not
+   transfer, so the yield is suppressed. *)
+let sched_point st = if not st.in_atomic then perform Yield
+
+let deadlock_message st =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "deadlock: %d thread(s) blocked and none runnable" st.live);
+  let describe m =
+    match m.cm_owner with
+    | Some owner when Vec.length m.cm_waiters > 0 ->
+      let waiters =
+        Vec.to_list m.cm_waiters
+        |> List.map (fun (t, _) -> Tid.to_string t)
+        |> String.concat ","
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "; mutex %S held by %s, waited on by {%s}" m.cm_name
+           (Tid.to_string owner) waiters)
+    | Some _ | None -> ()
+  in
+  Vec.iter describe st.mutexes;
+  Buffer.contents buf
+
+let new_mutex st ?(name = "mutex") () : Sched.mutex =
+  let m =
+    { cm_name = name; cm_owner = None; cm_depth = 0; cm_waiters = Vec.create () }
+  in
+  Vec.push st.mutexes m;
+  let lock () =
+    sched_point st;
+    let me = st.current in
+    match m.cm_owner with
+    | Some t when Tid.equal t me -> m.cm_depth <- m.cm_depth + 1
+    | None ->
+      m.cm_owner <- Some me;
+      m.cm_depth <- 1
+    | Some _ ->
+      (* Ownership is handed to us by [unlock] before we are resumed. *)
+      perform (Suspend (fun tid k -> Vec.push m.cm_waiters (tid, k)))
+  in
+  let unlock () =
+    let me = st.current in
+    (match m.cm_owner with
+    | Some t when Tid.equal t me -> ()
+    | Some t ->
+      invalid_arg
+        (Printf.sprintf "unlock: mutex %S held by %s, released by %s" name
+           (Tid.to_string t) (Tid.to_string me))
+    | None -> invalid_arg (Printf.sprintf "unlock: mutex %S is not held" name));
+    m.cm_depth <- m.cm_depth - 1;
+    if m.cm_depth = 0 then
+      if Vec.is_empty m.cm_waiters then m.cm_owner <- None
+      else begin
+        let candidates =
+          Array.init (Vec.length m.cm_waiters) (fun i -> fst (Vec.get m.cm_waiters i))
+        in
+        let i = st.decide { candidates; running = None } in
+        let tid, k = Vec.swap_remove m.cm_waiters i in
+        m.cm_owner <- Some tid;
+        m.cm_depth <- 1;
+        make_runnable st tid k
+      end
+  in
+  let try_lock () =
+    let me = st.current in
+    match m.cm_owner with
+    | Some t when Tid.equal t me ->
+      m.cm_depth <- m.cm_depth + 1;
+      true
+    | None ->
+      m.cm_owner <- Some me;
+      m.cm_depth <- 1;
+      true
+    | Some _ -> false
+  in
+  { lock; unlock; try_lock; holder = (fun () -> m.cm_owner); mutex_name = name }
+
+let new_rwlock st ?(name = "rwlock") () : Sched.rwlock =
+  let l =
+    {
+      crw_name = name;
+      crw_readers = 0;
+      crw_writer = None;
+      crw_read_waiters = Vec.create ();
+      crw_write_waiters = Vec.create ();
+    }
+  in
+  let wake_one_writer () =
+    let candidates =
+      Array.init (Vec.length l.crw_write_waiters) (fun i ->
+          fst (Vec.get l.crw_write_waiters i))
+    in
+    let i = st.decide { candidates; running = None } in
+    let tid, k = Vec.swap_remove l.crw_write_waiters i in
+    l.crw_writer <- Some tid;
+    make_runnable st tid k
+  in
+  let wake_all_readers () =
+    l.crw_readers <- l.crw_readers + Vec.length l.crw_read_waiters;
+    Vec.iter (fun (tid, k) -> make_runnable st tid k) l.crw_read_waiters;
+    Vec.clear l.crw_read_waiters
+  in
+  let begin_read () =
+    sched_point st;
+    (* Writer preference: incoming readers queue behind waiting writers. *)
+    if l.crw_writer = None && Vec.is_empty l.crw_write_waiters then
+      l.crw_readers <- l.crw_readers + 1
+    else perform (Suspend (fun tid k -> Vec.push l.crw_read_waiters (tid, k)))
+  in
+  let end_read () =
+    if l.crw_readers <= 0 then
+      invalid_arg (Printf.sprintf "end_read: rwlock %S has no readers" name);
+    l.crw_readers <- l.crw_readers - 1;
+    if l.crw_readers = 0 && not (Vec.is_empty l.crw_write_waiters) then
+      wake_one_writer ()
+  in
+  let begin_write () =
+    sched_point st;
+    if l.crw_writer = None && l.crw_readers = 0 then l.crw_writer <- Some st.current
+    else perform (Suspend (fun tid k -> Vec.push l.crw_write_waiters (tid, k)))
+  in
+  let end_write () =
+    (match l.crw_writer with
+    | Some t when Tid.equal t st.current -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "end_write: rwlock %S not held by caller" name));
+    l.crw_writer <- None;
+    if not (Vec.is_empty l.crw_write_waiters) then wake_one_writer ()
+    else if not (Vec.is_empty l.crw_read_waiters) then wake_all_readers ()
+  in
+  { begin_read; end_read; begin_write; end_write; rwlock_name = name }
+
+let sched_of_state st : Sched.t =
+  let atomically : Sched.atomically =
+    {
+      run_atomically =
+        (fun f ->
+          if st.in_atomic then f ()
+          else begin
+            st.in_atomic <- true;
+            match f () with
+            | v ->
+              st.in_atomic <- false;
+              v
+            | exception e ->
+              st.in_atomic <- false;
+              raise e
+          end);
+    }
+  in
+  {
+    engine = "coop";
+    spawn = (fun ?tname f -> ignore tname; perform (Spawn f));
+    yield = (fun () -> sched_point st);
+    self = (fun () -> st.current);
+    new_mutex = (fun ?name () -> new_mutex st ?name ());
+    new_rwlock = (fun ?name () -> new_rwlock st ?name ());
+    atomically;
+  }
+
+let run_with_stats ?(seed = 0) ?(max_steps = 20_000_000) ?decide main =
+  let decide =
+    match decide with
+    | Some f -> f
+    | None ->
+      let rng = Prng.create seed in
+      fun c -> Prng.int rng (Array.length c.candidates)
+  in
+  let st =
+    {
+      decide;
+      last_ran = None;
+      runq = Vec.create ();
+      current = 0;
+      live = 0;
+      next_tid = 0;
+      steps = 0;
+      in_atomic = false;
+      first_exn = None;
+      max_steps;
+      mutexes = Vec.create ();
+    }
+  in
+  let sched = sched_of_state st in
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> st.live <- st.live - 1);
+      exnc =
+        (fun e ->
+          record_exn st e (Printexc.get_raw_backtrace ());
+          st.live <- st.live - 1);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                make_runnable st st.current k)
+          | Spawn f ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let tid = fresh_tid st in
+                st.live <- st.live + 1;
+                Vec.push st.runq (tid, Start f);
+                make_runnable st st.current k)
+          | Suspend register ->
+            Some (fun (k : (a, unit) continuation) -> register st.current k)
+          | _ -> None);
+    }
+  in
+  let exec_start f = match_with f () handler in
+  let main_tid = fresh_tid st in
+  st.live <- st.live + 1;
+  Vec.push st.runq (main_tid, Start (fun () -> main sched));
+  let rec loop () =
+    if Vec.is_empty st.runq then begin
+      if st.live > 0 then
+        match st.first_exn with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> raise (Deadlock (deadlock_message st))
+    end
+    else begin
+      st.steps <- st.steps + 1;
+      if st.steps > st.max_steps then raise (Livelock st.steps);
+      let candidates =
+        Array.init (Vec.length st.runq) (fun i -> fst (Vec.get st.runq i))
+      in
+      let running =
+        match st.last_ran with
+        | Some t when Array.exists (Tid.equal t) candidates -> Some t
+        | Some _ | None -> None
+      in
+      let i = st.decide { candidates; running } in
+      let tid, task = Vec.swap_remove st.runq i in
+      st.current <- tid;
+      st.last_ran <- Some tid;
+      (match task with Start f -> exec_start f | Resume k -> continue k ());
+      loop ()
+    end
+  in
+  loop ();
+  (match st.first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  { steps = st.steps; threads = st.next_tid }
+
+let run ?seed ?max_steps ?decide main =
+  ignore (run_with_stats ?seed ?max_steps ?decide main)

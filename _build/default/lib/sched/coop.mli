@@ -1,0 +1,47 @@
+(** Deterministic cooperative scheduling engine.
+
+    Threads are fibers multiplexed on the host thread with OCaml 5 effect
+    handlers.  Control transfers only at scheduling points — {!Sched.t.yield},
+    lock acquisition, and thread spawn — and every choice among runnable
+    fibers (and among lock waiters) is drawn from a seeded PRNG, so an entire
+    concurrent execution is a deterministic function of [seed].
+
+    This is what makes the paper's measurements reproducible: "number of
+    methods executed before the first refinement violation" (Table 1) is
+    obtained by sweeping seeds rather than by racing a real machine. *)
+
+exception Deadlock of string
+(** All unfinished threads are blocked on locks. *)
+
+exception Livelock of int
+(** More scheduling points than [max_steps] were executed. *)
+
+type stats = {
+  steps : int;  (** scheduling points executed *)
+  threads : int;  (** total threads created, including the main thread *)
+}
+
+(** One scheduling decision: pick an index into [candidates] (the thread
+    each choice would run).  For run-queue picks, [running] is the thread
+    whose slice just ended, when it is still a candidate — choosing anything
+    else is a {e preemption}.  Lock-waiter wake-ups have [running = None]. *)
+type choice = { candidates : Tid.t array; running : Tid.t option }
+
+(** [run ?seed ?max_steps ?decide main] executes [main sched] plus
+    everything it spawns to completion.  The first exception raised by any
+    thread is re-raised after the run winds down.
+
+    Every scheduling decision — which runnable fiber continues, which lock
+    waiter is woken — draws from [decide choice] (an index into
+    [choice.candidates]).  The default derives decisions from [seed]'s PRNG;
+    {!Explore} supplies scripted policies to enumerate schedules
+    systematically.
+
+    @param seed scheduling seed (default [0]); ignored when [decide] is given
+    @param max_steps livelock guard (default [20_000_000]) *)
+val run :
+  ?seed:int -> ?max_steps:int -> ?decide:(choice -> int) -> (Sched.t -> unit) -> unit
+
+(** Same as {!run} but also returns scheduling statistics. *)
+val run_with_stats :
+  ?seed:int -> ?max_steps:int -> ?decide:(choice -> int) -> (Sched.t -> unit) -> stats

@@ -1,0 +1,193 @@
+type state = {
+  registry : Mutex.t;
+  tids : (int, Tid.t) Hashtbl.t;  (* Thread.id -> our tid *)
+  mutable next_tid : int;
+  mutable threads : Thread.t list;
+  mutable first_exn : (exn * Printexc.raw_backtrace) option;
+  global : Mutex.t;  (* backs [atomically] *)
+}
+
+let with_mutex m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let self st () =
+  with_mutex st.registry (fun () ->
+      match Hashtbl.find_opt st.tids (Thread.id (Thread.self ())) with
+      | Some t -> t
+      | None -> invalid_arg "Native.self: thread not managed by this engine")
+
+let no_owner = -1
+
+type nmutex = {
+  nm : Mutex.t;
+  mutable nm_owner : int;  (* our tid, or [no_owner] *)
+  mutable nm_depth : int;
+}
+
+let new_mutex st ?(name = "mutex") () : Sched.mutex =
+  let m = { nm = Mutex.create (); nm_owner = no_owner; nm_depth = 0 } in
+  let lock () =
+    let me = self st () in
+    if m.nm_owner = me then m.nm_depth <- m.nm_depth + 1
+    else begin
+      Mutex.lock m.nm;
+      m.nm_owner <- me;
+      m.nm_depth <- 1
+    end
+  in
+  let unlock () =
+    let me = self st () in
+    if m.nm_owner <> me then
+      invalid_arg (Printf.sprintf "unlock: mutex %S not held by caller" name);
+    m.nm_depth <- m.nm_depth - 1;
+    if m.nm_depth = 0 then begin
+      m.nm_owner <- no_owner;
+      Mutex.unlock m.nm
+    end
+  in
+  let try_lock () =
+    let me = self st () in
+    if m.nm_owner = me then begin
+      m.nm_depth <- m.nm_depth + 1;
+      true
+    end
+    else if Mutex.try_lock m.nm then begin
+      m.nm_owner <- me;
+      m.nm_depth <- 1;
+      true
+    end
+    else false
+  in
+  let holder () = if m.nm_owner = no_owner then None else Some m.nm_owner in
+  { lock; unlock; try_lock; holder; mutex_name = name }
+
+type nrwlock = {
+  rw : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;
+  mutable writing : bool;
+  mutable writers_waiting : int;
+}
+
+let new_rwlock _st ?(name = "rwlock") () : Sched.rwlock =
+  let l =
+    {
+      rw = Mutex.create ();
+      can_read = Condition.create ();
+      can_write = Condition.create ();
+      readers = 0;
+      writing = false;
+      writers_waiting = 0;
+    }
+  in
+  let begin_read () =
+    with_mutex l.rw (fun () ->
+        while l.writing || l.writers_waiting > 0 do
+          Condition.wait l.can_read l.rw
+        done;
+        l.readers <- l.readers + 1)
+  in
+  let end_read () =
+    with_mutex l.rw (fun () ->
+        if l.readers <= 0 then
+          invalid_arg (Printf.sprintf "end_read: rwlock %S has no readers" name);
+        l.readers <- l.readers - 1;
+        if l.readers = 0 then Condition.signal l.can_write)
+  in
+  let begin_write () =
+    with_mutex l.rw (fun () ->
+        l.writers_waiting <- l.writers_waiting + 1;
+        while l.writing || l.readers > 0 do
+          Condition.wait l.can_write l.rw
+        done;
+        l.writers_waiting <- l.writers_waiting - 1;
+        l.writing <- true)
+  in
+  let end_write () =
+    with_mutex l.rw (fun () ->
+        if not l.writing then
+          invalid_arg (Printf.sprintf "end_write: rwlock %S not write-held" name);
+        l.writing <- false;
+        if l.writers_waiting > 0 then Condition.signal l.can_write
+        else Condition.broadcast l.can_read)
+  in
+  { begin_read; end_read; begin_write; end_write; rwlock_name = name }
+
+let run main =
+  let st =
+    {
+      registry = Mutex.create ();
+      tids = Hashtbl.create 16;
+      next_tid = 0;
+      threads = [];
+      first_exn = None;
+      global = Mutex.create ();
+    }
+  in
+  let record_exn e bt =
+    with_mutex st.registry (fun () ->
+        if st.first_exn = None then st.first_exn <- Some (e, bt))
+  in
+  let fresh_tid () =
+    with_mutex st.registry (fun () ->
+        let t = st.next_tid in
+        st.next_tid <- t + 1;
+        t)
+  in
+  let register_current tid =
+    with_mutex st.registry (fun () ->
+        Hashtbl.replace st.tids (Thread.id (Thread.self ())) tid)
+  in
+  let spawn ?tname f =
+    ignore tname;
+    let tid = fresh_tid () in
+    let body () =
+      register_current tid;
+      try f ()
+      with e -> record_exn e (Printexc.get_raw_backtrace ())
+    in
+    let th = Thread.create body () in
+    with_mutex st.registry (fun () -> st.threads <- th :: st.threads)
+  in
+  let atomically : Sched.atomically =
+    { run_atomically = (fun f -> with_mutex st.global f) }
+  in
+  let sched : Sched.t =
+    {
+      engine = "native";
+      spawn;
+      yield = Thread.yield;
+      self = self st;
+      new_mutex = (fun ?name () -> new_mutex st ?name ());
+      new_rwlock = (fun ?name () -> new_rwlock st ?name ());
+      atomically;
+    }
+  in
+  let main_tid = fresh_tid () in
+  register_current main_tid;
+  (try main sched with e -> record_exn e (Printexc.get_raw_backtrace ()));
+  (* Threads may spawn further threads; drain until the list is stable. *)
+  let rec drain () =
+    let batch =
+      with_mutex st.registry (fun () ->
+          let ts = st.threads in
+          st.threads <- [];
+          ts)
+    in
+    if batch <> [] then begin
+      List.iter Thread.join batch;
+      drain ()
+    end
+  in
+  drain ();
+  match st.first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

@@ -1,0 +1,13 @@
+(** Preemptive engine backed by real system threads.
+
+    Interleavings are whatever the operating system produces, so runs are
+    not reproducible; this engine exists to demonstrate that the library and
+    the instrumented data structures are engine-independent, and to measure
+    logging overhead under genuine preemption.
+
+    [yield] maps to [Thread.yield]; mutexes are reentrant wrappers over
+    [Mutex.t]; [atomically] is a single global lock. *)
+
+(** [run main] executes [main sched], waits for every spawned thread, and
+    re-raises the first exception any thread raised. *)
+val run : (Sched.t -> unit) -> unit

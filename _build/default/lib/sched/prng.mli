@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The cooperative scheduler must be a pure function of its seed, so it
+    cannot share the global [Random] state with user code.  This generator is
+    small, fast, and completely self-contained. *)
+
+type t
+
+val create : int -> t
+
+(** [int t bound] returns a uniform value in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [bool t] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [bits64 t] returns the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [split t] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state. *)
+val copy : t -> t

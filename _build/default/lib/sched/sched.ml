@@ -1,0 +1,59 @@
+type mutex = {
+  lock : unit -> unit;
+  unlock : unit -> unit;
+  try_lock : unit -> bool;
+  holder : unit -> Tid.t option;
+  mutex_name : string;
+}
+
+type rwlock = {
+  begin_read : unit -> unit;
+  end_read : unit -> unit;
+  begin_write : unit -> unit;
+  end_write : unit -> unit;
+  rwlock_name : string;
+}
+
+type t = {
+  engine : string;
+  spawn : ?tname:string -> (unit -> unit) -> unit;
+  yield : unit -> unit;
+  self : unit -> Tid.t;
+  new_mutex : ?name:string -> unit -> mutex;
+  new_rwlock : ?name:string -> unit -> rwlock;
+  atomically : atomically;
+}
+
+and atomically = { run_atomically : 'a. (unit -> 'a) -> 'a }
+
+let with_lock m f =
+  m.lock ();
+  match f () with
+  | v ->
+    m.unlock ();
+    v
+  | exception e ->
+    m.unlock ();
+    raise e
+
+let with_read l f =
+  l.begin_read ();
+  match f () with
+  | v ->
+    l.end_read ();
+    v
+  | exception e ->
+    l.end_read ();
+    raise e
+
+let with_write l f =
+  l.begin_write ();
+  match f () with
+  | v ->
+    l.end_write ();
+    v
+  | exception e ->
+    l.end_write ();
+    raise e
+
+let atomic t f = t.atomically.run_atomically f

@@ -1,0 +1,54 @@
+(** Engine-independent scheduler interface.
+
+    Every concurrent data structure in this repository is written against a
+    {!t} handle rather than a concrete threading library, so the same code
+    runs under the deterministic cooperative engine ({!Coop}) used for
+    reproducible experiments and under real system threads ({!Native}).
+
+    Mutexes are reentrant, matching the [synchronized] blocks of the paper's
+    Java/C# pseudocode. *)
+
+type mutex = {
+  lock : unit -> unit;
+  unlock : unit -> unit;
+  try_lock : unit -> bool;
+  holder : unit -> Tid.t option;  (** owning thread, if any (diagnostics) *)
+  mutex_name : string;
+}
+
+(** Reader/writer lock with writer preference, as used by Boxwood's
+    RECLAIMLOCK. *)
+type rwlock = {
+  begin_read : unit -> unit;
+  end_read : unit -> unit;
+  begin_write : unit -> unit;
+  end_write : unit -> unit;
+  rwlock_name : string;
+}
+
+type t = {
+  engine : string;  (** ["coop"] or ["native"] *)
+  spawn : ?tname:string -> (unit -> unit) -> unit;
+      (** start a new thread; the run terminates when all threads finish *)
+  yield : unit -> unit;  (** scheduling point *)
+  self : unit -> Tid.t;
+  new_mutex : ?name:string -> unit -> mutex;
+  new_rwlock : ?name:string -> unit -> rwlock;
+  atomically : atomically;
+      (** run a thunk with no scheduling point inside; used to couple a
+          shared-memory action with its log record (paper §4.2) *)
+}
+
+and atomically = { run_atomically : 'a. (unit -> 'a) -> 'a }
+
+(** [with_lock m f] runs [f ()] while holding [m], releasing it on any exit
+    (the [synchronized] statement). *)
+val with_lock : mutex -> (unit -> 'a) -> 'a
+
+(** [with_read l f] / [with_write l f]: scoped reader/writer sections. *)
+val with_read : rwlock -> (unit -> 'a) -> 'a
+
+val with_write : rwlock -> (unit -> 'a) -> 'a
+
+(** [atomic t f] is [t.atomically.run_atomically f]. *)
+val atomic : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,6 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let to_string t = "T" ^ string_of_int t
+let pp ppf t = Format.pp_print_string ppf (to_string t)

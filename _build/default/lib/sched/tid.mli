@@ -1,0 +1,14 @@
+(** Thread identifiers.
+
+    Both scheduler engines assign small consecutive integers to the threads
+    they manage; identifier [0] always denotes the main thread of a run. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [to_string t] renders as ["T<n>"], the notation used in the paper's
+    figures. *)
+val to_string : t -> string

@@ -1,0 +1,70 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+let is_empty v = v.len = 0
+
+let ensure v n =
+  let cap = Array.length v.data in
+  if n > cap then begin
+    let cap' = max n (max 8 (2 * cap)) in
+    (* The spare slots hold duplicates of an existing element until
+       overwritten; they are never observable through the interface. *)
+    let data' = Array.make cap' v.data.(0) in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+let push v x =
+  if Array.length v.data = 0 then v.data <- Array.make 8 x else ensure v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let check v i op =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" op i v.len)
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let swap_remove v i =
+  check v i "swap_remove";
+  let x = v.data.(i) in
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  x
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let clear v = v.len <- 0
+
+let sub_list v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Vec.sub_list";
+  List.init len (fun i -> v.data.(pos + i))

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Checker Coop Event Instrument Linearize List Log Multiset_spec Multiset_vector Printf Prng Reduction Report Repr String Vyrd Vyrd_baselines Vyrd_multiset Vyrd_sched

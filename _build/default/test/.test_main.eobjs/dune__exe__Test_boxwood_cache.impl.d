@@ -1,0 +1,1 @@
+test/test_boxwood_cache.ml: Alcotest Cache Char Checker Chunk_manager Coop Instrument List Log Printf Prng Report String Vyrd Vyrd_boxwood Vyrd_sched

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Checker Coop Event Instrument Log Multiset_spec Multiset_vector Printf Prng Report Repr Spec_compose Vector Vyrd Vyrd_jlib Vyrd_multiset Vyrd_sched

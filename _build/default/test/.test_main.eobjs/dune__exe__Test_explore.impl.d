@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Checker Explore Instrument List Log Multiset_spec Multiset_vector Printf Reference Report Sched Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Checker Harness List Log Printf Report Subjects Vyrd Vyrd_harness

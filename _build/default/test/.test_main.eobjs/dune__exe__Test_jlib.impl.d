@@ -1,0 +1,1 @@
+test/test_jlib.ml: Alcotest Checker Coop Instrument Log Printf Prng Report String String_buffer Vector Vyrd Vyrd_jlib Vyrd_sched

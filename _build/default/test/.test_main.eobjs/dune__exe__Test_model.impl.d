@@ -1,0 +1,1 @@
+test/test_model.ml: Array Char Coop Hashtbl Instrument List Log Option QCheck2 QCheck_alcotest String Vyrd Vyrd_boxwood Vyrd_jlib Vyrd_multiset Vyrd_scanfs Vyrd_sched

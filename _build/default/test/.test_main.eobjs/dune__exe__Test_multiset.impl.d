@@ -1,0 +1,1 @@
+test/test_multiset.ml: Alcotest Checker Coop Event Instrument Log Multiset_btree Multiset_seq Multiset_spec Multiset_vector Printf Prng Report Repr Vyrd Vyrd_multiset Vyrd_sched

@@ -1,0 +1,1 @@
+test/test_native_stress.ml: Alcotest Atomic Checker Harness Instrument List Log Online Printf Report Subjects Vyrd Vyrd_harness Vyrd_sched

@@ -1,0 +1,1 @@
+test/test_scanfs.ml: Alcotest Array Char Checker Coop Instrument Log Printf Prng Report Scanfs String Vyrd Vyrd_scanfs Vyrd_sched

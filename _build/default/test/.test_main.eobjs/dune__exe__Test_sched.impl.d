@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Buffer Coop Fun Gen List Native Printf Prng QCheck2 QCheck_alcotest Sched String Vec Vyrd_sched

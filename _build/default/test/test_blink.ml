@@ -1,0 +1,264 @@
+(* Tests for the B-link tree: sequential semantics, concurrent refinement,
+   compression, the duplicate-data-node bug, and the cached-store stack. *)
+
+open Vyrd
+open Vyrd_sched
+open Vyrd_boxwood
+
+let assert_pass what report =
+  if not (Report.is_pass report) then
+    Alcotest.failf "%s: expected pass, got %a" what Report.pp report
+
+let check_io log = Checker.check ~mode:`Io log Blink_tree.spec
+
+let check_view log =
+  Checker.check ~mode:`View ~view:Blink_tree.viewdef log Blink_tree.spec
+
+(* --- sequential semantics -------------------------------------------- *)
+
+let test_sequential_map_semantics () =
+  let log = Log.create ~level:`View () in
+  Coop.run (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~order:4 (Bnode.mem_store ctx) ctx in
+      for k = 1 to 40 do
+        Blink_tree.insert tree k (k * 10)
+      done;
+      Alcotest.(check (option int)) "lookup present" (Some 70) (Blink_tree.lookup tree 7);
+      Alcotest.(check (option int)) "lookup absent" None (Blink_tree.lookup tree 99);
+      Blink_tree.insert tree 7 777;
+      Alcotest.(check (option int)) "overwrite" (Some 777) (Blink_tree.lookup tree 7);
+      Alcotest.(check bool) "delete present" true (Blink_tree.delete tree 7);
+      Alcotest.(check bool) "delete absent" false (Blink_tree.delete tree 7);
+      Alcotest.(check (option int)) "deleted" None (Blink_tree.lookup tree 7);
+      Alcotest.(check int) "size" 39 (List.length (Blink_tree.unsafe_contents tree));
+      Alcotest.(check bool) "tree grew in height" true (Blink_tree.unsafe_height tree > 1);
+      let expected =
+        List.filter (fun k -> k <> 7) (List.init 40 (fun i -> i + 1))
+        |> List.map (fun k -> (k, k * 10))
+      in
+      Alcotest.(check (list (pair int int))) "contents" expected
+        (Blink_tree.unsafe_contents tree));
+  assert_pass "sequential tree io" (check_io log);
+  assert_pass "sequential tree view" (check_view log)
+
+let test_sequential_descending_inserts () =
+  let log = Log.create ~level:`View () in
+  Coop.run (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~order:2 (Bnode.mem_store ctx) ctx in
+      for k = 30 downto 1 do
+        Blink_tree.insert tree k k
+      done;
+      for k = 1 to 30 do
+        Alcotest.(check (option int))
+          (Printf.sprintf "lookup %d" k)
+          (Some k) (Blink_tree.lookup tree k)
+      done);
+  assert_pass "descending inserts" (check_view log)
+
+let test_compression_prunes () =
+  let log = Log.create ~level:`View () in
+  Coop.run (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~order:4 (Bnode.mem_store ctx) ctx in
+      for k = 1 to 30 do
+        Blink_tree.insert tree k k
+      done;
+      for k = 1 to 25 do
+        ignore (Blink_tree.delete tree k)
+      done;
+      (* drive compression to a fixpoint *)
+      for _ = 1 to 60 do
+        Blink_tree.compress tree
+      done;
+      for k = 26 to 30 do
+        Alcotest.(check (option int))
+          (Printf.sprintf "survivor %d" k)
+          (Some k) (Blink_tree.lookup tree k)
+      done;
+      Alcotest.(check (list (pair int int)))
+        "contents preserved"
+        (List.init 5 (fun i -> (26 + i, 26 + i)))
+        (Blink_tree.unsafe_contents tree));
+  assert_pass "compression io" (check_io log);
+  assert_pass "compression view" (check_view log)
+
+let test_version_numbers () =
+  (* §7.2.4: the view carries per-pair version numbers, bumped on overwrite
+     and reset when a key is re-inserted after deletion.  A forged version
+     in the log must be flagged. *)
+  let log = Log.create ~level:`View () in
+  Coop.run (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~order:4 (Bnode.mem_store ctx) ctx in
+      Blink_tree.insert tree 1 10;
+      Blink_tree.insert tree 1 11;
+      Blink_tree.insert tree 1 12;
+      (* version 3 now *)
+      ignore (Blink_tree.delete tree 1);
+      Blink_tree.insert tree 1 13 (* re-inserted: version restarts at 1 *));
+  assert_pass "versioned run" (check_view log);
+  (* forge the version of the final insert's committed node write *)
+  let evs = Log.events log in
+  let n = List.length evs in
+  let forged =
+    List.mapi
+      (fun i ev ->
+        match ev with
+        | Event.Write { tid; var; value } when i > n - 4 -> (
+          (* bump any version list [1] to [9] in the last committed write *)
+          match value with
+          | Repr.List
+              [ lvl; keys; vals; Repr.List [ Repr.Int 1 ]; ch; hi; r; d ] ->
+            Event.Write
+              { tid; var;
+                value =
+                  Repr.List
+                    [ lvl; keys; vals; Repr.List [ Repr.Int 9 ]; ch; hi; r; d ] }
+          | _ -> ev)
+        | _ -> ev)
+      evs
+  in
+  Alcotest.(check string) "forged version flagged" "view"
+    (Report.tag (check_view (Log.of_events forged)))
+
+(* --- concurrent runs --------------------------------------------------- *)
+
+let run_tree ?(bugs = []) ?(order = 4) ?(compressor = false) ~seed ~threads ~ops ~keys
+    () =
+  let log = Log.create ~level:`View () in
+  Coop.run ~seed (fun s ->
+      let ctx = Instrument.make s log in
+      let tree = Blink_tree.create ~bugs ~order (Bnode.mem_store ctx) ctx in
+      let stop = ref false in
+      if compressor then
+        s.spawn (fun () ->
+            while not !stop do
+              Blink_tree.compress tree;
+              s.yield ()
+            done);
+      let remaining = ref threads in
+      for t = 1 to threads do
+        s.spawn (fun () ->
+            let rng = Prng.create ((seed * 2357) + t) in
+            for _ = 1 to ops do
+              let k = Prng.int rng keys in
+              match Prng.int rng 10 with
+              | 0 | 1 | 2 | 3 -> Blink_tree.insert tree k (Prng.int rng 1000)
+              | 4 | 5 -> ignore (Blink_tree.delete tree k)
+              | _ -> ignore (Blink_tree.lookup tree k)
+            done;
+            decr remaining;
+            if !remaining = 0 then stop := true)
+      done);
+  log
+
+let test_concurrent_correct () =
+  for seed = 0 to 14 do
+    let log = run_tree ~seed ~threads:4 ~ops:25 ~keys:12 () in
+    assert_pass (Printf.sprintf "tree io seed %d" seed) (check_io log);
+    assert_pass (Printf.sprintf "tree view seed %d" seed) (check_view log)
+  done
+
+let test_concurrent_with_compressor () =
+  for seed = 0 to 14 do
+    let log = run_tree ~compressor:true ~seed ~threads:4 ~ops:25 ~keys:8 () in
+    assert_pass (Printf.sprintf "tree+compress seed %d" seed) (check_view log)
+  done
+
+let test_small_order_stress () =
+  (* order 2 maximizes splits; make sure restructuring stays view-neutral *)
+  for seed = 0 to 9 do
+    let log = run_tree ~order:2 ~compressor:true ~seed ~threads:5 ~ops:25 ~keys:20 () in
+    assert_pass (Printf.sprintf "order-2 seed %d" seed) (check_view log)
+  done
+
+let test_duplicate_bug_detected () =
+  let rec go seed =
+    if seed > 300 then Alcotest.fail "duplicate-data-node bug never detected"
+    else
+      let log =
+        run_tree ~bugs:[ Blink_tree.Duplicate_data_nodes ] ~seed ~threads:4 ~ops:25
+          ~keys:6 ()
+      in
+      let report = check_view log in
+      if Report.is_pass report then go (seed + 1)
+      else
+        match report.Report.outcome with
+        | Report.Fail (Report.View_violation { exec; _ }) ->
+          Alcotest.(check string) "insert commits the duplicate" "insert" exec.e_mid
+        | _ -> Alcotest.failf "unexpected %a" Report.pp report
+  in
+  go 0
+
+(* --- the full Boxwood stack: tree over cache over chunks --------------- *)
+
+let test_tree_over_cache_stack () =
+  for seed = 0 to 7 do
+    let tree_log = Log.create ~level:`View () in
+    Coop.run ~seed (fun s ->
+        (* cache+chunks as unverified substrate: null log, same scheduler *)
+        let null_ctx = Instrument.make s (Log.create ~level:`None ()) in
+        let cm = Chunk_manager.create ~chunks:256 null_ctx in
+        let cache = Cache.create ~buf_size:512 null_ctx cm in
+        let tree_ctx = Instrument.make s tree_log in
+        let store = Cached_store.make cache ~tree_ctx in
+        let tree = Blink_tree.create ~order:4 store tree_ctx in
+        let stop = ref false in
+        s.spawn (fun () ->
+            while not !stop do
+              Cache.flush cache;
+              s.yield ()
+            done);
+        let remaining = ref 3 in
+        for t = 1 to 3 do
+          s.spawn (fun () ->
+              let rng = Prng.create ((seed * 7) + t) in
+              for _ = 1 to 20 do
+                let k = Prng.int rng 10 in
+                match Prng.int rng 10 with
+                | 0 | 1 | 2 | 3 -> Blink_tree.insert tree k (Prng.int rng 100)
+                | 4 | 5 -> ignore (Blink_tree.delete tree k)
+                | _ -> ignore (Blink_tree.lookup tree k)
+              done;
+              decr remaining;
+              if !remaining = 0 then stop := true)
+        done);
+    assert_pass (Printf.sprintf "stack io seed %d" seed) (check_io tree_log);
+    assert_pass (Printf.sprintf "stack view seed %d" seed) (check_view tree_log)
+  done
+
+let test_node_serialization_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Bnode serialize/deserialize roundtrip"
+       QCheck2.Gen.(
+         let* level = int_range 0 3 in
+         let* keys = list_size (int_range 0 6) small_int in
+         let* vals = list_size (int_range 0 6) small_int in
+         let* vers = list_size (int_range 0 6) small_int in
+         let* children = list_size (int_range 0 7) small_int in
+         let* high = int_range 0 1000 in
+         let* right = option small_int in
+         let* dead = bool in
+         return { Bnode.level; keys; vals; vers; children; high; right; dead })
+       (fun n ->
+         let n' = Bnode.deserialize (Bnode.serialize n) in
+         n' = n
+         &&
+         (* NUL padding, as applied by the cache, must not break parsing *)
+         Bnode.deserialize (Bnode.serialize n ^ String.make 7 '\000') = n))
+
+let suite =
+  [
+    ("sequential map semantics", `Quick, test_sequential_map_semantics);
+    ("sequential descending inserts", `Quick, test_sequential_descending_inserts);
+    ("compression prunes and preserves", `Quick, test_compression_prunes);
+    ("version numbers (§7.2.4)", `Quick, test_version_numbers);
+    ("concurrent correct", `Quick, test_concurrent_correct);
+    ("concurrent with compressor", `Quick, test_concurrent_with_compressor);
+    ("order-2 split stress", `Quick, test_small_order_stress);
+    ("duplicate-data-node bug detected", `Quick, test_duplicate_bug_detected);
+    ("tree over cache over chunks", `Quick, test_tree_over_cache_stack);
+    test_node_serialization_roundtrip;
+  ]

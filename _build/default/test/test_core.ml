@@ -1,0 +1,444 @@
+(* Unit and property tests for the VYRD core: value representation, event
+   serialization, the log, shadow replay, views, and online checking. *)
+
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* --- Repr ---------------------------------------------------------------- *)
+
+let repr_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let base =
+        oneof
+          [
+            return Repr.Unit;
+            map (fun b -> Repr.Bool b) bool;
+            map (fun i -> Repr.Int i) int;
+            map (fun s -> Repr.Str s) (string_size (int_range 0 12));
+          ]
+      in
+      if n = 0 then base
+      else
+        frequency
+          [
+            (3, base);
+            (1, map2 (fun a b -> Repr.Pair (a, b)) (self (n / 2)) (self (n / 2)));
+            (1, map (fun vs -> Repr.List vs) (list_size (int_range 0 4) (self (n / 2))));
+          ])
+
+let repr_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"Repr text roundtrip" ~count:500 repr_gen (fun v ->
+         Repr.equal (Repr.of_text (Repr.to_text v)) v))
+
+let repr_sorted_list_canonical =
+  qcheck
+    (QCheck2.Test.make ~name:"Repr.sorted_list is order-insensitive"
+       QCheck2.Gen.(list (map (fun i -> Repr.Int i) int))
+       (fun vs ->
+         let shuffled = List.rev vs in
+         Repr.equal (Repr.sorted_list vs) (Repr.sorted_list shuffled)))
+
+let test_repr_parse_errors () =
+  List.iter
+    (fun s ->
+      match Repr.of_text s with
+      | exception Repr.Parse_error _ -> ()
+      | v -> Alcotest.failf "%S unexpectedly parsed as %a" s Repr.pp v)
+    [ ""; "("; "(L"; "(P 1)"; "(P 1 2 3)"; "\"abc"; "(X 1)"; "1 2"; "--3"; "\"\\q\"" ]
+
+let test_repr_escapes () =
+  let v = Repr.Str "a\"b\\c\nd\x00e\xff" in
+  Alcotest.(check bool) "binary string survives" true
+    (Repr.equal (Repr.of_text (Repr.to_text v)) v)
+
+(* --- Event --------------------------------------------------------------- *)
+
+let event_gen =
+  let open QCheck2.Gen in
+  let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  let tid = int_range 0 40 in
+  oneof
+    [
+      map3 (fun tid mid args -> Event.Call { tid; mid; args }) tid name
+        (list_size (int_range 0 3) repr_gen);
+      map3 (fun tid mid value -> Event.Return { tid; mid; value }) tid name repr_gen;
+      map (fun tid -> Event.Commit { tid }) tid;
+      map3 (fun tid var value -> Event.Write { tid; var; value }) tid name repr_gen;
+      map (fun tid -> Event.Block_begin { tid }) tid;
+      map (fun tid -> Event.Block_end { tid }) tid;
+      map2 (fun tid var -> Event.Read { tid; var }) tid name;
+      map2 (fun tid lock -> Event.Acquire { tid; lock }) tid name;
+      map2 (fun tid lock -> Event.Release { tid; lock }) tid name;
+    ]
+
+let event_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"Event line roundtrip" ~count:500 event_gen (fun ev ->
+         Event.equal (Event.of_line (Event.to_line ev)) ev))
+
+let log_file_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"Log file roundtrip" ~count:50
+       QCheck2.Gen.(list_size (int_range 0 40) event_gen)
+       (fun evs ->
+         let log = Log.of_events evs in
+         let path = Filename.temp_file "vyrd_test" ".log" in
+         Log.to_file path log;
+         let log' = Log.of_file path in
+         Sys.remove path;
+         List.for_all2 Event.equal (Log.events log) (Log.events log')))
+
+(* --- Log levels and subscription ----------------------------------------- *)
+
+let test_log_levels () =
+  let call = Event.Call { tid = 0; mid = "m"; args = [] } in
+  let write = Event.Write { tid = 0; var = "v"; value = Repr.Unit } in
+  let read = Event.Read { tid = 0; var = "v" } in
+  let count level =
+    let log = Log.create ~level () in
+    List.iter (Log.append log) [ call; write; read ];
+    Log.length log
+  in
+  Alcotest.(check int) "`None drops all" 0 (count `None);
+  Alcotest.(check int) "`Io keeps calls" 1 (count `Io);
+  Alcotest.(check int) "`View keeps writes" 2 (count `View);
+  Alcotest.(check int) "`Full keeps reads" 3 (count `Full)
+
+let test_log_subscription () =
+  let log = Log.create ~level:`Io () in
+  let seen = ref 0 in
+  Log.subscribe log (fun _ -> incr seen);
+  Log.append log (Event.Commit { tid = 1 });
+  Log.append log (Event.Read { tid = 1; var = "x" });
+  (* filtered: no notification *)
+  Alcotest.(check int) "subscriber sees admitted events only" 1 !seen
+
+(* --- Replay -------------------------------------------------------------- *)
+
+let test_replay_plain_writes () =
+  let r = Replay.create () in
+  Replay.write r 1 "x" (Repr.Int 1);
+  Replay.write r 2 "y" (Repr.Int 2);
+  Replay.write r 1 "x" (Repr.Int 3);
+  Alcotest.(check bool) "latest value" true (Replay.lookup r "x" = Some (Repr.Int 3));
+  Alcotest.(check bool) "other var" true (Replay.lookup r "y" = Some (Repr.Int 2));
+  Alcotest.(check bool) "absent" true (Replay.lookup r "z" = None)
+
+let test_replay_block_buffers () =
+  let r = Replay.create () in
+  Replay.block_begin r 1;
+  Replay.write r 1 "x" (Repr.Int 1);
+  Alcotest.(check bool) "buffered write invisible" true (Replay.lookup r "x" = None);
+  (* another thread's writes flow through *)
+  Replay.write r 2 "y" (Repr.Int 9);
+  Alcotest.(check bool) "other thread visible" true
+    (Replay.lookup r "y" = Some (Repr.Int 9));
+  Replay.commit r 1;
+  Alcotest.(check bool) "published at commit" true
+    (Replay.lookup r "x" = Some (Repr.Int 1));
+  (* post-commit in-block writes apply immediately *)
+  Replay.write r 1 "x" (Repr.Int 2);
+  Alcotest.(check bool) "post-commit applies" true
+    (Replay.lookup r "x" = Some (Repr.Int 2));
+  Replay.block_end r 1
+
+let test_replay_block_end_publishes () =
+  let r = Replay.create () in
+  Replay.block_begin r 1;
+  Replay.write r 1 "x" (Repr.Int 1);
+  Replay.block_end r 1;
+  (* a block that never commits publishes at its end *)
+  Alcotest.(check bool) "published at end" true (Replay.lookup r "x" = Some (Repr.Int 1))
+
+let test_replay_ill_formed () =
+  let r = Replay.create () in
+  Replay.block_begin r 1;
+  Alcotest.check_raises "nested block" (Replay.Ill_formed "T1: nested commit block")
+    (fun () -> Replay.block_begin r 1);
+  let r2 = Replay.create () in
+  Alcotest.check_raises "end without begin"
+    (Replay.Ill_formed "T1: block end without begin") (fun () -> Replay.block_end r2 1)
+
+let test_replay_dirty_tracking () =
+  let r = Replay.create () in
+  Replay.write r 1 "a" (Repr.Int 1);
+  Replay.write r 1 "b" (Repr.Int 2);
+  let d1 = List.sort compare (Replay.take_dirty r) in
+  Alcotest.(check (list string)) "both dirty" [ "a"; "b" ] d1;
+  Alcotest.(check (list string)) "reset" [] (Replay.take_dirty r);
+  (* rewriting the same value does not dirty *)
+  Replay.write r 1 "a" (Repr.Int 1);
+  Alcotest.(check (list string)) "no-op write" [] (Replay.take_dirty r);
+  Replay.write r 1 "a" (Repr.Int 5);
+  Alcotest.(check (list string)) "changed" [ "a" ] (Replay.take_dirty r)
+
+(* --- Views ---------------------------------------------------------------- *)
+
+let test_keyed_view_incremental () =
+  let view =
+    View.Keyed
+      {
+        keys_of_var = (fun var -> [ Repr.Str var ]);
+        project = (fun lookup key ->
+            match key with Repr.Str var -> lookup var | _ -> None);
+      }
+  in
+  let eval = View.make_eval view in
+  let r = Replay.create () in
+  Replay.write r 1 "a" (Repr.Int 1);
+  let v1 = View.recompute eval r in
+  Alcotest.(check bool) "one entry" true
+    (Repr.equal v1 (View.canonical_of_assoc [ (Repr.Str "a", Repr.Int 1) ]));
+  Replay.write r 1 "b" (Repr.Int 2);
+  let v2 = View.recompute eval r in
+  Alcotest.(check bool) "two entries" true
+    (Repr.equal v2
+       (View.canonical_of_assoc [ (Repr.Str "a", Repr.Int 1); (Repr.Str "b", Repr.Int 2) ]));
+  (* only dirty keys are reprojected *)
+  Alcotest.(check int) "projections = dirty keys" 2 (View.projections eval);
+  let v3 = View.recompute eval r in
+  Alcotest.(check bool) "stable" true (Repr.equal v2 v3);
+  Alcotest.(check int) "no new projections" 2 (View.projections eval)
+
+(* --- Timeline --------------------------------------------------------------- *)
+
+(* naive substring test, avoiding a Str dependency *)
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_timeline_layout () =
+  let evs =
+    [
+      Event.Call { tid = 1; mid = "insert"; args = [ Repr.Int 3 ] };
+      Event.Call { tid = 2; mid = "lookup"; args = [ Repr.Int 3 ] };
+      Event.Commit { tid = 1 };
+      Event.Return { tid = 1; mid = "insert"; value = Repr.success };
+      Event.Return { tid = 2; mid = "lookup"; value = Repr.Bool true };
+    ]
+  in
+  let rendered = Timeline.render_events evs in
+  let lines = String.split_on_char '\n' rendered in
+  (* header + separator + 5 event rows + trailing newline *)
+  Alcotest.(check int) "row count" 8 (List.length lines);
+  (match lines with
+  | header :: _ ->
+    Alcotest.(check bool) "header names both threads" true
+      (contains ~sub:"T1" header && contains ~sub:"T2" header)
+  | [] -> Alcotest.fail "empty rendering")
+
+let test_timeline_witness_order () =
+  let evs =
+    [
+      Event.Call { tid = 1; mid = "a"; args = [] };
+      Event.Call { tid = 2; mid = "b"; args = [] };
+      Event.Commit { tid = 2 };
+      (* b commits first *)
+      Event.Commit { tid = 1 };
+      Event.Return { tid = 2; mid = "b"; value = Repr.Unit };
+      Event.Return { tid = 1; mid = "a"; value = Repr.Unit };
+    ]
+  in
+  let w = Timeline.witness (Log.of_events evs) in
+  Alcotest.(check bool) "commit order: b is ordinal 1, a is 2" true
+    (contains ~sub:"1. T2 b()" w && contains ~sub:"2. T1 a()" w)
+
+let test_timeline_tail_window () =
+  let evs = List.init 50 (fun i -> Event.Commit { tid = i mod 3 }) in
+  let log = Log.of_events evs in
+  let t = Timeline.tail ~window:5 log ~until:40 in
+  Alcotest.(check bool) "window label" true (contains ~sub:"events 35..39 of 50" t)
+
+(* --- Squeue / Online ------------------------------------------------------ *)
+
+let test_squeue_fifo () =
+  let q = Squeue.create () in
+  List.iter (Squeue.push q) [ 1; 2; 3 ];
+  let a = Squeue.pop q in
+  let b = Squeue.pop q in
+  let c = Squeue.pop q in
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] [ a; b; c ];
+  Alcotest.(check int) "empty" 0 (Squeue.length q)
+
+let test_squeue_cross_domain () =
+  let q = Squeue.create () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go acc n = if n = 0 then acc else go (acc + Squeue.pop q) (n - 1) in
+        go 0 100)
+  in
+  for i = 1 to 100 do
+    Squeue.push q i
+  done;
+  Alcotest.(check int) "all delivered" 5050 (Domain.join consumer)
+
+let test_online_agrees_with_offline () =
+  let open Vyrd_multiset in
+  let view = Multiset_vector.viewdef ~capacity:8 in
+  for seed = 0 to 4 do
+    let log = Log.create ~level:`View () in
+    let online = Online.start ~mode:`View ~view log Multiset_spec.spec in
+    Vyrd_sched.Coop.run ~seed (fun s ->
+        let ctx = Instrument.make s log in
+        let ms = Multiset_vector.create ~capacity:8 ctx in
+        for t = 1 to 3 do
+          s.spawn (fun () ->
+              let rng = Vyrd_sched.Prng.create (seed + (7 * t)) in
+              for _ = 1 to 15 do
+                let x = Vyrd_sched.Prng.int rng 5 in
+                if Vyrd_sched.Prng.bool rng then ignore (Multiset_vector.insert ms x)
+                else ignore (Multiset_vector.delete ms x)
+              done)
+        done);
+    let online_report = Online.finish online in
+    let offline_report = Checker.check ~mode:`View ~view log Multiset_spec.spec in
+    Alcotest.(check string)
+      (Printf.sprintf "same verdict seed %d" seed)
+      (Report.tag offline_report) (Report.tag online_report);
+    Alcotest.(check int)
+      (Printf.sprintf "same events seed %d" seed)
+      offline_report.Report.stats.events_processed
+      online_report.Report.stats.events_processed
+  done
+
+let test_online_reports_violation () =
+  (* the online verifier must surface a violation found mid-stream *)
+  let log = Log.create ~level:`Io () in
+  let online = Online.start ~mode:`Io log Vyrd_multiset.Multiset_spec.spec in
+  Log.append log (Event.Call { tid = 1; mid = "delete"; args = [ Repr.Int 5 ] });
+  Log.append log (Event.Commit { tid = 1 });
+  Log.append log (Event.Return { tid = 1; mid = "delete"; value = Repr.Bool true });
+  let report = Online.finish online in
+  Alcotest.(check string) "violation surfaced" "io" (Report.tag report)
+
+let test_subscribe_sees_only_new_events () =
+  let log = Log.create ~level:`Io () in
+  Log.append log (Event.Commit { tid = 1 });
+  let seen = ref 0 in
+  Log.subscribe log (fun _ -> incr seen);
+  Log.append log (Event.Commit { tid = 2 });
+  Alcotest.(check int) "only post-subscription events" 1 !seen
+
+let test_per_method_stats () =
+  let log =
+    Log.of_events
+      [
+        Event.Call { tid = 1; mid = "insert"; args = [ Repr.Int 1 ] };
+        Event.Commit { tid = 1 };
+        Event.Return { tid = 1; mid = "insert"; value = Repr.success };
+        Event.Call { tid = 1; mid = "insert"; args = [ Repr.Int 2 ] };
+        Event.Commit { tid = 1 };
+        Event.Return { tid = 1; mid = "insert"; value = Repr.success };
+        Event.Call { tid = 1; mid = "lookup"; args = [ Repr.Int 1 ] };
+        Event.Return { tid = 1; mid = "lookup"; value = Repr.Bool true };
+      ]
+  in
+  let report = Checker.check ~mode:`Io log Vyrd_multiset.Multiset_spec.spec in
+  Alcotest.(check (list (pair string int)))
+    "per-method counts"
+    [ ("insert", 2); ("lookup", 1) ]
+    report.Report.stats.per_method
+
+let test_view_mode_requires_view () =
+  Alcotest.check_raises "missing view definition"
+    (Invalid_argument "Checker.create: `View mode requires a view definition")
+    (fun () -> ignore (Checker.create ~mode:`View Vyrd_multiset.Multiset_spec.spec))
+
+let test_long_run_state_pruning () =
+  (* thousands of commits force the checker's state-window pruning; an
+     observer whose window spans the whole run must still be checkable *)
+  let insert tid k =
+    [
+      Event.Call { tid; mid = "insert"; args = [ Repr.Int k ] };
+      Event.Commit { tid };
+      Event.Return { tid; mid = "insert"; value = Repr.success };
+    ]
+  in
+  let many = List.concat (List.init 3000 (fun i -> insert 1 (i mod 7))) in
+  (* plain long run: pruning engages, verdict unaffected *)
+  let log = Log.of_events many in
+  Alcotest.(check string) "long run passes" "pass"
+    (Report.tag (Checker.check ~mode:`Io log Vyrd_multiset.Multiset_spec.spec));
+  (* an observer open across the whole run pins the window *)
+  let log2 =
+    Log.of_events
+      ([ Event.Call { tid = 9; mid = "lookup"; args = [ Repr.Int 3 ] } ]
+      @ many
+      @ [ Event.Return { tid = 9; mid = "lookup"; value = Repr.Bool true } ])
+  in
+  Alcotest.(check string) "spanning observer passes" "pass"
+    (Report.tag (Checker.check ~mode:`Io log2 Vyrd_multiset.Multiset_spec.spec));
+  (* and a spanning observer with an impossible return value still fails *)
+  let log3 =
+    Log.of_events
+      ([ Event.Call { tid = 9; mid = "lookup"; args = [ Repr.Int 999 ] } ]
+      @ many
+      @ [ Event.Return { tid = 9; mid = "lookup"; value = Repr.Bool true } ])
+  in
+  Alcotest.(check string) "spanning violation found" "observer"
+    (Report.tag (Checker.check ~mode:`Io log3 Vyrd_multiset.Multiset_spec.spec))
+
+(* --- checker determinism --------------------------------------------------- *)
+
+let checker_deterministic =
+  qcheck
+    (QCheck2.Test.make ~name:"checker verdict is a pure function of the log"
+       ~count:30
+       QCheck2.Gen.(int_range 0 1000)
+       (fun seed ->
+         let open Vyrd_multiset in
+         let log = Log.create ~level:`View () in
+         Vyrd_sched.Coop.run ~seed (fun s ->
+             let ctx = Instrument.make s log in
+             let ms =
+               Multiset_vector.create ~bugs:[ Multiset_vector.Racy_find_slot ]
+                 ~capacity:8 ctx
+             in
+             for t = 1 to 3 do
+               s.spawn (fun () ->
+                   let rng = Vyrd_sched.Prng.create (seed + (13 * t)) in
+                   for _ = 1 to 10 do
+                     ignore (Multiset_vector.insert_pair ms (Vyrd_sched.Prng.int rng 4)
+                               (Vyrd_sched.Prng.int rng 4))
+                   done)
+             done);
+         let view = Multiset_vector.viewdef ~capacity:8 in
+         let a = Checker.check ~mode:`View ~view log Multiset_spec.spec in
+         let b = Checker.check ~mode:`View ~view log Multiset_spec.spec in
+         Report.tag a = Report.tag b
+         && a.Report.stats.methods_checked = b.Report.stats.methods_checked))
+
+let suite =
+  [
+    repr_roundtrip;
+    repr_sorted_list_canonical;
+    ("repr parse errors", `Quick, test_repr_parse_errors);
+    ("repr escapes", `Quick, test_repr_escapes);
+    event_roundtrip;
+    log_file_roundtrip;
+    ("log levels", `Quick, test_log_levels);
+    ("log subscription", `Quick, test_log_subscription);
+    ("replay plain writes", `Quick, test_replay_plain_writes);
+    ("replay block buffers", `Quick, test_replay_block_buffers);
+    ("replay block end publishes", `Quick, test_replay_block_end_publishes);
+    ("replay ill-formed blocks", `Quick, test_replay_ill_formed);
+    ("replay dirty tracking", `Quick, test_replay_dirty_tracking);
+    ("keyed view incremental", `Quick, test_keyed_view_incremental);
+    ("squeue fifo", `Quick, test_squeue_fifo);
+    ("squeue cross-domain", `Quick, test_squeue_cross_domain);
+    ("online agrees with offline", `Quick, test_online_agrees_with_offline);
+    ("online reports violation", `Quick, test_online_reports_violation);
+    ("subscribe sees only new events", `Quick, test_subscribe_sees_only_new_events);
+    ("per-method statistics", `Quick, test_per_method_stats);
+    ("timeline layout", `Quick, test_timeline_layout);
+    ("timeline witness order", `Quick, test_timeline_witness_order);
+    ("timeline tail window", `Quick, test_timeline_tail_window);
+    ("long-run state pruning", `Quick, test_long_run_state_pruning);
+    ("view mode requires a view", `Quick, test_view_mode_requires_view);
+    checker_deterministic;
+  ]

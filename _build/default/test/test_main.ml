@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "vyrd"
+    [
+      ("sched", Test_sched.suite);
+      ("core", Test_core.suite);
+      ("multiset", Test_multiset.suite);
+      ("jlib", Test_jlib.suite);
+      ("boxwood-cache", Test_boxwood_cache.suite);
+      ("blink-tree", Test_blink.suite);
+      ("scanfs", Test_scanfs.suite);
+      ("harness", Test_harness.suite);
+      ("baselines", Test_baselines.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("oracle", Test_oracle.suite);
+      ("native-stress", Test_native_stress.suite);
+      ("explore", Test_explore.suite);
+      ("compose", Test_compose.suite);
+      ("model", Test_model.suite);
+    ]

@@ -1,0 +1,244 @@
+(* Model-based sequential testing: each implementation, driven by random
+   single-threaded operation sequences, must agree call-by-call with a plain
+   functional model.  Independent of the refinement checker — this validates
+   the substrates themselves. *)
+
+open Vyrd
+open Vyrd_sched
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let ops_gen n = QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 n) small_nat))
+
+(* --- multiset implementations vs a bag model --------------------------- *)
+
+module Bag = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let count t x = Option.value ~default:0 (Hashtbl.find_opt t x)
+  let insert t x = Hashtbl.replace t x (count t x + 1)
+
+  let delete t x =
+    let c = count t x in
+    if c = 0 then false
+    else begin
+      if c = 1 then Hashtbl.remove t x else Hashtbl.replace t x (c - 1);
+      true
+    end
+
+  let mem t x = count t x > 0
+end
+
+let multiset_vector_model =
+  qcheck
+    (QCheck2.Test.make ~name:"multiset-vector agrees with bag model" ~count:100
+       (ops_gen 9) (fun ops ->
+         let ok = ref true in
+         Coop.run (fun s ->
+             let ctx = Instrument.make s (Log.create ~level:`None ()) in
+             let ms = Vyrd_multiset.Multiset_vector.create ~capacity:128 ctx in
+             let bag = Bag.create () in
+             List.iter
+               (fun (op, x) ->
+                 let x = x mod 8 in
+                 match op mod 5 with
+                 | 0 | 1 ->
+                   (* capacity 128 >> 60 ops: insert always succeeds *)
+                   if Vyrd_multiset.Multiset_vector.insert ms x
+                      = Vyrd_multiset.Multiset_vector.Success
+                   then Bag.insert bag x
+                   else ok := false
+                 | 2 ->
+                   if Vyrd_multiset.Multiset_vector.delete ms x <> Bag.delete bag x
+                   then ok := false
+                 | 3 ->
+                   if Vyrd_multiset.Multiset_vector.lookup ms x <> Bag.mem bag x then
+                     ok := false
+                 | _ ->
+                   if Vyrd_multiset.Multiset_vector.count ms x <> Bag.count bag x then
+                     ok := false)
+               ops);
+         !ok))
+
+let multiset_btree_model =
+  qcheck
+    (QCheck2.Test.make ~name:"multiset-btree agrees with bag model" ~count:100
+       (ops_gen 9) (fun ops ->
+         let ok = ref true in
+         Coop.run (fun s ->
+             let ctx = Instrument.make s (Log.create ~level:`None ()) in
+             let ms = Vyrd_multiset.Multiset_btree.create ctx in
+             let bag = Bag.create () in
+             List.iter
+               (fun (op, x) ->
+                 let x = x mod 8 in
+                 match op mod 5 with
+                 | 0 | 1 ->
+                   ignore (Vyrd_multiset.Multiset_btree.insert ms x);
+                   Bag.insert bag x
+                 | 2 ->
+                   if Vyrd_multiset.Multiset_btree.delete ms x <> Bag.delete bag x
+                   then ok := false
+                 | 3 ->
+                   if Vyrd_multiset.Multiset_btree.lookup ms x <> Bag.mem bag x then
+                     ok := false
+                 | _ ->
+                   (* interleave compression to exercise pruning *)
+                   Vyrd_multiset.Multiset_btree.compress ms;
+                   if Vyrd_multiset.Multiset_btree.count ms x <> Bag.count bag x then
+                     ok := false)
+               ops);
+         !ok))
+
+(* --- B-link tree vs a map model ----------------------------------------- *)
+
+let blink_model =
+  qcheck
+    (QCheck2.Test.make ~name:"blink tree agrees with map model" ~count:100
+       QCheck2.Gen.(pair (int_range 2 5) (ops_gen 9))
+       (fun (order, ops) ->
+         let ok = ref true in
+         Coop.run (fun s ->
+             let ctx = Instrument.make s (Log.create ~level:`None ()) in
+             let tree =
+               Vyrd_boxwood.Blink_tree.create ~order
+                 (Vyrd_boxwood.Bnode.mem_store ctx)
+                 ctx
+             in
+             let model : (int, int) Hashtbl.t = Hashtbl.create 8 in
+             List.iter
+               (fun (op, x) ->
+                 let k = x mod 12 in
+                 match op mod 5 with
+                 | 0 | 1 ->
+                   Vyrd_boxwood.Blink_tree.insert tree k (x * 7);
+                   Hashtbl.replace model k (x * 7)
+                 | 2 ->
+                   let expected = Hashtbl.mem model k in
+                   Hashtbl.remove model k;
+                   if Vyrd_boxwood.Blink_tree.delete tree k <> expected then
+                     ok := false
+                 | 3 ->
+                   Vyrd_boxwood.Blink_tree.compress tree;
+                   if
+                     Vyrd_boxwood.Blink_tree.lookup tree k
+                     <> Hashtbl.find_opt model k
+                   then ok := false
+                 | _ ->
+                   if
+                     Vyrd_boxwood.Blink_tree.lookup tree k
+                     <> Hashtbl.find_opt model k
+                   then ok := false)
+               ops;
+             (* final full-contents comparison *)
+             let expected =
+               Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+               |> List.sort compare
+             in
+             if Vyrd_boxwood.Blink_tree.unsafe_contents tree <> expected then
+               ok := false);
+         !ok))
+
+(* --- java.util.Vector vs a list model ----------------------------------- *)
+
+let jvector_model =
+  qcheck
+    (QCheck2.Test.make ~name:"vector agrees with list model" ~count:100 (ops_gen 9)
+       (fun ops ->
+         let ok = ref true in
+         Coop.run (fun s ->
+             let ctx = Instrument.make s (Log.create ~level:`None ()) in
+             let v = Vyrd_jlib.Vector.create ~capacity:128 ctx in
+             let model = ref [] in
+             List.iter
+               (fun (op, x) ->
+                 let len = List.length !model in
+                 match op mod 8 with
+                 | 0 | 1 ->
+                   ignore (Vyrd_jlib.Vector.add v x);
+                   model := !model @ [ x ]
+                 | 2 ->
+                   let expected = len > 0 in
+                   if expected then
+                     model := List.filteri (fun j _ -> j < len - 1) !model;
+                   if Vyrd_jlib.Vector.remove_last v <> expected then ok := false
+                 | 3 ->
+                   let i = if len = 0 then 0 else x mod (len + 1) in
+                   ignore (Vyrd_jlib.Vector.insert_at v i x);
+                   model :=
+                     List.filteri (fun j _ -> j < i) !model
+                     @ [ x ]
+                     @ List.filteri (fun j _ -> j >= i) !model
+                 | 4 ->
+                   if len > 0 then begin
+                     let i = x mod len in
+                     ignore (Vyrd_jlib.Vector.remove_at v i);
+                     model := List.filteri (fun j _ -> j <> i) !model
+                   end
+                 | 5 ->
+                   if Vyrd_jlib.Vector.index_of v x
+                      <> (let rec first i = function
+                            | [] -> -1
+                            | y :: _ when y = x -> i
+                            | _ :: r -> first (i + 1) r
+                          in
+                          first 0 !model)
+                   then ok := false
+                 | 6 ->
+                   if Vyrd_jlib.Vector.size v <> len then ok := false
+                 | _ ->
+                   if Vyrd_jlib.Vector.contains v x <> List.mem x !model then
+                     ok := false)
+               ops;
+             if Vyrd_jlib.Vector.unsafe_contents v <> !model then ok := false);
+         !ok))
+
+(* --- ScanFS vs a string-map model ---------------------------------------- *)
+
+let scanfs_model =
+  qcheck
+    (QCheck2.Test.make ~name:"scanfs agrees with map model" ~count:100 (ops_gen 9)
+       (fun ops ->
+         let names = [| "a"; "b"; "c" |] in
+         let ok = ref true in
+         Coop.run (fun s ->
+             let ctx = Instrument.make s (Log.create ~level:`None ()) in
+             let fs = Vyrd_scanfs.Scanfs.create_fs ~disk_blocks:32 ctx in
+             let model : (string, string) Hashtbl.t = Hashtbl.create 4 in
+             let pad d =
+               let n = Vyrd_scanfs.Scanfs.file_size in
+               if String.length d >= n then String.sub d 0 n
+               else d ^ String.make (n - String.length d) '\000'
+             in
+             List.iter
+               (fun (op, x) ->
+                 let name = names.(x mod 3) in
+                 match op mod 6 with
+                 | 0 ->
+                   let expected = not (Hashtbl.mem model name) in
+                   if Vyrd_scanfs.Scanfs.create fs name <> expected then ok := false
+                   else if expected then Hashtbl.replace model name ""
+                 | 1 | 2 ->
+                   let data = String.make (1 + (x mod 6)) (Char.chr (97 + (x mod 26))) in
+                   let expected = Hashtbl.mem model name in
+                   if Vyrd_scanfs.Scanfs.write fs name data <> expected then
+                     ok := false
+                   else if expected then Hashtbl.replace model name (pad data)
+                 | 3 ->
+                   let expected = Hashtbl.mem model name in
+                   if Vyrd_scanfs.Scanfs.delete fs name <> expected then ok := false
+                   else Hashtbl.remove model name
+                 | 4 ->
+                   Vyrd_scanfs.Scanfs.sync fs;
+                   Vyrd_scanfs.Scanfs.evict fs (x mod 32);
+                   if Vyrd_scanfs.Scanfs.read fs name <> Hashtbl.find_opt model name
+                   then ok := false
+                 | _ ->
+                   if Vyrd_scanfs.Scanfs.exists fs name <> Hashtbl.mem model name
+                   then ok := false)
+               ops);
+         !ok))
+
+let suite =
+  [ multiset_vector_model; multiset_btree_model; blink_model; jvector_model; scanfs_model ]

@@ -1,0 +1,164 @@
+(* Cross-validation of the fast incremental checker against the reference
+   checker (a direct transcription of the paper's definitions). *)
+
+open Vyrd
+open Vyrd_sched
+open Vyrd_multiset
+
+let spec = Multiset_spec.spec
+let view = Multiset_vector.viewdef ~capacity:16
+
+let run_multiset ?(bugs = []) ~seed () =
+  let log = Log.create ~level:`View () in
+  Coop.run ~seed (fun s ->
+      let ctx = Instrument.make s log in
+      let ms = Multiset_vector.create ~bugs ~capacity:16 ctx in
+      for t = 1 to 4 do
+        s.spawn (fun () ->
+            let rng = Prng.create (seed + (23 * t)) in
+            for _ = 1 to 15 do
+              let x = Prng.int rng 6 in
+              match Prng.int rng 5 with
+              | 0 | 1 -> ignore (Multiset_vector.insert ms x)
+              | 2 -> ignore (Multiset_vector.insert_pair ms x (x + 1))
+              | 3 -> ignore (Multiset_vector.delete ms x)
+              | _ -> ignore (Multiset_vector.lookup ms x)
+            done)
+      done);
+  log
+
+let test_agreement_correct_runs () =
+  for seed = 0 to 29 do
+    let log = run_multiset ~seed () in
+    Alcotest.(check bool)
+      (Printf.sprintf "io agreement seed %d" seed)
+      true
+      (Reference.agrees_with_checker log spec);
+    Alcotest.(check bool)
+      (Printf.sprintf "view agreement seed %d" seed)
+      true
+      (Reference.agrees_with_checker ~view log spec)
+  done
+
+let test_agreement_buggy_runs () =
+  for seed = 0 to 29 do
+    let log = run_multiset ~bugs:[ Multiset_vector.Racy_find_slot ] ~seed () in
+    Alcotest.(check bool)
+      (Printf.sprintf "io agreement seed %d" seed)
+      true
+      (Reference.agrees_with_checker log spec);
+    Alcotest.(check bool)
+      (Printf.sprintf "view agreement seed %d" seed)
+      true
+      (Reference.agrees_with_checker ~view log spec)
+  done
+
+let test_agreement_on_mutations () =
+  (* flip every boolean return, one at a time, and require agreement on
+     every mutant (whether it passes or fails) *)
+  let log = run_multiset ~seed:5 () in
+  let evs = Array.of_list (Log.events log) in
+  let mutants = ref 0 in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Event.Return { tid; mid; value = Repr.Bool b } ->
+        incr mutants;
+        let evs' = Array.copy evs in
+        evs'.(i) <- Event.Return { tid; mid; value = Repr.Bool (not b) };
+        let log' = Log.of_events (Array.to_list evs') in
+        Alcotest.(check bool)
+          (Printf.sprintf "mutant %d io" i)
+          true
+          (Reference.agrees_with_checker log' spec);
+        Alcotest.(check bool)
+          (Printf.sprintf "mutant %d view" i)
+          true
+          (Reference.agrees_with_checker ~view log' spec)
+      | _ -> ())
+    evs;
+  Alcotest.(check bool) "mutants generated" true (!mutants > 5)
+
+let test_agreement_on_dropped_commits () =
+  let log = run_multiset ~seed:7 () in
+  let evs = Array.of_list (Log.events log) in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Event.Commit _ ->
+        let evs' =
+          Array.to_list evs |> List.filteri (fun j _ -> j <> i)
+        in
+        let log' = Log.of_events evs' in
+        Alcotest.(check bool)
+          (Printf.sprintf "dropped commit %d" i)
+          true
+          (Reference.agrees_with_checker ~view log' spec)
+      | _ -> ())
+    evs
+
+let test_agreement_on_btree () =
+  let open Vyrd_boxwood in
+  for seed = 0 to 9 do
+    let log = Log.create ~level:`View () in
+    Coop.run ~seed (fun s ->
+        let ctx = Instrument.make s log in
+        let tree = Blink_tree.create ~order:2 (Bnode.mem_store ctx) ctx in
+        let stop = ref false in
+        s.spawn (fun () ->
+            while not !stop do
+              Blink_tree.compress tree;
+              s.yield ()
+            done);
+        let remaining = ref 3 in
+        for t = 1 to 3 do
+          s.spawn (fun () ->
+              let rng = Prng.create (seed + (11 * t)) in
+              for _ = 1 to 15 do
+                let k = Prng.int rng 8 in
+                match Prng.int rng 4 with
+                | 0 | 1 -> Blink_tree.insert tree k (Prng.int rng 50)
+                | 2 -> ignore (Blink_tree.delete tree k)
+                | _ -> ignore (Blink_tree.lookup tree k)
+              done;
+              decr remaining;
+              if !remaining = 0 then stop := true)
+        done);
+    Alcotest.(check bool)
+      (Printf.sprintf "btree agreement seed %d" seed)
+      true
+      (Reference.agrees_with_checker ~view:Blink_tree.viewdef log Blink_tree.spec)
+  done
+
+let test_agreement_on_harness_subjects () =
+  (* agreement on harness-generated logs for the remaining subjects *)
+  let open Vyrd_harness in
+  List.iter
+    (fun (subj : Subjects.t) ->
+      for seed = 0 to 4 do
+        let cfg =
+          { Harness.default with threads = 3; ops_per_thread = 15; key_pool = 8;
+            key_range = 12; seed }
+        in
+        let log = Harness.run cfg (subj.build ~bug:false) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s correct seed %d" subj.name seed)
+          true
+          (Reference.agrees_with_checker ~view:subj.view log subj.spec);
+        let blog = Harness.run cfg (subj.build ~bug:true) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s buggy seed %d" subj.name seed)
+          true
+          (Reference.agrees_with_checker ~view:subj.view blog subj.spec)
+      done)
+    [ Subjects.cache; Subjects.scanfs; Subjects.string_buffer; Subjects.jvector ]
+
+let suite =
+  [
+    ("oracle agrees on correct runs", `Quick, test_agreement_correct_runs);
+    ("oracle agrees on buggy runs", `Quick, test_agreement_buggy_runs);
+    ("oracle agrees on return mutants", `Slow, test_agreement_on_mutations);
+    ("oracle agrees on dropped commits", `Quick, test_agreement_on_dropped_commits);
+    ("oracle agrees on blink tree", `Quick, test_agreement_on_btree);
+    ("oracle agrees on harness subjects", `Slow, test_agreement_on_harness_subjects);
+  ]
