@@ -93,12 +93,19 @@ let check_cmd =
     let subject = resolve subject in
     let log = Log.of_file file in
     let report =
-      match mode with
-      | `Io -> Checker.check ~mode:`Io log subject.spec
-      | `View ->
-        Checker.check ~mode:`View ~view:subject.view
-          ~invariants:(if invariants then subject.invariants else [])
-          log subject.spec
+      match
+        match mode with
+        | `Io -> Checker.check ~mode:`Io log subject.spec
+        | `View ->
+          Checker.check ~mode:`View ~view:subject.view
+            ~invariants:(if invariants then subject.invariants else [])
+            log subject.spec
+      with
+      | report -> report
+      | exception Invalid_argument msg ->
+        (* e.g. view-mode checking of a log recorded at level `Io *)
+        Fmt.epr "configuration error: %s@." msg;
+        exit 2
     in
     Fmt.pr "%a@." Report.pp report;
     if (not (Report.is_pass report)) && explain then begin

@@ -1,0 +1,95 @@
+(* Mutant detection driver: prove the checker catches every seeded
+   refinement-violation bug in the lib/faults registry.
+
+     dune exec dev/mutants.exe                      # full budgets
+     dune exec dev/mutants.exe -- --quick           # CI-sized budgets
+     dune exec dev/mutants.exe -- --json matrix.json
+     dune exec dev/mutants.exe -- --fault cache.stale_writeback
+
+   Exit status 0 iff every selected mutant has a deterministic view-mode
+   detection (coop seed sweep or bounded exploration); the matrix is printed
+   either way and optionally written as JSON. *)
+
+module Faults = Vyrd_faults.Faults
+module Mutants = Vyrd_harness.Mutants
+
+let usage () =
+  prerr_endline
+    "usage: mutants [--quick] [--json FILE] [--fault NAME (repeatable)]";
+  exit 2
+
+let () =
+  let quick = ref false and json = ref None and only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--json" :: file :: rest ->
+      json := Some file;
+      parse rest
+    | "--fault" :: name :: rest ->
+      only := name :: !only;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let cfg = if !quick then Mutants.quick else Mutants.full in
+  let faults =
+    match !only with
+    | [] -> Faults.registered ()
+    | names ->
+      List.rev_map
+        (fun n ->
+          match Faults.find n with
+          | f -> f
+          | exception Not_found ->
+            Fmt.epr "unknown fault %S; registered:@.%a@." n
+              Fmt.(vbox (list ~sep:cut (using Faults.name string)))
+              (Faults.registered ());
+            exit 2)
+        names
+  in
+  if faults = [] then begin
+    Fmt.epr "no faults registered — are the subject libraries linked?@.";
+    exit 2
+  end;
+  Fmt.pr "detection matrix: %d mutant(s), %s budgets@.@." (List.length faults)
+    (if !quick then "quick" else "full");
+  let rows =
+    List.map
+      (fun f ->
+        let row = Mutants.run_fault cfg f in
+        Fmt.pr "%-32s %s@." (Faults.name f)
+          (if Mutants.deterministic_view_detection row then "detected"
+           else "NOT DETECTED");
+        row)
+      faults
+  in
+  Fmt.pr "@.%a@." Mutants.pp_matrix rows;
+  (match !json with
+  | Some file -> (
+    match open_out file with
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Mutants.to_json rows));
+      Fmt.pr "wrote %s@." file
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." file msg;
+      exit 2)
+  | None -> ());
+  let missed =
+    List.filter (fun r -> not (Mutants.deterministic_view_detection r)) rows
+  in
+  let beats = List.filter Mutants.view_beats_io rows in
+  Fmt.pr "view-mode time-to-detection <= io-mode for %d/%d mutants@."
+    (List.length beats) (List.length rows);
+  if missed <> [] then begin
+    Fmt.epr "@.%d mutant(s) escaped deterministic view-mode detection:@."
+      (List.length missed);
+    List.iter
+      (fun (r : Mutants.row) -> Fmt.epr "  %s@." (Faults.name r.Mutants.fault))
+      missed;
+    exit 1
+  end

@@ -1,6 +1,20 @@
 open Vyrd
 module Sched = Vyrd_sched.Sched
 module Cell = Instrument.Cell
+module Faults = Vyrd_faults.Faults
+
+(* Seeded mutant (lib/faults): the leaf split commits the halved leaf —
+   whose right link already points at the new sibling — BEFORE the sibling
+   node is written.  Between the two writes the right half of the leaf (and
+   everything reachable through the old right link) is unreachable: a torn
+   split.  The replayed view at the split's commit is missing those pairs,
+   so view refinement fires at the very first split. *)
+let fault_torn_split =
+  Faults.define ~name:"blink_tree.torn_split" ~subject:"BLinkTree"
+    ~description:
+      "leaf split publishes the halved leaf before writing the new sibling; \
+       readers between the two writes lose the moved pairs and the chain \
+       beyond them"
 
 type bug = Duplicate_data_nodes
 
@@ -254,7 +268,7 @@ let insert t k v =
         let lr, rr = split_at vers' mid in
         let sep = List.hd rk in
         let nh = t.store.Bnode.alloc () in
-        t.store.Bnode.write_node nh
+        let sibling =
           {
             Bnode.level = 0;
             keys = rk;
@@ -264,9 +278,21 @@ let insert t k v =
             high = ln.Bnode.high;
             right = ln.Bnode.right;
             dead = false;
-          };
-        t.store.Bnode.write_node_commit lh
-          { ln with Bnode.keys = lk; vals = lv; vers = lr; high = sep; right = Some nh };
+          }
+        in
+        let halved =
+          { ln with Bnode.keys = lk; vals = lv; vers = lr; high = sep; right = Some nh }
+        in
+        if Faults.enabled fault_torn_split then begin
+          (* seeded mutant: halved leaf first, sibling second *)
+          t.store.Bnode.write_node_commit lh halved;
+          t.ctx.Instrument.sched.Sched.yield ();
+          t.store.Bnode.write_node nh sibling
+        end
+        else begin
+          t.store.Bnode.write_node nh sibling;
+          t.store.Bnode.write_node_commit lh halved
+        end;
         unlock t lh;
         insert_sep t ~level:1 ~expected:lh sep nh stack
       end

@@ -52,3 +52,9 @@ val unsafe_contents : t -> (int * int) list
 
 (** Tree height (root level + 1), for structural tests. *)
 val unsafe_height : t -> int
+
+(** Seeded mutant ({!Vyrd_faults.Faults}): when armed, the leaf split
+    commits the halved leaf before the new sibling node is written, so the
+    moved pairs (and the chain beyond them) momentarily vanish — a torn
+    split that view refinement reports at the split's own commit. *)
+val fault_torn_split : Vyrd_faults.Faults.t

@@ -1,6 +1,20 @@
 open Vyrd
 module Sched = Vyrd_sched.Sched
 module Cell = Instrument.Cell
+module Faults = Vyrd_faults.Faults
+
+(* Seeded mutant (lib/faults): FLUSH marks dirty entries clean without
+   writing them back, so the chunk store silently keeps stale bytes.  The
+   corruption is latent — the clean entry still masks the chunk — until an
+   evict drops the entry and re-exposes the stale chunk: exactly the paper's
+   §7.2.2 scenario of corrupted state sitting in the store long before any
+   return value shows it.  The runtime invariant "a clean entry matches the
+   chunk manager" (§7.2.1) catches it already at the flush. *)
+let fault_stale_writeback =
+  Faults.define ~name:"cache.stale_writeback" ~subject:"Cache"
+    ~description:
+      "flush marks dirty entries clean without writing them back; the chunk \
+       store keeps stale bytes that a later evict re-exposes as a stale read"
 
 type bug = Unprotected_dirty_copy
 
@@ -158,7 +172,8 @@ let flush t =
             Array.iteri
               (fun h e ->
                 if Cell.get e.state = Dirty then begin
-                  Chunk_manager.write t.cm h (read_entry e);
+                  if not (Faults.enabled fault_stale_writeback) then
+                    Chunk_manager.write t.cm h (read_entry e);
                   Cell.set e.state Clean
                 end)
               t.entries;

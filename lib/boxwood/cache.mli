@@ -61,3 +61,9 @@ val invariant_clean_matches_chunk : chunks:int -> buf_size:int -> Vyrd.Checker.i
 
 (** Specification: the abstract store, a map from handle to bytes. *)
 val spec : chunks:int -> Vyrd.Spec.t
+
+(** Seeded mutant ({!Vyrd_faults.Faults}): when armed, [flush] marks dirty
+    entries clean without writing them back — the chunk store keeps stale
+    bytes that a later clean evict re-exposes.  The clean-matches-chunk
+    invariant catches it already at the flush. *)
+val fault_stale_writeback : Vyrd_faults.Faults.t

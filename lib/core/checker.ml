@@ -308,7 +308,24 @@ let violation t = t.c_violation ()
 let methods_checked t = t.c_methods ()
 let view_projections t = t.c_projections ()
 
+(* `View mode presumes write events: against a call/return/commit-only log
+   the shadow replay stays empty and every mutation would surface as a
+   spurious view mismatch.  Fail fast with a configuration error instead. *)
+let require_view_level ~who log =
+  if not (Log.records_writes log) then
+    invalid_arg
+      (Printf.sprintf
+         "%s: `View mode requires a log recorded at level `View or `Full (this \
+          log records at `%s); re-record the run at `View or check in `Io mode"
+         who
+         (match Log.level log with
+         | `None -> "None"
+         | `Io -> "Io"
+         | `View -> "View"
+         | `Full -> "Full"))
+
 let check ?mode ?view ?invariants log spec =
+  (match mode with Some `View -> require_view_level ~who:"Checker.check" log | _ -> ());
   let t = create ?mode ?view ?invariants spec in
   Log.iter (fun ev -> ignore (feed t ev)) log;
   report t

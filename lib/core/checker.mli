@@ -21,8 +21,10 @@
     metric.
 
     [`View] mode presumes the log was recorded at level [`View] (or
-    [`Full]): with call/return/commit-only logs the shadow replay stays
-    empty and every mutation looks like a view mismatch. *)
+    [`Full]): with call/return/commit-only logs the shadow replay would stay
+    empty and every mutation would look like a view mismatch, so {!check}
+    (and {!Online.start}) reject such logs up front with [Invalid_argument]
+    rather than reporting spurious violations. *)
 
 type mode = [ `Io | `View ]
 
@@ -36,6 +38,12 @@ type invariant = string * (View.lookup -> bool)
 (** [create ~mode ?view ?invariants spec] builds a checker.
     @param view required when [mode = `View]. *)
 val create : ?mode:mode -> ?view:View.t -> ?invariants:invariant list -> Spec.t -> t
+
+(** [require_view_level ~who log] rejects logs recorded below level [`View]
+    — the configuration against which view-mode checking can only produce
+    spurious mismatches.  [who] prefixes the error message.
+    @raise Invalid_argument on [`None]/[`Io]-level logs. *)
+val require_view_level : who:string -> Log.t -> unit
 
 (** [feed t ev] processes one event.  Returns the first violation when this
     event triggers it; afterwards the checker ignores further events. *)
@@ -52,6 +60,8 @@ val methods_checked : t -> int
 (** Key projections performed by a [Keyed] view (ablation instrumentation). *)
 val view_projections : t -> int
 
-(** [check ?mode ?view log spec] runs a whole log through a fresh checker. *)
+(** [check ?mode ?view log spec] runs a whole log through a fresh checker.
+    @raise Invalid_argument when [mode = `View] and [log] was recorded below
+    level [`View] — view refinement cannot be checked on such a log. *)
 val check :
   ?mode:mode -> ?view:View.t -> ?invariants:invariant list -> Log.t -> Spec.t -> Report.t

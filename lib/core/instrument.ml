@@ -1,4 +1,16 @@
 module Sched = Vyrd_sched.Sched
+module Faults = Vyrd_faults.Faults
+
+(* Seeded mutant (lib/faults): commit blocks silently lose their brackets,
+   so the replayer publishes each write as it happens and a concurrent
+   commit observes half-published state — e.g. one valid bit of an
+   insert_pair (Fig. 4).  Detected as a view violation at the intervening
+   commit. *)
+let fault_dropped_block =
+  Faults.define ~name:"instrument.dropped_block" ~subject:"Multiset-Vector"
+    ~description:
+      "with_block emits no commit-block brackets; multi-write commit blocks \
+       replay write-by-write and concurrent commits see half-published state"
 
 type ctx = { sched : Sched.t; log : Log.t }
 
@@ -24,7 +36,7 @@ let block_end ctx =
   if Log.records_writes ctx.log then
     Log.append ctx.log (Event.Block_end { tid = tid ctx })
 
-let with_block ctx f =
+let with_block_brackets ctx f =
   block_begin ctx;
   match f () with
   | v ->
@@ -33,6 +45,9 @@ let with_block ctx f =
   | exception e ->
     block_end ctx;
     raise e
+
+let with_block ctx f =
+  if Faults.enabled fault_dropped_block then f () else with_block_brackets ctx f
 
 let op ctx mid args body =
   call ctx mid args;

@@ -28,6 +28,11 @@ val block_end : ctx -> unit
 (** [with_block ctx f] brackets [f] in a commit block (§5.2). *)
 val with_block : ctx -> (unit -> 'a) -> 'a
 
+(** Seeded mutant ({!Vyrd_faults.Faults}): when armed, {!with_block} emits no
+    brackets, so the blocked writes replay one by one instead of atomically
+    at the commit. *)
+val fault_dropped_block : Vyrd_faults.Faults.t
+
 (** [op ctx mid args body] logs the call, runs [body], logs and returns its
     result.  The standard wrapper for a public method. *)
 val op : ctx -> string -> Repr.t list -> (unit -> Repr.t) -> Repr.t

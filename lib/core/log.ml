@@ -48,7 +48,25 @@ let events t = locked t (fun () -> Vec.to_list t.events)
 let iter f t = List.iter f (events t)
 let subscribe t f = locked t (fun () -> Vec.push t.listeners f)
 
+let level_to_string = function
+  | `None -> "none"
+  | `Io -> "io"
+  | `View -> "view"
+  | `Full -> "full"
+
+let level_of_string = function
+  | "none" -> Some `None
+  | "io" -> Some `Io
+  | "view" -> Some `View
+  | "full" -> Some `Full
+  | _ -> None
+
+let header_prefix = "# vyrd-log level="
+
 let to_channel oc t =
+  output_string oc header_prefix;
+  output_string oc (level_to_string t.lvl);
+  output_char oc '\n';
   List.iter
     (fun ev ->
       output_string oc (Event.to_line ev);
@@ -64,15 +82,40 @@ let of_events evs =
   List.iter (append t) evs;
   t
 
+(* The header records the level the log was recorded at, so a deserialized
+   log keeps its identity — `View-mode checking can then reject an
+   `Io-recorded log instead of reporting spurious mismatches.  Headerless
+   input (pre-header logs, hand-written event lists) reads at `Full so no
+   event is ever dropped; '#' lines are comments either way. *)
 let of_channel ic =
-  let t = create ~level:`Full () in
+  let t = ref None in
+  let get_log () =
+    match !t with
+    | Some log -> log
+    | None ->
+      let log = create ~level:`Full () in
+      t := Some log;
+      log
+  in
   (try
      while true do
-       let line = input_line ic in
-       if String.trim line <> "" then append t (Event.of_line line)
+       let line = String.trim (input_line ic) in
+       if String.length line > 0 then
+         if line.[0] = '#' then begin
+           match
+             if String.starts_with ~prefix:header_prefix line then
+               level_of_string
+                 (String.sub line (String.length header_prefix)
+                    (String.length line - String.length header_prefix))
+             else None
+           with
+           | Some lvl when !t = None -> t := Some (create ~level:lvl ())
+           | Some _ | None -> ()
+         end
+         else append (get_log ()) (Event.of_line line)
      done
    with End_of_file -> ());
-  t
+  get_log ()
 
 let of_file path =
   let ic = open_in path in

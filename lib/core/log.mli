@@ -55,13 +55,19 @@ val iter : (Event.t -> unit) -> t -> unit
     must be fast and must not touch the log. *)
 val subscribe : t -> (Event.t -> unit) -> unit
 
-(** {1 Persistence} *)
+(** {1 Persistence}
+
+    The serialized form is one event per line, preceded by a [#]-comment
+    header recording the {!level} the log was recorded at, so a round trip
+    through {!to_channel}/{!of_channel} preserves both the events and the
+    level. *)
 
 val to_channel : out_channel -> t -> unit
 val to_file : string -> t -> unit
 
-(** [of_channel ic] reads a serialized log back (at level [`Full], so no
-    event is dropped). @raise Repr.Parse_error on malformed input. *)
+(** [of_channel ic] reads a serialized log back, at the level named by its
+    header ([`Full] for headerless legacy input, so no event is ever
+    dropped).  @raise Repr.Parse_error on malformed input. *)
 val of_channel : in_channel -> t
 
 val of_file : string -> t

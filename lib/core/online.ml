@@ -5,6 +5,9 @@ type t = {
 }
 
 let start ?mode ?view log spec =
+  (match mode with
+  | Some `View -> Checker.require_view_level ~who:"Online.start" log
+  | _ -> ());
   let queue = Squeue.create () in
   Log.subscribe log (fun ev -> Squeue.push queue (Some ev));
   let domain =

@@ -1,0 +1,41 @@
+type t = {
+  f_name : string;
+  f_subject : string;
+  f_description : string;
+  mutable f_armed : bool;
+}
+
+(* Registration happens once per process, at module-initialization time of
+   the defining implementations; arming happens in drivers/tests before the
+   measured runs.  Concurrent readers only ever load [f_armed], so no lock
+   is needed on the hot path. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let define ~name ~subject ~description =
+  if Hashtbl.mem registry name then
+    invalid_arg (Printf.sprintf "Faults.define: %S is already registered" name);
+  let f =
+    { f_name = name; f_subject = subject; f_description = description; f_armed = false }
+  in
+  Hashtbl.replace registry name f;
+  f
+
+let name f = f.f_name
+let subject f = f.f_subject
+let description f = f.f_description
+let enabled f = f.f_armed
+let arm f = f.f_armed <- true
+let disarm f = f.f_armed <- false
+let disarm_all () = Hashtbl.iter (fun _ f -> f.f_armed <- false) registry
+
+let with_armed f fn =
+  let prev = f.f_armed in
+  f.f_armed <- true;
+  Fun.protect ~finally:(fun () -> f.f_armed <- prev) fn
+
+let registered () =
+  Hashtbl.fold (fun _ f acc -> f :: acc) registry []
+  |> List.sort (fun a b -> compare a.f_name b.f_name)
+
+let armed () = List.filter (fun f -> f.f_armed) (registered ())
+let find name = Hashtbl.find registry name

@@ -1,0 +1,55 @@
+(** Registry of seeded refinement-violation mutants.
+
+    A fault is a named, independently-switchable bug deliberately left in a
+    subject implementation — a lost update, a misplaced commit action, a
+    skipped write-back — guarded at its injection site by {!enabled}.  The
+    registry exists to validate the checker itself: a monitor that silently
+    passes broken implementations is worse than none, so {e every} registered
+    fault must be provably detectable (see [dev/mutants.ml] and
+    [test/test_faults.ml]), and the matrix of time-to-detection per
+    refinement mode reproduces the shape of the paper's Table 1 with ground
+    truth.
+
+    Faults are declared at module-initialization time by the implementation
+    that hosts them ([Multiset_vector.fault_lost_update], …) and are all
+    disarmed by default: the production path pays exactly one immutable-field
+    load and branch per injection site.  Arming is test-harness business —
+    nothing in the library arms a fault on its own. *)
+
+type t
+
+(** [define ~name ~subject ~description] declares a fault and registers it.
+
+    [name] is the stable identifier (["multiset_vector.lost_update"]);
+    [subject] names the {!Vyrd_harness.Subjects.t} entry whose workload
+    exercises the injection site; [description] says what the seeded bug
+    does.  @raise Invalid_argument if [name] is already registered. *)
+val define : name:string -> subject:string -> description:string -> t
+
+val name : t -> string
+val subject : t -> string
+val description : t -> string
+
+(** [enabled f] — the injection-site guard.  A single field read: false for
+    every fault unless a driver armed it, so disabled faults cost nothing
+    measurable on production paths. *)
+val enabled : t -> bool
+
+val arm : t -> unit
+val disarm : t -> unit
+
+(** Disarm every registered fault (test setup/teardown). *)
+val disarm_all : unit -> unit
+
+(** [with_armed f fn] runs [fn] with [f] armed, restoring [f]'s previous
+    state afterwards (also on exceptions). *)
+val with_armed : t -> (unit -> 'a) -> 'a
+
+(** Currently armed faults. *)
+val armed : unit -> t list
+
+(** All registered faults, sorted by name. *)
+val registered : unit -> t list
+
+(** @raise Not_found for unknown names. *)
+val find : string -> t

@@ -1,6 +1,19 @@
 open Vyrd
 module Sched = Vyrd_sched.Sched
 module Cell = Instrument.Cell
+module Faults = Vyrd_faults.Faults
+
+(* Seeded mutant (lib/faults): the duplicate-key insert records its commit
+   action BEFORE publishing the count increment, so the replayed view at the
+   commit still shows the old multiplicity while the specification has
+   already taken the insert transition — a misplaced commit annotation
+   (§4.1) that view refinement flags deterministically at the first
+   duplicate insert, with no concurrency required. *)
+let fault_misplaced_commit =
+  Faults.define ~name:"multiset_btree.misplaced_commit" ~subject:"Multiset-BinaryTree"
+    ~description:
+      "duplicate-key insert commits before the count-increment write is \
+       published, so viewI at the commit lags viewS by one occurrence"
 
 type bug = Unlock_parent_early
 
@@ -107,7 +120,12 @@ let insert t x =
       t.root_lock.Sched.unlock ();
       let rec descend n =
         if x = n.key then begin
-          Cell.set_and_commit n.count (Cell.get n.count + 1);
+          (if Faults.enabled fault_misplaced_commit then begin
+             let c = Cell.get n.count in
+             Instrument.commit t.ctx;
+             Cell.set n.count (c + 1)
+           end
+           else Cell.set_and_commit n.count (Cell.get n.count + 1));
           n.lock.Sched.unlock ();
           Repr.success
         end

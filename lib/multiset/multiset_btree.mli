@@ -34,3 +34,8 @@ val compress : t -> unit
 val viewdef : Vyrd.View.t
 
 val unsafe_contents : t -> (int * int) list
+
+(** Seeded mutant ({!Vyrd_faults.Faults}): when armed, a duplicate-key
+    insert commits before the count increment is published — a misplaced
+    commit annotation detectable even in single-threaded runs. *)
+val fault_misplaced_commit : Vyrd_faults.Faults.t

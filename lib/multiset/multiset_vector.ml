@@ -1,6 +1,18 @@
 open Vyrd
 module Sched = Vyrd_sched.Sched
 module Cell = Instrument.Cell
+module Faults = Vyrd_faults.Faults
+
+(* Seeded mutant (lib/faults): FindSlot claims a free slot with no lock at
+   all — racier than the paper's Fig. 5 bug, which at least locks the store.
+   Two threads can reserve the same slot and one element is silently lost;
+   view refinement fires at the next commit whose replayed slot array
+   disagrees with the specification multiset. *)
+let fault_lost_update =
+  Faults.define ~name:"multiset_vector.lost_update" ~subject:"Multiset-Vector"
+    ~description:
+      "FindSlot claims a free slot without taking the slot lock; concurrent \
+       inserts reserve the same slot and one element is lost"
 
 type bug = Racy_find_slot | Misplaced_commit
 
@@ -37,12 +49,20 @@ let has_bug t b = List.mem b t.bugs
 let find_slot t x =
   let n = capacity t in
   let racy = has_bug t Racy_find_slot in
+  let lost_update = Faults.enabled fault_lost_update in
   let rec go i =
     if i >= n then -1
     else
       let s = t.slots.(i) in
       let reserved =
-        if racy then
+        if lost_update then
+          (* seeded mutant: emptiness test and claim with no lock anywhere *)
+          Cell.get s.elt = None
+          && begin
+               Cell.set s.elt (Some x);
+               true
+             end
+        else if racy then
           if Cell.get s.elt = None then begin
             Sched.with_lock s.lock (fun () -> Cell.set s.elt (Some x));
             true

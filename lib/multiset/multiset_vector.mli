@@ -56,3 +56,8 @@ val viewdef : capacity:int -> Vyrd.View.t
 (** Elements currently published, straight from memory (no locking, no
     logging) — for post-run white-box assertions only. *)
 val unsafe_contents : t -> int list
+
+(** Seeded mutant ({!Vyrd_faults.Faults}): when armed, [find_slot] claims a
+    free slot with {e no} lock at all, so concurrent inserts can reserve the
+    same slot and one element is lost — the canonical lost update. *)
+val fault_lost_update : Vyrd_faults.Faults.t

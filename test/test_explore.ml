@@ -100,6 +100,106 @@ let test_budget_respected () =
   Alcotest.(check int) "stops at budget" 5 r.Explore.schedules;
   Alcotest.(check bool) "not exhausted" false r.Explore.exhausted
 
+(* --- preemption-bound and budget monotonicity ---------------------------- *)
+
+module TraceSet = Set.Make (struct
+  type t = (int * int) list
+
+  let compare = compare
+end)
+
+(* Run the same two-fiber scenario at a given preemption bound and collect
+   the set of observable traces (fiber id, step) across the exhausted
+   space. *)
+let traces_at_bound pb =
+  let acc = ref TraceSet.empty in
+  let r =
+    Explore.explore ~preemption_bound:pb ~max_schedules:100_000 (fun () ->
+        let trace = ref [] in
+        let finished = ref 0 in
+        fun s ->
+         let fiber id =
+           s.spawn (fun () ->
+               for i = 1 to 3 do
+                 trace := (id, i) :: !trace;
+                 s.yield ()
+               done;
+               incr finished;
+               if !finished = 2 then acc := TraceSet.add (List.rev !trace) !acc)
+         in
+         fiber 1;
+         fiber 2)
+  in
+  Alcotest.(check bool) (Printf.sprintf "pb=%d exhausted" pb) true r.Explore.exhausted;
+  (r.Explore.schedules, !acc)
+
+let test_preemption_bound_is_a_subset () =
+  (* the schedules reachable with at most k preemptions are a subset of
+     those reachable with k+1, strictly so until the bound stops binding *)
+  let results = List.map traces_at_bound [ 0; 1; 2; 3 ] in
+  let rec pairs = function
+    | (s1, t1) :: ((s2, t2) :: _ as rest) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "schedule count monotone (%d <= %d)" s1 s2)
+        true (s1 <= s2);
+      Alcotest.(check bool)
+        (Printf.sprintf "traces at bound are a subset (%d vs %d)"
+           (TraceSet.cardinal t1) (TraceSet.cardinal t2))
+        true (TraceSet.subset t1 t2);
+      pairs rest
+    | _ -> ()
+  in
+  pairs results;
+  match results with
+  | (_, t0) :: (_, t1) :: _ ->
+    Alcotest.(check bool) "one preemption reaches strictly more" true
+      (TraceSet.cardinal t0 < TraceSet.cardinal t1)
+  | _ -> assert false
+
+let test_exhausted_monotone_in_budget () =
+  (* once a budget suffices to exhaust the space, every larger budget does
+     too, and the schedule count stops growing at the space's true size *)
+  let run budget =
+    let r =
+      Explore.explore ~max_schedules:budget (fun () ->
+          fun s ->
+           for _ = 1 to 3 do
+             s.spawn (fun () -> s.yield ())
+           done)
+    in
+    (r.Explore.schedules, r.Explore.exhausted)
+  in
+  let total =
+    let r =
+      Explore.explore ~max_schedules:100_000 (fun () ->
+          fun s ->
+           for _ = 1 to 3 do
+             s.spawn (fun () -> s.yield ())
+           done)
+    in
+    Alcotest.(check bool) "space is exhaustible" true r.Explore.exhausted;
+    r.Explore.schedules
+  in
+  let seen_exhausted = ref false in
+  for budget = 1 to total + 5 do
+    let schedules, exhausted = run budget in
+    if !seen_exhausted then
+      Alcotest.(check bool)
+        (Printf.sprintf "budget %d still exhausted" budget)
+        true exhausted;
+    if exhausted then seen_exhausted := true;
+    Alcotest.(check bool)
+      (Printf.sprintf "budget %d: executed %d <= %d" budget schedules budget)
+      true
+      (schedules <= budget);
+    Alcotest.(check bool)
+      (Printf.sprintf "exhausted iff budget %d covers the %d-schedule space" budget
+         total)
+      true
+      (exhausted = (budget >= total))
+  done;
+  Alcotest.(check bool) "exhaustion was reached within the sweep" true !seen_exhausted
+
 (* --- bounded verification: exploration x refinement --------------------- *)
 
 let test_correct_scenario_verified_for_all_schedules () =
@@ -281,6 +381,8 @@ let suite =
   [
     ("sequential: one schedule", `Quick, test_sequential_has_one_schedule);
     ("preemption bounding (CHESS-style)", `Quick, test_preemption_bounding);
+    ("preemption bound k is a subset of k+1", `Quick, test_preemption_bound_is_a_subset);
+    ("exhausted is monotone in the budget", `Quick, test_exhausted_monotone_in_budget);
     ( "every schedule agrees with oracle",
       `Slow,
       test_every_schedule_agrees_with_oracle );

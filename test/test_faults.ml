@@ -1,0 +1,151 @@
+(* The fault-injection registry validating the checker itself (lib/faults +
+   lib/harness/mutants):
+
+   - every registered mutant, armed alone, is detected in `View mode under a
+     deterministic regime (coop seed sweep or bounded exploration);
+   - the unmutated subjects stay violation-free under the very same seeds —
+     arming and disarming leaves no residue, so there are no false positives;
+   - the registry itself behaves: disarmed by default, with_armed restores on
+     exceptions, double registration rejected. *)
+
+open Vyrd
+open Vyrd_harness
+module Faults = Vyrd_faults.Faults
+
+(* Touch the subject libraries so their module initializers run and register
+   their faults even if nothing else in the binary forces the dependency. *)
+let all_subjects = Subjects.all
+
+let test_cfg =
+  {
+    Mutants.quick with
+    seeds = 120;
+    native_runs = 0 (* native is non-deterministic: exercised by dev/mutants *);
+  }
+
+let test_registry_populated () =
+  let faults = Faults.registered () in
+  Alcotest.(check bool)
+    (Fmt.str "at least 5 mutants registered (got %d)" (List.length faults))
+    true
+    (List.length faults >= 5);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Faults.name f ^ " disarmed by default")
+        false (Faults.enabled f);
+      (* every fault points at a subject the harness can actually drive *)
+      ignore (Subjects.find (Faults.subject f)))
+    faults
+
+let test_each_mutant_detected_in_view_mode () =
+  List.iter
+    (fun f ->
+      let row = Mutants.run_fault test_cfg f in
+      if not (Mutants.deterministic_view_detection row) then
+        Alcotest.failf "%s: not detected in `View mode under any deterministic regime"
+          (Faults.name f);
+      Alcotest.(check bool)
+        (Faults.name f ^ " left disarmed after the run")
+        false (Faults.enabled f))
+    (Faults.registered ())
+
+let test_detection_matrix_shape () =
+  (* the acceptance inequality of Table 1 on ground truth: for at least one
+     state-corrupting mutant, view-mode methods-to-detection <= io-mode *)
+  let rows = List.map (Mutants.run_fault test_cfg) (Faults.registered ()) in
+  Alcotest.(check bool) "some mutant has view_beats_io" true
+    (List.exists Mutants.view_beats_io rows);
+  (* and the JSON rendering is well-formed enough to contain every fault *)
+  let json = Mutants.to_json rows in
+  List.iter
+    (fun (r : Mutants.row) ->
+      let name = Faults.name r.Mutants.fault in
+      Alcotest.(check bool) (name ^ " present in JSON") true
+        (let n = String.length json and m = String.length name in
+         let rec scan i = i + m <= n && (String.sub json i m = name || scan (i + 1)) in
+         scan 0))
+    rows
+
+let assert_pass what report =
+  if not (Report.is_pass report) then
+    Alcotest.failf "%s: expected pass, got %a" what Report.pp report
+
+(* The same seeds the detection sweep uses must stay silent when no fault is
+   armed: detections come from the mutants, not from checker noise. *)
+let test_unmutated_subjects_stay_clean () =
+  Faults.disarm_all ();
+  List.iter
+    (fun f ->
+      let s = Subjects.find (Faults.subject f) in
+      for seed = 0 to 9 do
+        let log =
+          Harness.run
+            {
+              Harness.default with
+              threads = test_cfg.Mutants.threads;
+              ops_per_thread = test_cfg.Mutants.ops;
+              key_pool = 12;
+              key_range = 16;
+              seed;
+            }
+            (s.Subjects.build ~bug:false)
+        in
+        assert_pass
+          (Fmt.str "%s unmutated, seed %d, io" s.Subjects.name seed)
+          (Checker.check ~mode:`Io log s.Subjects.spec);
+        assert_pass
+          (Fmt.str "%s unmutated, seed %d, view" s.Subjects.name seed)
+          (Checker.check ~mode:`View ~view:s.Subjects.view
+             ~invariants:s.Subjects.invariants log s.Subjects.spec)
+      done)
+    (Faults.registered ())
+
+let test_arming_leaves_no_residue () =
+  (* run a subject with its fault armed, then disarmed again with the same
+     seed: the second run must pass — the mutant is a pure function of the
+     switch, not an accumulating corruption *)
+  List.iter
+    (fun f ->
+      let s = Subjects.find (Faults.subject f) in
+      let run seed =
+        Harness.run
+          { Harness.default with threads = 4; ops_per_thread = 20; seed }
+          (s.Subjects.build ~bug:false)
+      in
+      Faults.with_armed f (fun () -> ignore (run 7));
+      let log = run 7 in
+      assert_pass
+        (Fmt.str "%s clean after %s disarmed" s.Subjects.name (Faults.name f))
+        (Checker.check ~mode:`View ~view:s.Subjects.view
+           ~invariants:s.Subjects.invariants log s.Subjects.spec))
+    (Faults.registered ())
+
+let test_with_armed_restores_on_exception () =
+  let f = List.hd (Faults.registered ()) in
+  Alcotest.(check bool) "starts disarmed" false (Faults.enabled f);
+  (try
+     Faults.with_armed f (fun () ->
+         Alcotest.(check bool) "armed inside" true (Faults.enabled f);
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "disarmed after exception" false (Faults.enabled f)
+
+let test_define_rejects_duplicates () =
+  let existing = Faults.name (List.hd (Faults.registered ())) in
+  match
+    Faults.define ~name:existing ~subject:"Multiset-Vector" ~description:"dup"
+  with
+  | _ -> Alcotest.fail "duplicate registration accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ("registry populated, disarmed, resolvable", `Quick, test_registry_populated);
+    ("every mutant detected in view mode", `Slow, test_each_mutant_detected_in_view_mode);
+    ("detection matrix shape (view <= io)", `Slow, test_detection_matrix_shape);
+    ("unmutated subjects stay clean", `Slow, test_unmutated_subjects_stay_clean);
+    ("arming leaves no residue", `Quick, test_arming_leaves_no_residue);
+    ("with_armed restores on exception", `Quick, test_with_armed_restores_on_exception);
+    ("define rejects duplicate names", `Quick, test_define_rejects_duplicates);
+  ]

@@ -16,4 +16,6 @@ let () =
       ("explore", Test_explore.suite);
       ("compose", Test_compose.suite);
       ("model", Test_model.suite);
+      ("log", Test_log.suite);
+      ("faults", Test_faults.suite);
     ]
