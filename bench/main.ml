@@ -465,6 +465,50 @@ let baseline_atomizer () =
      others, so reduction cannot prove them atomic — a false alarm — while@.\
      refinement accepts the implementation against its specification.@."
 
+(* -------------------------------------------------- analyzer throughput *)
+
+(* Offline analyses are meant to run off the critical path over very large
+   logs, so their unit of merit is events/second of log consumed.  Compares
+   the three passes of `vyrd-check analyze`: FastTrack happens-before race
+   detection, the log-discipline linter, and lockset+reduction. *)
+let analyze_perf () =
+  Fmt.pr "@.Analyzer throughput on generated `Full-level logs@.@.";
+  let subjects =
+    [ Subjects.multiset_vector; Subjects.multiset_btree; Subjects.cache ]
+  in
+  Fmt.pr "%-22s %-22s %10s %12s@." "subject" "analysis" "ms/log" "events/s";
+  Fmt.pr "%s@." (line 70);
+  List.iter
+    (fun (s : Subjects.t) ->
+      let log =
+        Harness.run
+          {
+            Harness.default with
+            threads = 4;
+            ops_per_thread = 150;
+            log_level = `Full;
+            seed = 7;
+          }
+          (s.build ~bug:false)
+      in
+      let n = Log.length log in
+      let row name f =
+        let ns = measure_ns name f in
+        Fmt.pr "%-22s %-22s %10s %12s@."
+          (Fmt.str "%s (%d ev)" s.name n)
+          name
+          (Fmt.str "%a" pp_ms ns)
+          (if Float.is_nan ns then "-"
+           else Fmt.str "%.2fM" (float_of_int n /. ns *. 1e9 /. 1e6))
+      in
+      row "hb-race (FastTrack)" (fun () ->
+          ignore (Vyrd_analysis.Racedetect.analyze log));
+      row "log lint" (fun () -> ignore (Vyrd_analysis.Lint.check log));
+      row "lockset+reduction" (fun () ->
+          ignore (Vyrd_baselines.Reduction.analyze log)))
+    subjects;
+  Fmt.pr "%s@." (line 70)
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -475,6 +519,7 @@ let all () =
   ablation_naive ();
   baseline_atomizer ();
   explore_bounds ();
+  analyze_perf ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -496,6 +541,10 @@ let () =
           baseline_atomizer;
         cmd "explore-bounds" "Bounded verification at several preemption bounds."
           explore_bounds;
+        cmd "analyze-perf"
+          "Offline-analyzer throughput (events/sec): happens-before race \
+           detection, log lint, lockset+reduction."
+          analyze_perf;
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

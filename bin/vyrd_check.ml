@@ -5,6 +5,7 @@
      dune exec bin/vyrd_check.exe -- subjects
      dune exec bin/vyrd_check.exe -- record --subject Cache --bug -o cache.log
      dune exec bin/vyrd_check.exe -- check --subject Cache --mode view cache.log
+     dune exec bin/vyrd_check.exe -- analyze --json cache.log
 *)
 
 open Vyrd
@@ -142,6 +143,190 @@ let timeline_cmd =
        ~doc:"Render a recorded log as a per-thread timeline (Fig. 3 style).")
     Term.(const run $ writes $ width $ file)
 
+(* ------------------------------------------------------------- analyze *)
+
+module Racedetect = Vyrd_analysis.Racedetect
+module Lint = Vyrd_analysis.Lint
+module Reduction = Vyrd_baselines.Reduction
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+let json_list items = Printf.sprintf "[%s]" (String.concat "," items)
+
+let access_json (a : Racedetect.access) =
+  Printf.sprintf "{\"index\":%d,\"tid\":%d,\"kind\":%s,\"method\":%s}" a.index
+    a.tid
+    (json_str (match a.kind with `Read -> "read" | `Write -> "write"))
+    (match a.meth with
+    | Some m ->
+      Printf.sprintf "{\"mid\":%s,\"call_index\":%d}" (json_str m.mid)
+        m.call_index
+    | None -> "null")
+
+let lint_json (l : Lint.result) =
+  Printf.sprintf
+    "{\"errors\":%d,\"warnings\":%d,\"diagnostics\":%s}" l.errors l.warnings
+    (json_list
+       (List.map
+          (fun (d : Lint.diag) ->
+            Printf.sprintf
+              "{\"position\":%d,\"tid\":%d,\"severity\":%s,\"kind\":%s,\
+               \"message\":%s}"
+              d.position d.tid
+              (json_str (Fmt.str "%a" Lint.pp_severity d.severity))
+              (json_str (Lint.kind_id d.kind))
+              (json_str (Lint.message d.kind)))
+          l.diags))
+
+let races_json (r : Racedetect.result) =
+  Printf.sprintf
+    "{\"racy_vars\":%s,\"races\":%s,\"events\":%d,\"variables\":%d}"
+    (json_list (List.map json_str r.racy_vars))
+    (json_list
+       (List.map
+          (fun (race : Racedetect.race) ->
+            Printf.sprintf "{\"var\":%s,\"prior\":%s,\"current\":%s}"
+              (json_str race.var) (access_json race.prior)
+              (access_json race.current))
+          r.races))
+    r.events r.variables
+
+let reduction_json (r : Reduction.result) =
+  Printf.sprintf "{\"racy_vars\":%s,\"methods\":%s}"
+    (json_list (List.map json_str r.racy_vars))
+    (json_list
+       (List.map
+          (fun (m : Reduction.method_summary) ->
+            Printf.sprintf
+              "{\"mid\":%s,\"executions\":%d,\"atomic\":%d,\"reducible\":%b}"
+              (json_str m.mid) m.executions m.atomic
+              (m.atomic = m.executions))
+          r.methods))
+
+(* The §8 comparison: which lockset alarms does the precise happens-before
+   relation confirm, and which non-reducible methods are race-free (the
+   false-alarm gap refinement checking closes)? *)
+type comparison = {
+  lockset_only : string list;  (* lockset-racy vars with no HB race *)
+  hb_only : string list;  (* HB-racy vars the lockset pass missed *)
+  false_alarm_methods : string list;  (* non-reducible yet race-free *)
+}
+
+let compare_analyses (hb : Racedetect.result) (red : Reduction.result) =
+  let diff a b = List.filter (fun v -> not (List.mem v b)) a in
+  let racy_methods = Racedetect.racy_methods hb in
+  {
+    lockset_only = diff red.racy_vars hb.racy_vars;
+    hb_only = diff hb.racy_vars red.racy_vars;
+    false_alarm_methods =
+      List.filter_map
+        (fun (m : Reduction.method_summary) ->
+          if m.atomic < m.executions && not (List.mem m.mid racy_methods) then
+            Some m.mid
+          else None)
+        red.methods;
+  }
+
+let comparison_json c =
+  Printf.sprintf
+    "{\"lockset_only_vars\":%s,\"hb_only_vars\":%s,\
+     \"non_reducible_race_free_methods\":%s}"
+    (json_list (List.map json_str c.lockset_only))
+    (json_list (List.map json_str c.hb_only))
+    (json_list (List.map json_str c.false_alarm_methods))
+
+let analyze_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"LOG" ~doc:"Log file(s).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one machine-readable JSON document.")
+  in
+  let lint_only =
+    Arg.(
+      value & flag
+      & info [ "lint-only" ]
+          ~doc:
+            "Run only the log-discipline linter (works on logs of any \
+             level); skip race detection and reduction.")
+  in
+  let run json lint_only files =
+    let findings = ref false in
+    let analyze_one file =
+      let log = Log.of_file file in
+      let lint = Lint.check log in
+      if not (Lint.ok lint) then findings := true;
+      let deep =
+        if lint_only then None
+        else
+          match (Racedetect.analyze log, Reduction.analyze log) with
+          | hb, red ->
+            if hb.Racedetect.races <> [] then findings := true;
+            Some (hb, red, compare_analyses hb red)
+          | exception Invalid_argument msg ->
+            (* e.g. race/reduction analysis of a log recorded below `Full *)
+            Fmt.epr "configuration error: %s@." msg;
+            exit 2
+      in
+      if json then
+        Printf.printf
+          "    {\"log\":%s,\"events\":%d,\"lint\":%s%s}"
+          (json_str file) (Log.length log) (lint_json lint)
+          (match deep with
+          | None -> ""
+          | Some (hb, red, cmp) ->
+            Printf.sprintf ",\"races\":%s,\"reduction\":%s,\"comparison\":%s"
+              (races_json hb) (reduction_json red) (comparison_json cmp))
+      else begin
+        Fmt.pr "== %s (%d events) ==@." file (Log.length log);
+        Fmt.pr "lint: %a@." Lint.pp lint;
+        match deep with
+        | None -> ()
+        | Some (hb, red, cmp) ->
+          Fmt.pr "happens-before: %a@." Racedetect.pp hb;
+          Fmt.pr "reduction: %a@." Reduction.pp red;
+          Fmt.pr "lockset alarms unconfirmed by happens-before: %a@."
+            Fmt.(list ~sep:comma string)
+            cmp.lockset_only;
+          Fmt.pr "non-reducible yet race-free methods (§8 false alarms): %a@."
+            Fmt.(list ~sep:comma string)
+            cmp.false_alarm_methods
+      end
+    in
+    if json then print_string "{\n  \"analyses\": [\n";
+    List.iteri
+      (fun i file ->
+        if json && i > 0 then print_string ",\n";
+        analyze_one file;
+        if not json then Fmt.pr "@.")
+      files;
+    if json then print_string "\n  ]\n}\n";
+    if !findings then exit 1 else exit 0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analyses over a recorded log: happens-before race detection \
+          (FastTrack), the log-discipline linter, and a side-by-side \
+          comparison with Lipton-reduction atomicity (the §8 false-alarm \
+          gap).  Requires a log recorded at level full unless --lint-only.")
+    Term.(const run $ json $ lint_only $ files)
+
 let explore_cmd =
   let threads = Arg.(value & opt int 2 & info [ "threads" ] ~docv:"N") in
   let ops =
@@ -223,4 +408,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "vyrd-check" ~doc)
-          [ list_cmd; record_cmd; check_cmd; timeline_cmd; explore_cmd ]))
+          [
+            list_cmd;
+            record_cmd;
+            check_cmd;
+            timeline_cmd;
+            analyze_cmd;
+            explore_cmd;
+          ]))

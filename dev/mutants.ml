@@ -60,9 +60,10 @@ let () =
     List.map
       (fun f ->
         let row = Mutants.run_fault cfg f in
-        Fmt.pr "%-32s %s@." (Faults.name f)
+        Fmt.pr "%-32s %s%s@." (Faults.name f)
           (if Mutants.deterministic_view_detection row then "detected"
-           else "NOT DETECTED");
+           else "NOT DETECTED")
+          (if Mutants.race_detection row then " (+hb-race)" else "");
         row)
       faults
   in
@@ -85,6 +86,11 @@ let () =
   let beats = List.filter Mutants.view_beats_io rows in
   Fmt.pr "view-mode time-to-detection <= io-mode for %d/%d mutants@."
     (List.length beats) (List.length rows);
+  let raced = List.filter Mutants.race_detection rows in
+  Fmt.pr
+    "happens-before race channel fired for %d/%d mutants (informational: \
+     lock-discipline bugs only)@."
+    (List.length raced) (List.length rows);
   if missed <> [] then begin
     Fmt.epr "@.%d mutant(s) escaped deterministic view-mode detection:@."
       (List.length missed);

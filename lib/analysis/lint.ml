@@ -1,0 +1,224 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type severity = Error | Warning
+
+type kind =
+  | Duplicate_commit of { mid : string; first : int }
+  | Uncommitted_mutation of { mid : string; writes : int }
+  | Commit_outside_method
+  | Write_outside_method of { var : string }
+  | Block_outside_method
+  | Unbalanced_block_end
+  | Unclosed_block of { opened : int }
+  | Release_without_acquire of { lock : string }
+  | Unreleased_lock of { lock : string; acquired : int }
+  | Nested_call of { outer : string }
+  | Return_without_call of { mid : string }
+  | Return_mismatch of { expected : string; got : string }
+
+type diag = { position : int; tid : Tid.t; severity : severity; kind : kind }
+type result = { diags : diag list; errors : int; warnings : int; events : int }
+
+let severity_of = function
+  | Uncommitted_mutation _ | Unreleased_lock _ -> Warning
+  | Duplicate_commit _ | Commit_outside_method | Write_outside_method _
+  | Block_outside_method | Unbalanced_block_end | Unclosed_block _
+  | Release_without_acquire _ | Nested_call _ | Return_without_call _
+  | Return_mismatch _ -> Error
+
+(* Per-thread linter state.  [exec] is the open method execution, if any. *)
+type exec = {
+  mid : string;
+  call_index : int;
+  mutable first_commit : int option;
+  mutable writes : int;
+}
+
+type tstate = {
+  mutable exec : exec option;
+  mutable blocks : int list;  (* open Block_begin positions, innermost first *)
+  mutable held : (string * (int * int)) list;  (* lock -> count, acquire pos *)
+}
+
+let check log =
+  (* Threads that never record a Call are initialization / daemon threads:
+     their writes and commits are §6.2 coarse-grained logging, not method
+     actions, so the outside-a-method checks do not apply to them. *)
+  let calling = Hashtbl.create 16 in
+  Log.iter
+    (fun ev ->
+      match ev with
+      | Event.Call { tid; _ } -> Hashtbl.replace calling tid ()
+      | _ -> ())
+    log;
+  let calling tid = Hashtbl.mem calling tid in
+  let threads : (Tid.t, tstate) Hashtbl.t = Hashtbl.create 16 in
+  let state tid =
+    match Hashtbl.find_opt threads tid with
+    | Some s -> s
+    | None ->
+      let s = { exec = None; blocks = []; held = [] } in
+      Hashtbl.replace threads tid s;
+      s
+  in
+  let diags = ref [] in
+  let emit position tid kind =
+    diags := { position; tid; severity = severity_of kind; kind } :: !diags
+  in
+  let close_exec position tid (e : exec) =
+    if e.first_commit = None && e.writes > 0 then
+      emit position tid (Uncommitted_mutation { mid = e.mid; writes = e.writes })
+  in
+  let index = ref 0 in
+  Log.iter
+    (fun ev ->
+      let i = !index in
+      incr index;
+      match ev with
+      | Event.Call { tid; mid; _ } ->
+        let s = state tid in
+        (match s.exec with
+        | Some outer -> emit i tid (Nested_call { outer = outer.mid })
+        | None -> ());
+        s.exec <- Some { mid; call_index = i; first_commit = None; writes = 0 }
+      | Event.Return { tid; mid; _ } -> (
+        let s = state tid in
+        match s.exec with
+        | None -> emit i tid (Return_without_call { mid })
+        | Some e ->
+          if e.mid <> mid then
+            emit i tid (Return_mismatch { expected = e.mid; got = mid });
+          (* blocks opened inside this execution must have closed *)
+          List.iter
+            (fun opened ->
+              if opened > e.call_index then
+                emit i tid (Unclosed_block { opened }))
+            s.blocks;
+          s.blocks <- List.filter (fun opened -> opened <= e.call_index) s.blocks;
+          close_exec i tid e;
+          s.exec <- None)
+      | Event.Commit { tid } -> (
+        let s = state tid in
+        match s.exec with
+        | Some e -> (
+          match e.first_commit with
+          | None -> e.first_commit <- Some i
+          | Some first -> emit i tid (Duplicate_commit { mid = e.mid; first }))
+        | None -> if calling tid then emit i tid Commit_outside_method)
+      | Event.Write { tid; var; _ } -> (
+        let s = state tid in
+        match s.exec with
+        | Some e -> e.writes <- e.writes + 1
+        | None -> if calling tid then emit i tid (Write_outside_method { var }))
+      | Event.Block_begin { tid } ->
+        let s = state tid in
+        if s.exec = None && calling tid then emit i tid Block_outside_method;
+        s.blocks <- i :: s.blocks
+      | Event.Block_end { tid } -> (
+        let s = state tid in
+        match s.blocks with
+        | _ :: rest -> s.blocks <- rest
+        | [] -> emit i tid Unbalanced_block_end)
+      | Event.Read _ -> ()
+      | Event.Acquire { tid; lock } ->
+        let s = state tid in
+        s.held <-
+          (match List.assoc_opt lock s.held with
+          | Some (n, first) -> (lock, (n + 1, first)) :: List.remove_assoc lock s.held
+          | None -> (lock, (1, i)) :: s.held)
+      | Event.Release { tid; lock } -> (
+        let s = state tid in
+        match List.assoc_opt lock s.held with
+        | Some (n, first) ->
+          s.held <-
+            (if n > 1 then (lock, (n - 1, first)) :: List.remove_assoc lock s.held
+             else List.remove_assoc lock s.held)
+        | None -> emit i tid (Release_without_acquire { lock })))
+    log;
+  let events = !index in
+  (* End-of-log findings, sorted for determinism: a log may legitimately be
+     truncated mid-execution (a checker stopping at the violation), so open
+     calls are not flagged — but open blocks and held locks are. *)
+  let tail = ref [] in
+  Hashtbl.iter
+    (fun tid (s : tstate) ->
+      List.iter
+        (fun opened ->
+          tail := (opened, tid, Unclosed_block { opened }) :: !tail)
+        s.blocks;
+      List.iter
+        (fun (lock, (_, acquired)) ->
+          tail := (acquired, tid, Unreleased_lock { lock; acquired }) :: !tail)
+        s.held)
+    threads;
+  List.iter
+    (fun (pos, tid, kind) -> emit pos tid kind)
+    (List.sort compare !tail);
+  let diags = List.rev !diags in
+  {
+    diags;
+    errors = List.length (List.filter (fun d -> d.severity = Error) diags);
+    warnings = List.length (List.filter (fun d -> d.severity = Warning) diags);
+    events;
+  }
+
+let ok r = r.errors = 0
+
+let kind_id = function
+  | Duplicate_commit _ -> "duplicate-commit"
+  | Uncommitted_mutation _ -> "uncommitted-mutation"
+  | Commit_outside_method -> "commit-outside-method"
+  | Write_outside_method _ -> "write-outside-method"
+  | Block_outside_method -> "block-outside-method"
+  | Unbalanced_block_end -> "unbalanced-block-end"
+  | Unclosed_block _ -> "unclosed-block"
+  | Release_without_acquire _ -> "release-without-acquire"
+  | Unreleased_lock _ -> "unreleased-lock"
+  | Nested_call _ -> "nested-call"
+  | Return_without_call _ -> "return-without-call"
+  | Return_mismatch _ -> "return-mismatch"
+
+let message = function
+  | Duplicate_commit { mid; first } ->
+    Printf.sprintf "second commit in one execution of %s (first committed @%d)"
+      mid first
+  | Uncommitted_mutation { mid; writes } ->
+    Printf.sprintf
+      "execution of %s wrote %d variable(s) but never committed (legal only \
+       for exceptional termination, §4.3)"
+      mid writes
+  | Commit_outside_method -> "commit outside any method execution"
+  | Write_outside_method { var } ->
+    Printf.sprintf "write to %s outside any method execution" var
+  | Block_outside_method -> "commit block opened outside any method execution"
+  | Unbalanced_block_end -> "block-end with no open block"
+  | Unclosed_block { opened } ->
+    Printf.sprintf "commit block opened @%d never closed" opened
+  | Release_without_acquire { lock } ->
+    Printf.sprintf "release of %s which is not held" lock
+  | Unreleased_lock { lock; acquired } ->
+    Printf.sprintf "lock %s (acquired @%d) still held at end of log" lock
+      acquired
+  | Nested_call { outer } ->
+    Printf.sprintf "call while execution of %s is still open" outer
+  | Return_without_call { mid } ->
+    Printf.sprintf "return from %s with no open call" mid
+  | Return_mismatch { expected; got } ->
+    Printf.sprintf "return from %s while the open call is %s" got expected
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+
+let pp_diag ppf d =
+  Fmt.pf ppf "[%a] @%d %s: %s" pp_severity d.severity d.position
+    (Tid.to_string d.tid) (message d.kind)
+
+let pp ppf r =
+  if r.diags = [] then Fmt.pf ppf "clean (%d events)" r.events
+  else
+    Fmt.pf ppf "@[<v>%d error(s), %d warning(s) in %d events:@ %a@]" r.errors
+      r.warnings r.events
+      Fmt.(list ~sep:cut pp_diag)
+      r.diags

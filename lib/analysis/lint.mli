@@ -1,0 +1,80 @@
+(** Log-discipline linter: static checks of the instrumentation contract of
+    paper §4–§5 over a recorded log.
+
+    The refinement checkers trust the instrumentation: one commit action per
+    mutating method execution (§4.1), commit blocks properly bracketed
+    (§5.2), logged actions attributed to the method execution that performed
+    them.  A log that violates the contract does not make the checker crash
+    — it makes its verdict quietly meaningless.  This linter makes the
+    contract itself checkable:
+
+    - a method execution must not record two [Commit]s, and a mutating
+      execution (one with [Write]s) that commits nothing is suspicious
+      (legal only for exceptional terminations, §4.3 — reported as a
+      warning);
+    - [Block_begin]/[Block_end] must be balanced and properly nested per
+      thread, and every block opened inside a method execution must close
+      before its [Return];
+    - a thread that makes method calls must not record [Commit], [Write] or
+      block brackets between a [Return] and its next [Call]; threads that
+      never call (the main thread's initialization, compression/flush
+      daemons) are exempt — their writes are the coarse-grained logging of
+      §6.2;
+    - a [Release] must match a held [Acquire] (reentrancy counted), and
+      locks still held at the end of the log are reported;
+    - [Return]s must match their [Call] ([mid] and presence).
+
+    Each violation is a typed {!diag} with a {!severity} and the log
+    position it anchors to.  Diagnostics are emitted in log order (end-of-log
+    findings last, sorted), so output is deterministic.  The linter accepts
+    logs of any level and checks whatever event classes are present. *)
+
+type severity = Error | Warning
+
+type kind =
+  | Duplicate_commit of { mid : string; first : int }
+      (** a second [Commit] inside one method execution; [first] is the log
+          position of the execution's first commit *)
+  | Uncommitted_mutation of { mid : string; writes : int }
+      (** execution wrote [writes] variables but never committed *)
+  | Commit_outside_method
+  | Write_outside_method of { var : string }
+  | Block_outside_method
+  | Unbalanced_block_end  (** [Block_end] with no open [Block_begin] *)
+  | Unclosed_block of { opened : int }
+      (** a [Block_begin] (at [opened]) never closed — reported at the
+          [Return] that abandoned it, or at the end of the log *)
+  | Release_without_acquire of { lock : string }
+  | Unreleased_lock of { lock : string; acquired : int }
+  | Nested_call of { outer : string }
+      (** [Call] while [outer]'s execution is still open on the thread *)
+  | Return_without_call of { mid : string }
+  | Return_mismatch of { expected : string; got : string }
+
+type diag = {
+  position : int;  (** log index the diagnostic anchors to *)
+  tid : Vyrd_sched.Tid.t;
+  severity : severity;
+  kind : kind;
+}
+
+type result = {
+  diags : diag list;
+  errors : int;
+  warnings : int;
+  events : int;
+}
+
+val check : Vyrd.Log.t -> result
+
+(** No errors (warnings allowed). *)
+val ok : result -> bool
+
+(** Stable kebab-case identifier for machine-readable output, e.g.
+    ["duplicate-commit"]. *)
+val kind_id : kind -> string
+
+val message : kind -> string
+val pp_severity : Format.formatter -> severity -> unit
+val pp_diag : Format.formatter -> diag -> unit
+val pp : Format.formatter -> result -> unit

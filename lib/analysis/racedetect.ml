@@ -1,0 +1,242 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type meth = { mid : string; call_index : int }
+
+type access = {
+  index : int;
+  tid : Tid.t;
+  kind : [ `Read | `Write ];
+  meth : meth option;
+}
+
+type race = { var : string; prior : access; current : access }
+
+type result = {
+  races : race list;
+  racy_vars : string list;
+  events : int;
+  variables : int;
+}
+
+(* FastTrack per-variable read state: a single epoch while reads are totally
+   ordered, promoted to a per-thread table (the "read vector") only once two
+   reads are actually concurrent. *)
+type read_state =
+  | No_reads
+  | Single of { eclock : int; access : access }
+  | Shared of (Tid.t, int * access) Hashtbl.t
+
+type vstate = {
+  mutable last_write : (int * access) option;  (* write epoch + its access *)
+  mutable reads : read_state;
+  mutable reported : bool;  (* one race per variable in the report *)
+}
+
+type t = {
+  threads : (Tid.t, Vclock.t) Hashtbl.t;
+  locks : (string, Vclock.t) Hashtbl.t;
+  vars : (string, vstate) Hashtbl.t;
+  current : (Tid.t, meth) Hashtbl.t;  (* open method execution per thread *)
+  mutable races_rev : race list;
+  mutable n_races : int;
+  mutable index : int;
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 16;
+    locks = Hashtbl.create 16;
+    vars = Hashtbl.create 64;
+    current = Hashtbl.create 16;
+    races_rev = [];
+    n_races = 0;
+    index = 0;
+  }
+
+let thread_clock t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some c -> c
+  | None ->
+    let c = Vclock.create () in
+    (* Spawn inheritance: thread creation is not logged, but the main thread
+       (tid 0) sets up every structure before spawning workers, so a worker's
+       first event happens after everything tid 0 has logged so far. *)
+    (if tid <> 0 then
+       match Hashtbl.find_opt t.threads 0 with
+       | Some c0 -> Vclock.join c c0
+       | None -> ());
+    Vclock.tick c tid;
+    Hashtbl.replace t.threads tid c;
+    c
+
+let var_state t var =
+  match Hashtbl.find_opt t.vars var with
+  | Some v -> v
+  | None ->
+    let v = { last_write = None; reads = No_reads; reported = false } in
+    Hashtbl.replace t.vars var v;
+    v
+
+let report t var v prior current =
+  if not v.reported then begin
+    v.reported <- true;
+    t.races_rev <- { var; prior; current } :: t.races_rev;
+    t.n_races <- t.n_races + 1
+  end
+
+let mk_access t ~index ~tid ~kind =
+  { index; tid; kind; meth = Hashtbl.find_opt t.current tid }
+
+let read t tid var index =
+  let c = thread_clock t tid in
+  let v = var_state t var in
+  let a = mk_access t ~index ~tid ~kind:`Read in
+  (match v.last_write with
+  | Some (wc, wa)
+    when wa.tid <> tid
+         && not (Vclock.epoch_leq { Vclock.etid = wa.tid; eclock = wc } c) ->
+    report t var v wa a
+  | _ -> ());
+  let myclock = Vclock.get c tid in
+  match v.reads with
+  | No_reads -> v.reads <- Single { eclock = myclock; access = a }
+  | Single { eclock; access } ->
+    if
+      access.tid = tid
+      || Vclock.epoch_leq { Vclock.etid = access.tid; eclock } c
+    then v.reads <- Single { eclock = myclock; access = a }
+    else begin
+      (* two genuinely concurrent reads: promote to a read vector *)
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace tbl access.tid (eclock, access);
+      Hashtbl.replace tbl tid (myclock, a);
+      v.reads <- Shared tbl
+    end
+  | Shared tbl -> Hashtbl.replace tbl tid (myclock, a)
+
+let write t tid var index =
+  let c = thread_clock t tid in
+  let v = var_state t var in
+  let a = mk_access t ~index ~tid ~kind:`Write in
+  (match v.last_write with
+  | Some (wc, wa)
+    when wa.tid <> tid
+         && not (Vclock.epoch_leq { Vclock.etid = wa.tid; eclock = wc } c) ->
+    report t var v wa a
+  | _ -> ());
+  (match v.reads with
+  | No_reads -> ()
+  | Single { eclock; access }
+    when access.tid <> tid
+         && not (Vclock.epoch_leq { Vclock.etid = access.tid; eclock } c) ->
+    report t var v access a
+  | Single _ -> ()
+  | Shared tbl ->
+    (* deterministic choice: the racing read earliest in the log *)
+    let racing =
+      Hashtbl.fold
+        (fun rtid ((rc : int), (ra : access)) best ->
+          if rtid <> tid && rc > Vclock.get c rtid then
+            match best with
+            | Some (b : access) when b.index <= ra.index -> best
+            | _ -> Some ra
+          else best)
+        tbl None
+    in
+    Option.iter (fun ra -> report t var v ra a) racing);
+  v.last_write <- Some (Vclock.get c tid, a);
+  (* reads ordered before this write can never race with anything later than
+     it; drop them so the shared table stays small *)
+  match v.reads with
+  | No_reads -> ()
+  | Single { eclock; access } ->
+    if access.tid = tid || eclock <= Vclock.get c access.tid then
+      v.reads <- No_reads
+  | Shared tbl ->
+    let all_before =
+      Hashtbl.fold
+        (fun rtid (rc, _) acc -> acc && (rtid = tid || rc <= Vclock.get c rtid))
+        tbl true
+    in
+    if all_before then v.reads <- No_reads
+
+let feed t ev =
+  let index = t.index in
+  t.index <- index + 1;
+  match ev with
+  | Event.Call { tid; mid; _ } ->
+    Hashtbl.replace t.current tid { mid; call_index = index }
+  | Event.Return { tid; _ } -> Hashtbl.remove t.current tid
+  | Event.Commit _ | Event.Block_begin _ | Event.Block_end _ -> ()
+  | Event.Acquire { tid; lock } -> (
+    let c = thread_clock t tid in
+    match Hashtbl.find_opt t.locks lock with
+    | Some l -> Vclock.join c l
+    | None -> ())
+  | Event.Release { tid; lock } ->
+    let c = thread_clock t tid in
+    Hashtbl.replace t.locks lock (Vclock.copy c);
+    Vclock.tick c tid
+  | Event.Read { tid; var } -> read t tid var index
+  | Event.Write { tid; var; _ } -> write t tid var index
+
+let result t =
+  let races = List.rev t.races_rev in
+  {
+    races;
+    racy_vars = List.sort compare (List.map (fun r -> r.var) races);
+    events = t.index;
+    variables = Hashtbl.length t.vars;
+  }
+
+(* Mirrors Checker.require_view_level (the PR-1 view-on-io guard): analysis
+   below its log level would be silently meaningless, so fail fast. *)
+let require_full_level ~who log =
+  if not (Log.records_reads log) then
+    invalid_arg
+      (Printf.sprintf
+         "%s: happens-before race detection requires a log recorded at level \
+          `Full (this log records at `%s); re-record the run with full-level \
+          logging"
+         who
+         (match Log.level log with
+         | `None -> "None"
+         | `Io -> "Io"
+         | `View -> "View"
+         | `Full -> "Full"))
+
+let analyze log =
+  require_full_level ~who:"Racedetect.analyze" log;
+  let t = create () in
+  Log.iter (feed t) log;
+  result t
+
+let racy_methods r =
+  let add acc (a : access) =
+    match a.meth with
+    | Some { mid; _ } when not (List.mem mid acc) -> mid :: acc
+    | _ -> acc
+  in
+  List.fold_left (fun acc r -> add (add acc r.prior) r.current) [] r.races
+  |> List.sort compare
+
+let pp_access ppf a =
+  Fmt.pf ppf "%s %s @%d%a" (Tid.to_string a.tid)
+    (match a.kind with `Read -> "read" | `Write -> "write")
+    a.index
+    Fmt.(
+      option (fun ppf m -> pf ppf " (in %s@%d)" m.mid m.call_index))
+    a.meth
+
+let pp_race ppf r =
+  Fmt.pf ppf "@[<h>%s: %a ~ %a@]" r.var pp_access r.prior pp_access r.current
+
+let pp ppf r =
+  if r.races = [] then
+    Fmt.pf ppf "no races (%d events, %d variables)" r.events r.variables
+  else
+    Fmt.pf ppf "@[<v>%d racy variable(s) in %d events:@ %a@]"
+      (List.length r.races) r.events
+      Fmt.(list ~sep:cut pp_race)
+      r.races

@@ -69,7 +69,26 @@ let locksets log =
 (* Phase 2: per-execution mover strings checked against (R|B)* N? (L|B)*. *)
 type phase = Pre | Post
 
+(* Mirrors Checker.require_view_level (the PR-1 view-on-io guard): without
+   Read/Acquire/Release events every variable looks unshared and every
+   method reducible, so a sub-`Full log would silently yield an
+   all-clear.  Fail fast with a configuration error instead. *)
+let require_full_level ~who log =
+  if not (Log.records_reads log) then
+    invalid_arg
+      (Printf.sprintf
+         "%s: lockset/reduction analysis requires a log recorded at level \
+          `Full (this log records at `%s); re-record the run with full-level \
+          logging"
+         who
+         (match Log.level log with
+         | `None -> "None"
+         | `Io -> "Io"
+         | `View -> "View"
+         | `Full -> "Full"))
+
 let analyze log =
+  require_full_level ~who:"Reduction.analyze" log;
   let racy = locksets log in
   let current : (Tid.t, string * phase * bool) Hashtbl.t = Hashtbl.create 16 in
   (* per mid: (executions, atomic) *)

@@ -26,6 +26,10 @@ type result = {
   methods : method_summary list;  (** sorted by method name *)
 }
 
+(** @raise Invalid_argument if the log was recorded below level [`Full]: a
+    log without reads and lock transitions would make every variable look
+    unshared and every method reducible, so the analysis refuses it (same
+    fail-fast discipline as [`View]-mode checking of a sub-[`View] log). *)
 val analyze : Vyrd.Log.t -> result
 
 (** Every execution of [mid] was reducible.  Methods never executed count as

@@ -18,7 +18,7 @@ module Explore = Vyrd_sched.Explore
 
 type cell = {
   regime : string;  (* "coop" | "native" | "explore" *)
-  mode : string;  (* "io" | "view" *)
+  mode : string;  (* "io" | "view" | "race" *)
   detected : bool;
   runs : int;  (* seeds swept / native retries / schedules executed *)
   methods_checked : int option;  (* of the first detecting report *)
@@ -31,6 +31,7 @@ type config = {
   threads : int;
   ops : int;  (* per thread, coop + native regimes *)
   seeds : int;  (* coop seed-sweep budget *)
+  race_seeds : int;  (* coop sweep budget for the happens-before channel *)
   native_runs : int;
   explore_fibers : int;
   explore_ops : int;  (* per fiber, explore regime *)
@@ -44,6 +45,7 @@ let quick =
     threads = 4;
     ops = 25;
     seeds = 80;
+    race_seeds = 20;
     native_runs = 8;
     explore_fibers = 2;
     explore_ops = 3;
@@ -57,6 +59,7 @@ let full =
     threads = 5;
     ops = 30;
     seeds = 250;
+    race_seeds = 60;
     native_runs = 30;
     explore_fibers = 2;
     explore_ops = 4;
@@ -125,6 +128,52 @@ let coop_cells cfg (s : Subjects.t) =
     cell ~regime:"coop" ~mode:"io" ~runs:!io_runs !io;
     cell ~regime:"coop" ~mode:"view" ~runs:!view_runs !view;
   ]
+
+(* --- happens-before race channel ------------------------------------------ *)
+
+(* Third, independent detection channel: a FastTrack pass over `Full-level
+   logs of the armed subject.  Differential against the unarmed subject on
+   the same seed, because some subjects (the B-link tree's optimistic
+   lock-free reads) report happens-before races even when correct — only a
+   racy variable that the baseline run does NOT report counts as detecting
+   the mutant.  Annotation bugs (a misplaced commit) are invisible to this
+   channel by construction; that asymmetry is the point of recording it. *)
+let race_cell cfg fault (s : Subjects.t) =
+  let full_log seed =
+    Harness.run
+      { (harness_cfg cfg seed) with log_level = `Full }
+      (s.build ~bug:false)
+  in
+  let racy_vars seed =
+    (Vyrd_analysis.Racedetect.analyze (full_log seed)).Vyrd_analysis.Racedetect
+      .racy_vars
+  in
+  let baseline_racy_vars seed =
+    (* run_fault calls us under with_armed, which restores state on exit *)
+    Faults.disarm fault;
+    Fun.protect ~finally:(fun () -> Faults.arm fault) (fun () -> racy_vars seed)
+  in
+  let found = ref None and runs = ref 0 in
+  let seed = ref 0 in
+  while !found = None && !seed < cfg.race_seeds do
+    incr runs;
+    (match racy_vars !seed with
+    | [] -> ()
+    | armed ->
+      let baseline = baseline_racy_vars !seed in
+      (match List.filter (fun v -> not (List.mem v baseline)) armed with
+      | fresh :: _ -> found := Some fresh
+      | [] -> ()));
+    incr seed
+  done;
+  {
+    regime = "coop";
+    mode = "race";
+    detected = !found <> None;
+    runs = !runs;
+    methods_checked = None;
+    tag = !found;
+  }
 
 (* --- native stress: real threads, inherently non-deterministic ----------- *)
 
@@ -213,7 +262,11 @@ let run_fault cfg fault =
   Faults.with_armed fault (fun () ->
       let cells =
         coop_cells cfg subject
-        @ [ native_cell cfg subject; explore_cell cfg fault subject ]
+        @ [
+            race_cell cfg fault subject;
+            native_cell cfg subject;
+            explore_cell cfg fault subject;
+          ]
       in
       { fault; subject; cells })
 
@@ -228,6 +281,12 @@ let deterministic_view_detection row =
   List.exists
     (fun c -> c.mode = "view" && c.detected && (c.regime = "coop" || c.regime = "explore"))
     row.cells
+
+(* The happens-before channel fired: the armed run shows a racy variable the
+   unarmed run does not.  Independent of refinement checking — annotation
+   bugs never light it up, lock-discipline bugs always should. *)
+let race_detection row =
+  List.exists (fun c -> c.mode = "race" && c.detected) row.cells
 
 (* Table 1's headline inequality, on ground truth: view refinement needs no
    more checked methods than I/O refinement (which may miss outright). *)
@@ -244,16 +303,16 @@ let view_beats_io row =
 
 let pp_cell ppf c =
   if c.detected then
-    Fmt.pf ppf "%s m=%d r=%d"
+    Fmt.pf ppf "%s %ar=%d"
       (Option.value ~default:"?" c.tag)
-      (Option.value ~default:(-1) c.methods_checked)
-      c.runs
+      Fmt.(option (fun ppf m -> pf ppf "m=%d " m))
+      c.methods_checked c.runs
   else Fmt.pf ppf "miss(%d)" c.runs
 
 let pp_matrix ppf rows =
-  let line = String.make 118 '-' in
-  Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s@." "fault" "subject" "coop/io"
-    "coop/view" "native/view" "explore/view";
+  let line = String.make 137 '-' in
+  Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s %-18s@." "fault" "subject"
+    "coop/io" "coop/view" "coop/race" "native/view" "explore/view";
   Fmt.pf ppf "%s@." line;
   List.iter
     (fun row ->
@@ -262,14 +321,17 @@ let pp_matrix ppf rows =
         | Some c -> Fmt.str "%a" pp_cell c
         | None -> "-"
       in
-      Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s@." (Faults.name row.fault)
-        row.subject.Subjects.name (c "coop" "io") (c "coop" "view") (c "native" "view")
+      Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s %-18s@."
+        (Faults.name row.fault) row.subject.Subjects.name (c "coop" "io")
+        (c "coop" "view") (c "coop" "race") (c "native" "view")
         (c "explore" "view"))
     rows;
   Fmt.pf ppf "%s@." line;
   Fmt.pf ppf
     "(m = methods checked when the violation fired — Table 1's unit; r = \
-     runs/schedules until detection; miss(n) = undetected after n)@."
+     runs/schedules until detection; miss(n) = undetected after n; the race \
+     column is the differential happens-before channel: armed-only racy \
+     variable, or miss)@."
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -301,12 +363,14 @@ let to_json rows =
       Buffer.add_string b
         (Printf.sprintf
            "    {\"fault\":\"%s\",\"subject\":\"%s\",\"description\":\"%s\",\n\
-           \     \"deterministic_view_detection\":%b,\"view_beats_io\":%b,\n\
+           \     \"deterministic_view_detection\":%b,\"view_beats_io\":%b,\
+            \"race_detection\":%b,\n\
            \     \"cells\":[%s]}"
            (json_escape (Faults.name row.fault))
            (json_escape row.subject.Subjects.name)
            (json_escape (Faults.description row.fault))
            (deterministic_view_detection row) (view_beats_io row)
+           (race_detection row)
            (String.concat "," (List.map cell_json row.cells))))
     rows;
   Buffer.add_string b "\n  ]\n}\n";

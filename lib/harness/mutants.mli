@@ -12,6 +12,14 @@
       exploration ({!Vyrd_sched.Explore}, CHESS-style preemption bound) — a
       detection here is a certificate independent of seed luck.
 
+    A fourth, analysis-side channel rides on the coop regime: the
+    happens-before race detector ({!Vyrd_analysis.Racedetect}) over
+    [`Full]-level logs of the armed subject, {e differential} against the
+    unarmed subject on the same seed (some subjects race benignly even when
+    correct).  Lock-discipline mutants light it up; annotation mutants (a
+    misplaced commit) are invisible to it by construction — recording that
+    asymmetry per mutant is what the [race] column is for.
+
     Each cell records whether the checker fired, after how many
     runs/schedules, and the [methods_checked] of the detecting report — the
     paper's Table 1 time-to-detection unit, now measured against ground
@@ -20,11 +28,13 @@
 
 type cell = {
   regime : string;  (** ["coop"], ["native"] or ["explore"] *)
-  mode : string;  (** ["io"] or ["view"] *)
+  mode : string;  (** ["io"], ["view"] or ["race"] *)
   detected : bool;
   runs : int;  (** seeds swept / native retries / schedules executed *)
   methods_checked : int option;  (** of the first detecting report *)
-  tag : string option;  (** {!Vyrd.Report.tag} of the detecting violation *)
+  tag : string option;
+      (** {!Vyrd.Report.tag} of the detecting violation; for the race
+          channel, the first armed-only racy variable *)
 }
 
 type row = { fault : Vyrd_faults.Faults.t; subject : Subjects.t; cells : cell list }
@@ -33,6 +43,7 @@ type config = {
   threads : int;
   ops : int;  (** per thread, coop + native regimes *)
   seeds : int;  (** coop seed-sweep budget *)
+  race_seeds : int;  (** coop sweep budget for the happens-before channel *)
   native_runs : int;
   explore_fibers : int;
   explore_ops : int;  (** per fiber, explore regime *)
@@ -62,6 +73,12 @@ val find_cell : row -> regime:string -> mode:string -> cell option
 (** The mutant was detected in [`View] mode under a deterministic regime
     (coop or explore) — the property every registered fault must satisfy. *)
 val deterministic_view_detection : row -> bool
+
+(** The happens-before race channel fired: the armed run shows a racy
+    variable the unarmed run (same seed) does not.  No mutant is required to
+    satisfy this — the column records which bug classes a precise race
+    detector can and cannot see. *)
+val race_detection : row -> bool
 
 (** Table 1's inequality on ground truth: view-mode time-to-detection is no
     worse than I/O-mode (or I/O missed the bug entirely) in the coop

@@ -10,6 +10,7 @@ let () =
       ("scanfs", Test_scanfs.suite);
       ("harness", Test_harness.suite);
       ("baselines", Test_baselines.suite);
+      ("analysis", Test_analysis.suite);
       ("fuzz", Test_fuzz.suite);
       ("oracle", Test_oracle.suite);
       ("native-stress", Test_native_stress.suite);
