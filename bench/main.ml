@@ -509,6 +509,209 @@ let analyze_perf () =
     subjects;
   Fmt.pr "%s@." (line 70)
 
+(* ------------------------------------------------- pipeline experiments *)
+
+module Bincodec = Vyrd_pipeline.Bincodec
+module Farm = Vyrd_pipeline.Farm
+module Pmetrics = Vyrd_pipeline.Metrics
+
+(* Disjoint method namespaces, as the farm router requires. *)
+let pipeline_subjects =
+  [ Subjects.multiset_vector; Subjects.jvector; Subjects.string_buffer ]
+
+let composed () =
+  match pipeline_subjects with
+  | [] -> assert false
+  | s0 :: rest ->
+    List.fold_left
+      (fun (spec, view) (s : Subjects.t) ->
+        (Spec_compose.pair spec s.spec, Spec_compose.pair_views view s.view))
+      (s0.spec, s0.view) rest
+
+let multi_log ~threads ~ops ~seed ~level =
+  let log = Log.create ~level () in
+  Harness.run_into ~log
+    { Harness.threads; ops_per_thread = ops; key_pool = 12; key_range = 32;
+      seed; log_level = level }
+    (List.map (fun (s : Subjects.t) -> s.build ~bug:false) pipeline_subjects);
+  log
+
+let farm_shards () =
+  List.map
+    (fun (s : Subjects.t) -> Farm.shard ~mode:`View ~view:s.view s.name s.spec)
+    pipeline_subjects
+
+let pipeline_codec () =
+  Fmt.pr "@.Pipeline: binary vs textual codec throughput@.@.";
+  let log = multi_log ~threads:8 ~ops:2000 ~seed:3 ~level:`Full in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let lines = Array.map Event.to_line events in
+  let text_bytes = Array.fold_left (fun a l -> a + String.length l + 1) 0 lines in
+  let buf = Buffer.create (n * 16) in
+  Array.iter (Bincodec.put_event buf) events;
+  let bin = Buffer.contents buf in
+  let enc_text =
+    measure_ns "codec/text-encode" (fun () ->
+        Array.iter (fun ev -> ignore (Event.to_line ev)) events)
+  in
+  let enc_bin =
+    measure_ns "codec/bin-encode" (fun () ->
+        Buffer.clear buf;
+        Array.iter (Bincodec.put_event buf) events)
+  in
+  let dec_text =
+    measure_ns "codec/text-decode" (fun () ->
+        Array.iter (fun l -> ignore (Event.of_line l)) lines)
+  in
+  let dec_bin =
+    measure_ns "codec/bin-decode" (fun () ->
+        let pos = ref 0 in
+        let len = String.length bin in
+        while !pos < len do
+          let _, p = Bincodec.get_event bin !pos in
+          pos := p
+        done)
+  in
+  Fmt.pr "%d events at `Full level; %d bytes text, %d bytes binary (%.2fx smaller)@.@."
+    n text_bytes (String.length bin)
+    (float_of_int text_bytes /. float_of_int (String.length bin));
+  Fmt.pr "%-26s %10s %12s@." "codec" "ms/log" "events/s";
+  Fmt.pr "%s@." (line 50);
+  let row name ns =
+    Fmt.pr "%-26s %10s %12s@." name
+      (Fmt.str "%a" pp_ms ns)
+      (if Float.is_nan ns then "-"
+       else Fmt.str "%.2fM" (float_of_int n /. ns *. 1e9 /. 1e6))
+  in
+  row "text encode (to_line)" enc_text;
+  row "binary encode" enc_bin;
+  row "text decode (of_line)" dec_text;
+  row "binary decode" dec_bin;
+  row "text round trip" (enc_text +. dec_text);
+  row "binary round trip" (enc_bin +. dec_bin);
+  Fmt.pr "@.encode speedup: %.1fx, decode speedup: %.1fx, round trip: %.1fx@."
+    (enc_text /. enc_bin) (dec_text /. dec_bin)
+    ((enc_text +. dec_text) /. (enc_bin +. dec_bin))
+
+let pipeline_scaling () =
+  let k = List.length pipeline_subjects in
+  Fmt.pr "@.Pipeline: checker-domain scaling (same stream, 1 vs %d domains)@.@." k;
+  let log = multi_log ~threads:8 ~ops:2000 ~seed:5 ~level:`View in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let spec, view = composed () in
+  let run_farm shards () =
+    let farm = Farm.start ~capacity:8192 ~level:`View shards in
+    Array.iter (Farm.feed farm) events;
+    ignore (Farm.finish farm)
+  in
+  let offline =
+    measure_ns "farm/offline" (fun () ->
+        ignore (Checker.check ~mode:`View ~view log spec))
+  in
+  let one_ns =
+    measure_ns ~quota:1.0 "farm/1-domain"
+      (run_farm [ Farm.shard ~mode:`View ~view "composite" spec ])
+  in
+  let many_ns = measure_ns ~quota:1.0 "farm/n-domain" (run_farm (farm_shards ())) in
+  Fmt.pr "%d events at `View level@.@." n;
+  Fmt.pr "%-30s %10s %12s@." "configuration" "ms/check" "events/s";
+  Fmt.pr "%s@." (line 54);
+  let row name ns =
+    Fmt.pr "%-30s %10s %12s@." name
+      (Fmt.str "%a" pp_ms ns)
+      (if Float.is_nan ns then "-"
+       else Fmt.str "%.2fM" (float_of_int n /. ns *. 1e9 /. 1e6))
+  in
+  row "offline, in-process" offline;
+  row "farm, 1 domain (composite)" one_ns;
+  row (Printf.sprintf "farm, %d domains" k) many_ns;
+  Fmt.pr "@.%d-domain speedup over 1 domain: %.2fx@." k (one_ns /. many_ns)
+
+let pipeline_backpressure () =
+  Fmt.pr "@.Pipeline: backpressure stall vs ring capacity@.@.";
+  let log = multi_log ~threads:8 ~ops:2000 ~seed:7 ~level:`View in
+  let events = Log.snapshot log in
+  Fmt.pr "%d events; the producer blocks whenever a shard's ring is full@.@."
+    (Array.length events);
+  Fmt.pr "%8s %10s %12s %12s@." "capacity" "wall ms" "high-water" "stall ms";
+  Fmt.pr "%s@." (line 46);
+  List.iter
+    (fun capacity ->
+      let farm = Farm.start ~capacity ~level:`View (farm_shards ()) in
+      let t0 = Unix.gettimeofday () in
+      Array.iter (Farm.feed farm) events;
+      let r = Farm.finish farm in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let hw =
+        List.fold_left (fun a (sr : Farm.shard_result) -> max a sr.Farm.sr_high_water)
+          0 r.Farm.shards
+      in
+      let stall =
+        List.fold_left (fun a (sr : Farm.shard_result) -> a + sr.Farm.sr_stall_ns)
+          0 r.Farm.shards
+      in
+      Fmt.pr "%8d %10.2f %12d %12.2f@." capacity dt hw
+        (float_of_int stall /. 1e6))
+    [ 16; 64; 256; 1024; 8192 ];
+  Fmt.pr
+    "@.(small rings bound memory hard and surface as stall time; once the@.\
+     capacity covers the checkers' burst lag the stall disappears)@."
+
+let pipeline_drain ?(ops = 20_000) () =
+  Fmt.pr "@.Pipeline: bounded-memory drain of a large streamed harness run@.@.";
+  let capacity = 4096 in
+  let level = `View in
+  let metrics = Pmetrics.create () in
+  let farm = Farm.start ~capacity ~metrics ~level (farm_shards ()) in
+  let log = Log.create ~level () in
+  Farm.attach farm log;
+  let cfg =
+    { Harness.threads = 8; ops_per_thread = ops; key_pool = 12; key_range = 32;
+      seed = 11; log_level = level }
+  in
+  let t0 = Unix.gettimeofday () in
+  Harness.run_into ~log cfg
+    (List.map (fun (s : Subjects.t) -> s.build ~bug:false) pipeline_subjects);
+  let result = Farm.finish farm in
+  let dt = Unix.gettimeofday () -. t0 in
+  let n = result.Farm.fed in
+  Fmt.pr "%d events streamed through %d checker domains in %.2fs (%.0f ev/s)@.@."
+    n
+    (List.length result.Farm.shards)
+    dt
+    (float_of_int n /. dt);
+  List.iter
+    (fun (sr : Farm.shard_result) ->
+      Fmt.pr "  %-22s %-6s events %-8d high-water %-6d (cap %d) stall %.1f ms@."
+        sr.Farm.sr_name
+        (Report.tag sr.Farm.sr_report)
+        sr.Farm.sr_events sr.Farm.sr_high_water capacity
+        (float_of_int sr.Farm.sr_stall_ns /. 1e6))
+    result.Farm.shards;
+  let bounded =
+    List.for_all
+      (fun (sr : Farm.shard_result) -> sr.Farm.sr_high_water <= capacity)
+      result.Farm.shards
+  in
+  let spec, view = composed () in
+  let offline = Checker.check ~mode:`View ~view log spec in
+  let agree = Report.is_pass offline = Report.is_pass result.Farm.merged in
+  Fmt.pr "@.bounded memory: %s (every queue high-water <= capacity %d)@."
+    (if bounded then "yes" else "NO")
+    capacity;
+  Fmt.pr "verdict equality with the offline checker: %s (farm %s, offline %s)@."
+    (if agree then "yes" else "NO")
+    (Report.tag result.Farm.merged) (Report.tag offline);
+  if not (bounded && agree) then exit 1
+
+let pipeline () =
+  pipeline_codec ();
+  pipeline_scaling ();
+  pipeline_backpressure ();
+  pipeline_drain ()
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -520,6 +723,7 @@ let all () =
   baseline_atomizer ();
   explore_bounds ();
   analyze_perf ();
+  pipeline ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -545,6 +749,11 @@ let () =
           "Offline-analyzer throughput (events/sec): happens-before race \
            detection, log lint, lockset+reduction."
           analyze_perf;
+        cmd "pipeline"
+          "Streaming pipeline: binary-vs-text codec throughput, 1-vs-N \
+           checker-domain scaling, backpressure stall time, and a large \
+           bounded-memory drain with verdict equality."
+          pipeline;
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

@@ -29,6 +29,37 @@ let resolve name =
       subject_names;
     exit 2
 
+module Segment = Vyrd_pipeline.Segment
+module Metrics = Vyrd_pipeline.Metrics
+module Farm = Vyrd_pipeline.Farm
+
+(* Load a serialized log, sniffing the binary segment format by magic.
+   Text-format errors come out as positioned [file:line] diagnostics; a
+   binary prefix with a crash-torn tail loads with a warning. *)
+let load_log file =
+  if Sys.file_exists file && not (Segment.is_binary file) then (
+    match Log.of_file file with
+    | log -> log
+    | exception Log.Parse_error { line; message } ->
+      Fmt.epr "%s:%d: %s@." file line message;
+      exit 2)
+  else
+    match Segment.read_prefix file with
+    | r ->
+      if r.Segment.truncated then
+        Fmt.epr
+          "warning: %s: torn tail discarded; %d whole segments (%d events) \
+           recovered@."
+          file r.Segment.segments
+          (Log.length r.Segment.log);
+      r.Segment.log
+    | exception Vyrd_pipeline.Bincodec.Corrupt msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+    | exception Sys_error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+
 let list_cmd =
   let run () =
     List.iter
@@ -55,24 +86,54 @@ let record_cmd =
       & opt (enum [ ("io", `Io); ("view", `View); ("full", `Full) ]) `View
       & info [ "level" ] ~docv:"LEVEL" ~doc:"Logging granularity (io, view, full).")
   in
-  let run subject out seed threads ops bug level =
+  let binary =
+    Arg.(
+      value & flag
+      & info [ "binary" ]
+          ~doc:"Stream the compact binary segment format instead of text.")
+  in
+  let rotate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rotate-bytes" ] ~docv:"N"
+          ~doc:"Rotate binary segment files at ~$(docv) bytes (implies --binary).")
+  in
+  let run subject out seed threads ops bug level binary rotate =
     let subject = resolve subject in
     let cfg =
       { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
     in
-    let log = Harness.run cfg (subject.build ~bug) in
-    Log.to_file out log;
-    Fmt.pr "recorded %d events of %s%s to %s@." (Log.length log) subject.name
-      (if bug then " (buggy)" else "")
-      out
+    let buggy = if bug then " (buggy)" else "" in
+    if binary || rotate <> None then begin
+      (* stream to disk while the workload runs instead of spooling a full
+         in-memory log first *)
+      let log = Log.create ~level () in
+      let w = Segment.create_writer ?rotate_bytes:rotate ~level out in
+      Segment.attach w log;
+      Harness.run_into ~log cfg [ subject.build ~bug ];
+      Segment.close w;
+      Fmt.pr "recorded %d events of %s%s to %s (%d file(s), %d segments, %d bytes)@."
+        (Log.length log) subject.name buggy out
+        (List.length (Segment.writer_files w))
+        (Segment.writer_segments w) (Segment.writer_bytes w)
+    end
+    else begin
+      let log = Harness.run cfg (subject.build ~bug) in
+      Log.to_file out log;
+      Fmt.pr "recorded %d events of %s%s to %s@." (Log.length log) subject.name
+        buggy out
+    end
   in
   Cmd.v
     (Cmd.info "record"
        ~doc:"Run a random workload (paper §7.1) and serialize its log.")
-    Term.(const run $ subject_arg $ out $ seed $ threads $ ops $ bug $ level)
+    Term.(
+      const run $ subject_arg $ out $ seed $ threads $ ops $ bug $ level $ binary
+      $ rotate)
 
 let check_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
   let mode =
     Arg.(
       value
@@ -92,7 +153,7 @@ let check_cmd =
   in
   let run subject mode invariants explain file =
     let subject = resolve subject in
-    let log = Log.of_file file in
+    let log = load_log file in
     let report =
       match
         match mode with
@@ -123,7 +184,7 @@ let check_cmd =
     Term.(const run $ subject_arg $ mode $ invariants $ explain $ file)
 
 let timeline_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
   let writes =
     Arg.(value & flag & info [ "writes" ] ~doc:"Include shared-variable writes.")
   in
@@ -131,7 +192,7 @@ let timeline_cmd =
     Arg.(value & opt int 22 & info [ "width" ] ~docv:"N" ~doc:"Column width.")
   in
   let run writes width file =
-    let log = Log.of_file file in
+    let log = load_log file in
     print_string
       (Timeline.render
          ~options:{ Timeline.col_width = width; show_writes = writes; max_events = None }
@@ -250,7 +311,7 @@ let comparison_json c =
 
 let analyze_cmd =
   let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"LOG" ~doc:"Log file(s).")
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"LOG" ~doc:"Log file(s).")
   in
   let json =
     Arg.(
@@ -268,7 +329,7 @@ let analyze_cmd =
   let run json lint_only files =
     let findings = ref false in
     let analyze_one file =
-      let log = Log.of_file file in
+      let log = load_log file in
       let lint = Lint.check log in
       if not (Lint.ok lint) then findings := true;
       let deep =
@@ -326,6 +387,157 @@ let analyze_cmd =
           comparison with Lipton-reduction atomicity (the §8 false-alarm \
           gap).  Requires a log recorded at level full unless --lint-only.")
     Term.(const run $ json $ lint_only $ files)
+
+(* ------------------------------------------------------------ pipeline *)
+
+let pipeline_cmd =
+  let subjects_arg =
+    Arg.(
+      value
+      & opt (list string)
+          [ "Multiset-Vector"; "java.util.Vector"; "java.util.StringBuffer" ]
+      & info [ "subjects" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated subjects run and checked concurrently, one \
+             checker domain each.  Method namespaces must be disjoint \
+             (the $(b,Spec_compose) precondition).")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N") in
+  let ops =
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N" ~doc:"Calls per thread.")
+  in
+  let bug =
+    Arg.(
+      value & flag & info [ "bug" ] ~doc:"Enable every subject's injected bug.")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (enum [ ("io", `Io); ("view", `View); ("full", `Full) ]) `View
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Logging granularity; below view the farm checks I/O refinement.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Per-shard ring bound (memory ceiling; producers block when full).")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ] ~doc:"Also check each subject's runtime invariants.")
+  in
+  let segments =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "segments" ] ~docv:"FILE"
+          ~doc:"Also spool the event stream to binary segment files at $(docv).")
+  in
+  let rotate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rotate-bytes" ] ~docv:"N"
+          ~doc:"Rotate the segment spool at ~$(docv) bytes per file.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry as one JSON document to $(docv).")
+  in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:"Run the workload under system threads instead of the \
+                deterministic engine.")
+  in
+  let run names seed threads ops bug level capacity invariants segments rotate
+      metrics_json native =
+    let subjects = List.map resolve names in
+    let cfg =
+      { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
+    in
+    let log = Log.create ~level () in
+    let metrics = Metrics.create () in
+    let logged = Metrics.counter metrics "log.events" in
+    let shards =
+      List.map
+        (fun (s : Subjects.t) ->
+          match level with
+          | `View | `Full ->
+            Farm.shard ~mode:`View ~view:s.view
+              ~invariants:(if invariants then s.invariants else [])
+              s.name s.spec
+          | `Io | `None -> Farm.shard ~mode:`Io s.name s.spec)
+        subjects
+    in
+    let farm =
+      match Farm.start ~capacity ~metrics ~level shards with
+      | farm -> farm
+      | exception Invalid_argument msg ->
+        Fmt.epr "configuration error: %s@." msg;
+        exit 2
+    in
+    Farm.attach farm log;
+    Log.subscribe log (fun _ -> Metrics.incr logged);
+    let writer =
+      Option.map
+        (fun path ->
+          let w = Segment.create_writer ?rotate_bytes:rotate ~level path in
+          Segment.attach w log;
+          w)
+        segments
+    in
+    let t0 = Unix.gettimeofday () in
+    Harness.run_into ~native ~log cfg
+      (List.map (fun (s : Subjects.t) -> s.build ~bug) subjects);
+    Option.iter Segment.close writer;
+    let result = Farm.finish farm in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "pipeline: %d events through %d checker domain(s) in %.3fs (%.0f ev/s)@."
+      result.Farm.fed
+      (List.length result.Farm.shards)
+      dt
+      (float_of_int result.Farm.fed /. dt);
+    List.iter
+      (fun (sr : Farm.shard_result) ->
+        Fmt.pr "  %-22s %-10s events %-8d high-water %-6d stall %.1f ms@."
+          sr.Farm.sr_name (Report.tag sr.Farm.sr_report) sr.Farm.sr_events
+          sr.Farm.sr_high_water
+          (float_of_int sr.Farm.sr_stall_ns /. 1e6))
+      result.Farm.shards;
+    Fmt.pr "merged: %a@." Report.pp result.Farm.merged;
+    (match writer with
+    | Some w ->
+      Fmt.pr "segments: %d file(s), %d segments, %d bytes@."
+        (List.length (Segment.writer_files w))
+        (Segment.writer_segments w) (Segment.writer_bytes w)
+    | None -> ());
+    Fmt.pr "@.%a" Metrics.pp metrics;
+    (match metrics_json with
+    | Some f ->
+      let oc = open_out f in
+      output_string oc (Metrics.to_json metrics);
+      output_char oc '\n';
+      close_out oc
+    | None -> ());
+    if Report.is_pass result.Farm.merged then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "Stream a multi-structure workload through the full pipeline: one \
+          bounded queue and one checker domain per structure, optional binary \
+          segment spooling, merged verdict and metrics at the end.")
+    Term.(
+      const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
+      $ invariants $ segments $ rotate $ metrics_json $ native)
 
 let explore_cmd =
   let threads = Arg.(value & opt int 2 & info [ "threads" ] ~docv:"N") in
@@ -414,5 +626,6 @@ let () =
             check_cmd;
             timeline_cmd;
             analyze_cmd;
+            pipeline_cmd;
             explore_cmd;
           ]))

@@ -4,13 +4,21 @@
    runtime.
 
      dune exec dev/soak.exe [seeds-per-config]
+     dune exec dev/soak.exe pipeline [seeds]
+
+   The pipeline mode soaks the streaming path instead: each seed runs a
+   multi-structure workload through the checker farm while spooling binary
+   segments, then re-reads the spool and checks the recovered log offline —
+   the merged farm verdict, the offline verdict on the live log and the
+   offline verdict on the disk round trip must all agree.
 *)
 
 open Vyrd
 open Vyrd_harness
+module Farm = Vyrd_pipeline.Farm
+module Segment = Vyrd_pipeline.Segment
 
-let () =
-  let seeds = try int_of_string Sys.argv.(1) with _ -> 100 in
+let subject_soak seeds =
   let any_failure = ref false in
   Fmt.pr "soak: %d seeds per configuration@.@." seeds;
   Fmt.pr "%-22s %12s %12s %14s %14s@." "subject" "correct io" "correct view"
@@ -57,3 +65,87 @@ let () =
     exit 1
   end
   else Fmt.pr "@.SOAK CLEAN@."
+
+(* ------------------------------------------------------------- pipeline *)
+
+let pipeline_subjects =
+  [ Subjects.multiset_vector; Subjects.jvector; Subjects.string_buffer ]
+
+let composed () =
+  match pipeline_subjects with
+  | [] -> assert false
+  | s0 :: rest ->
+    List.fold_left
+      (fun (spec, view) (s : Subjects.t) ->
+        (Spec_compose.pair spec s.spec, Spec_compose.pair_views view s.view))
+      (s0.spec, s0.view) rest
+
+let pipeline_soak seeds =
+  let spec, view = composed () in
+  let spool = Filename.temp_file "vyrd_soak" ".seg" in
+  let any_failure = ref false in
+  let capacity = 512 in
+  Fmt.pr "pipeline soak: %d seeds, %d shards, ring capacity %d@.@." seeds
+    (List.length pipeline_subjects)
+    capacity;
+  Fmt.pr "%6s %9s %10s %8s %8s %10s %10s@." "seed" "events" "segments" "farm"
+    "offline" "roundtrip" "high-water";
+  Fmt.pr "%s@." (String.make 70 '-');
+  for seed = 0 to seeds - 1 do
+    let level = `View in
+    let log = Log.create ~level () in
+    let shards =
+      List.map
+        (fun (s : Subjects.t) -> Farm.shard ~mode:`View ~view:s.view s.name s.spec)
+        pipeline_subjects
+    in
+    let farm = Farm.start ~capacity ~level shards in
+    Farm.attach farm log;
+    let w = Segment.create_writer ~segment_bytes:8192 ~level spool in
+    Segment.attach w log;
+    Harness.run_into ~log
+      { Harness.default with threads = 6; ops_per_thread = 120; key_pool = 10;
+        key_range = 16; seed }
+      (List.map (fun (s : Subjects.t) -> s.build ~bug:false) pipeline_subjects);
+    Segment.close w;
+    let result = Farm.finish farm in
+    let offline = Checker.check ~mode:`View ~view log spec in
+    let recovered = Segment.read_file spool in
+    let roundtrip = Checker.check ~mode:`View ~view recovered.Segment.log spec in
+    let hw =
+      List.fold_left
+        (fun a (sr : Farm.shard_result) -> max a sr.Farm.sr_high_water)
+        0 result.Farm.shards
+    in
+    let ok =
+      Report.is_pass result.Farm.merged
+      && Report.is_pass offline && Report.is_pass roundtrip
+      && (not recovered.Segment.truncated)
+      && Log.length recovered.Segment.log = Log.length log
+      && hw <= capacity
+    in
+    if not ok then begin
+      any_failure := true;
+      Fmt.pr "!! seed %d: farm %a / offline %a / roundtrip %a (recovered %d of %d)@."
+        seed Report.pp result.Farm.merged Report.pp offline Report.pp roundtrip
+        (Log.length recovered.Segment.log)
+        (Log.length log)
+    end;
+    Fmt.pr "%6d %9d %10d %8s %8s %10s %10d@." seed result.Farm.fed
+      recovered.Segment.segments
+      (Report.tag result.Farm.merged)
+      (Report.tag offline) (Report.tag roundtrip) hw
+  done;
+  Sys.remove spool;
+  if !any_failure then begin
+    Fmt.pr "@.PIPELINE SOAK FAILED@.";
+    exit 1
+  end
+  else Fmt.pr "@.PIPELINE SOAK CLEAN@."
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "pipeline" :: rest ->
+    pipeline_soak (match rest with n :: _ -> int_of_string n | [] -> 25)
+  | _ :: n :: _ -> subject_soak (int_of_string n)
+  | _ -> subject_soak 100

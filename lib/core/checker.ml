@@ -287,7 +287,8 @@ let create ?(mode = `Io) ?view ?(invariants = []) (spec : Spec.t) : t =
         commits_resolved = !commits_resolved;
         per_method =
           Hashtbl.fold (fun mid n acc -> (mid, n) :: acc) per_method []
-          |> List.sort compare }
+          |> List.sort compare;
+        queue_high_water = 0 }
     in
     match !violation with
     | Some v -> { outcome = Report.Fail v; stats }

@@ -7,10 +7,12 @@ type t = {
   events : Event.t Vec.t;
   lock : Mutex.t;
   listeners : (Event.t -> unit) Vec.t;
+  dropped : int Atomic.t;
 }
 
 let create ?(level = `View) () =
-  { lvl = level; events = Vec.create (); lock = Mutex.create (); listeners = Vec.create () }
+  { lvl = level; events = Vec.create (); lock = Mutex.create (); listeners = Vec.create ();
+    dropped = Atomic.make 0 }
 
 let level t = t.lvl
 
@@ -41,11 +43,37 @@ let append t ev =
     locked t (fun () ->
         Vec.push t.events ev;
         Vec.iter (fun f -> f ev) t.listeners)
+  else Atomic.incr t.dropped
 
 let length t = locked t (fun () -> Vec.length t.events)
 let get t i = locked t (fun () -> Vec.get t.events i)
+let dropped t = Atomic.get t.dropped
 let events t = locked t (fun () -> Vec.to_list t.events)
-let iter f t = List.iter f (events t)
+
+let snapshot t =
+  locked t (fun () -> Array.init (Vec.length t.events) (Vec.get t.events))
+
+(* Events are append-only, so a traversal can release the lock between
+   fixed-size batches: concurrent appends land behind the cursor and are
+   picked up by a later batch, and the mutex is never held across user
+   code — unlike the old [events]-based [iter], which copied the whole
+   vector to a list under the lock on every call. *)
+let fold f acc t =
+  let chunk = 1024 in
+  let rec go acc pos =
+    let batch =
+      locked t (fun () ->
+          let n = Vec.length t.events in
+          if pos >= n then []
+          else Vec.sub_list t.events ~pos ~len:(min chunk (n - pos)))
+    in
+    match batch with
+    | [] -> acc
+    | l -> go (List.fold_left f acc l) (pos + List.length l)
+  in
+  go acc 0
+
+let iter f t = fold (fun () ev -> f ev) () t
 let subscribe t f = locked t (fun () -> Vec.push t.listeners f)
 
 let level_to_string = function
@@ -67,11 +95,11 @@ let to_channel oc t =
   output_string oc header_prefix;
   output_string oc (level_to_string t.lvl);
   output_char oc '\n';
-  List.iter
+  iter
     (fun ev ->
       output_string oc (Event.to_line ev);
       output_char oc '\n')
-    (events t)
+    t
 
 let to_file path t =
   let oc = open_out path in
@@ -81,6 +109,8 @@ let of_events evs =
   let t = create ~level:`Full () in
   List.iter (append t) evs;
   t
+
+exception Parse_error of { line : int; message : string }
 
 (* The header records the level the log was recorded at, so a deserialized
    log keeps its identity — `View-mode checking can then reject an
@@ -97,9 +127,11 @@ let of_channel ic =
       t := Some log;
       log
   in
+  let lineno = ref 0 in
   (try
      while true do
        let line = String.trim (input_line ic) in
+       incr lineno;
        if String.length line > 0 then
          if line.[0] = '#' then begin
            match
@@ -112,7 +144,11 @@ let of_channel ic =
            | Some lvl when !t = None -> t := Some (create ~level:lvl ())
            | Some _ | None -> ()
          end
-         else append (get_log ()) (Event.of_line line)
+         else
+           match Event.of_line line with
+           | ev -> append (get_log ()) ev
+           | exception Repr.Parse_error message ->
+             raise (Parse_error { line = !lineno; message })
      done
    with End_of_file -> ());
   get_log ()

@@ -45,9 +45,27 @@ val length : t -> int
     so indices are stable. *)
 val get : t -> int -> Event.t
 
-(** [events t] snapshots the current contents. *)
+(** Events offered to {!append} but refused by the level — instrumentation
+    fast paths usually avoid constructing these at all, so this counts only
+    unguarded appends (surfaced by the pipeline metrics layer). *)
+val dropped : t -> int
+
+(** [events t] snapshots the current contents as a list.  Prefer {!fold} /
+    {!iter} / {!snapshot} for traversals: they do not build a list under the
+    log lock. *)
 val events : t -> Event.t list
 
+(** [snapshot t] copies the current contents into a fresh array in one
+    locked pass — O(n) array blit rather than O(n) list construction. *)
+val snapshot : t -> Event.t array
+
+(** [fold f acc t] traverses the events appended so far in order, taking
+    the lock only per fixed-size batch — [f] never runs under the log lock,
+    and no whole-log copy is made.  Events appended concurrently behind the
+    cursor are included; events ahead of it may or may not be. *)
+val fold : ('a -> Event.t -> 'a) -> 'a -> t -> 'a
+
+(** Batched like {!fold}. *)
 val iter : (Event.t -> unit) -> t -> unit
 
 (** [subscribe t f] registers [f] to run synchronously, under the log lock,
@@ -65,9 +83,15 @@ val subscribe : t -> (Event.t -> unit) -> unit
 val to_channel : out_channel -> t -> unit
 val to_file : string -> t -> unit
 
+(** Raised by {!of_channel} on malformed input; [line] is the 1-based line
+    number of the offending event line, so tools can report a positioned
+    [file:line] diagnostic instead of escaping a raw {!Repr.Parse_error}
+    backtrace. *)
+exception Parse_error of { line : int; message : string }
+
 (** [of_channel ic] reads a serialized log back, at the level named by its
     header ([`Full] for headerless legacy input, so no event is ever
-    dropped).  @raise Repr.Parse_error on malformed input. *)
+    dropped).  @raise Parse_error on malformed input. *)
 val of_channel : in_channel -> t
 
 val of_file : string -> t

@@ -1,20 +1,20 @@
 type t = {
-  queue : Event.t option Squeue.t;
+  ring : Event.t Ring.t;
   domain : Report.t Domain.t;
   mutable closed : bool;
 }
 
-let start ?mode ?view log spec =
+let start ?(capacity = 32768) ?mode ?view log spec =
   (match mode with
   | Some `View -> Checker.require_view_level ~who:"Online.start" log
   | _ -> ());
-  let queue = Squeue.create () in
-  Log.subscribe log (fun ev -> Squeue.push queue (Some ev));
+  let ring = Ring.create ~capacity () in
+  Log.subscribe log (fun ev -> Ring.push ring ev);
   let domain =
     Domain.spawn (fun () ->
         let checker = Checker.create ?mode ?view spec in
         let rec loop () =
-          match Squeue.pop queue with
+          match Ring.pop ring with
           | Some ev ->
             ignore (Checker.feed checker ev);
             loop ()
@@ -22,11 +22,18 @@ let start ?mode ?view log spec =
         in
         loop ())
   in
-  { queue; domain; closed = false }
+  { ring; domain; closed = false }
 
 let finish t =
   if not t.closed then begin
     t.closed <- true;
-    Squeue.push t.queue None
+    Ring.close t.ring
   end;
-  Domain.join t.domain
+  let r = Domain.join t.domain in
+  {
+    r with
+    Report.stats =
+      { r.Report.stats with Report.queue_high_water = Ring.high_water t.ring };
+  }
+
+let high_water t = Ring.high_water t.ring

@@ -5,10 +5,21 @@
     concurrently with the instrumented program, mirroring the paper's
     separate verification thread reading the log tail.
 
+    The hand-off queue is a bounded {!Ring}: when the verifier falls behind
+    by more than [capacity] events, the instrumented program blocks at the
+    append until the verifier catches up (backpressure), so a fast producer
+    can no longer grow the queue without limit.  The peak occupancy is
+    recorded in the returned report's [queue_high_water].
+
     Call {!finish} after the program completes: it closes the stream, joins
     the verifier and returns the report. *)
 
 type t
 
-val start : ?mode:Checker.mode -> ?view:View.t -> Log.t -> Spec.t -> t
+(** @param capacity bound on the hand-off queue (default 32768). *)
+val start : ?capacity:int -> ?mode:Checker.mode -> ?view:View.t -> Log.t -> Spec.t -> t
+
 val finish : t -> Report.t
+
+(** Peak queue occupancy so far; readable while the run is live. *)
+val high_water : t -> int

@@ -24,6 +24,7 @@ type stats = {
   methods_checked : int;
   commits_resolved : int;
   per_method : (string * int) list;
+  queue_high_water : int;
 }
 type outcome = Pass | Fail of violation
 type t = { outcome : outcome; stats : stats }
@@ -65,8 +66,11 @@ let pp ppf t =
   (match t.outcome with
   | Pass -> Fmt.pf ppf "PASS"
   | Fail v -> Fmt.pf ppf "FAIL: %a" pp_violation v);
-  Fmt.pf ppf "@ (%d events, %d methods checked, %d commits)"
+  Fmt.pf ppf "@ (%d events, %d methods checked, %d commits%t)"
     t.stats.events_processed t.stats.methods_checked t.stats.commits_resolved
+    (fun ppf ->
+      if t.stats.queue_high_water > 0 then
+        Fmt.pf ppf ", queue high-water %d" t.stats.queue_high_water)
 
 let tag t =
   match t.outcome with

@@ -35,6 +35,10 @@ type stats = {
   commits_resolved : int;
   per_method : (string * int) list;
       (** executions checked per method name, sorted by name *)
+  queue_high_water : int;
+      (** peak occupancy of the event queue that fed this checker — [0] for
+          offline checking (no queue); bounded by the configured capacity
+          for {!Online} and the pipeline farm *)
 }
 
 type outcome = Pass | Fail of violation

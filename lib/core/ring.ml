@@ -1,0 +1,100 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop *)
+  mutable tail : int;  (* next push *)
+  mutable size : int;
+  mutable is_closed : bool;
+  mutable high : int;
+  mutable stall : int;  (* ns producers spent blocked *)
+  mutable dropped : int;  (* pushes after close *)
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    tail = 0;
+    size = 0;
+    is_closed = false;
+    high = 0;
+    stall = 0;
+    dropped = 0;
+    lock = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let enqueue t x =
+  t.buf.(t.tail) <- Some x;
+  t.tail <- (t.tail + 1) mod Array.length t.buf;
+  t.size <- t.size + 1;
+  if t.size > t.high then t.high <- t.size;
+  Condition.signal t.not_empty
+
+let push t x =
+  locked t (fun () ->
+      if t.is_closed then t.dropped <- t.dropped + 1
+      else begin
+        if t.size = Array.length t.buf then begin
+          let t0 = Unix.gettimeofday () in
+          while t.size = Array.length t.buf && not t.is_closed do
+            Condition.wait t.not_full t.lock
+          done;
+          t.stall <-
+            t.stall + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+        end;
+        if t.is_closed then t.dropped <- t.dropped + 1 else enqueue t x
+      end)
+
+let try_push t x =
+  locked t (fun () ->
+      if t.is_closed || t.size = Array.length t.buf then false
+      else begin
+        enqueue t x;
+        true
+      end)
+
+let pop t =
+  locked t (fun () ->
+      while t.size = 0 && not t.is_closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      if t.size = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.size <- t.size - 1;
+        Condition.signal t.not_full;
+        x
+      end)
+
+let close t =
+  locked t (fun () ->
+      if not t.is_closed then begin
+        t.is_closed <- true;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let closed t = locked t (fun () -> t.is_closed)
+let length t = locked t (fun () -> t.size)
+let high_water t = locked t (fun () -> t.high)
+let stall_ns t = locked t (fun () -> t.stall)
+let rejected t = locked t (fun () -> t.dropped)

@@ -1,0 +1,51 @@
+(** Bounded blocking ring buffer with backpressure.
+
+    The hand-off between the instrumented program and a verification domain
+    (paper §4.2's separate verification thread).  Unlike {!Squeue}, capacity
+    is fixed at creation: a producer that outruns its consumer blocks in
+    {!push} until space frees up, so the queue can never grow without limit
+    — the memory bound the streaming pipeline depends on.
+
+    Designed for one producer and one consumer (the log lock already
+    serializes producers), but safe under any number of each.  Occupancy
+    high-water mark and cumulative producer stall time are recorded for the
+    metrics layer. *)
+
+type 'a t
+
+(** [create ~capacity ()] allocates a ring holding at most [capacity]
+    elements.  @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+(** [push t x] enqueues [x], blocking while the ring is full.  After
+    {!close}, pushes are dropped silently (counted in {!rejected}) — the
+    drain protocol closes the ring only once producers have finished, so a
+    late push is a stray event, not data loss worth crashing over. *)
+val push : 'a t -> 'a -> unit
+
+(** [try_push t x] never blocks; [false] when the ring was full or closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** [pop t] dequeues, blocking while the ring is empty; [None] once the ring
+    is closed {e and} drained. *)
+val pop : 'a t -> 'a option
+
+(** [close t] ends the stream: blocked producers give up, and consumers see
+    [None] after draining the remaining elements.  Idempotent. *)
+val close : 'a t -> unit
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+
+(** {1 Instrumentation for the metrics layer} *)
+
+(** Highest occupancy ever observed — never exceeds [capacity]. *)
+val high_water : 'a t -> int
+
+(** Cumulative nanoseconds producers spent blocked in {!push}. *)
+val stall_ns : 'a t -> int
+
+(** Pushes dropped because the ring was already closed. *)
+val rejected : 'a t -> int

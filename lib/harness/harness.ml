@@ -32,27 +32,34 @@ let make_pool config =
   let rng = Prng.create (config.seed * 31 + 17) in
   Array.init (max 2 config.key_pool) (fun _ -> Prng.int rng config.key_range)
 
-let run_on ~spawn_engine config build =
-  let log = Log.create ~level:config.log_level () in
+let run_on_into ~spawn_engine ~log config builds =
+  if builds = [] then invalid_arg "Harness.run_into: no builds";
   spawn_engine (fun (sched : Sched.t) ->
       let ctx = Instrument.make sched log in
-      let b = build ctx in
+      let bs = Array.of_list (List.map (fun build -> build ctx) builds) in
+      let k = Array.length bs in
       let pool = make_pool config in
       let stop = ref false in
-      (match b.daemon with
-      | Some step ->
-        sched.Sched.spawn (fun () ->
-            while not !stop do
-              step ();
-              sched.Sched.yield ()
-            done)
-      | None -> ());
+      Array.iter
+        (fun b ->
+          match b.daemon with
+          | Some step ->
+            sched.Sched.spawn (fun () ->
+                while not !stop do
+                  step ();
+                  sched.Sched.yield ()
+                done)
+          | None -> ())
+        bs;
       let remaining = ref config.threads in
       for t = 1 to config.threads do
         sched.Sched.spawn (fun () ->
             let rng = Prng.create ((config.seed * 7919) + t) in
             let n = config.ops_per_thread in
             for i = 0 to n - 1 do
+              (* single-structure runs draw exactly the same stream as they
+                 always have: the structure pick only happens when k > 1 *)
+              let b = if k = 1 then bs.(0) else bs.(Prng.int rng k) in
               (* shrink the live pool prefix from its full size down to 2 *)
               let live =
                 max 2 (Array.length pool - (i * (Array.length pool - 2) / max 1 n))
@@ -62,12 +69,23 @@ let run_on ~spawn_engine config build =
             done;
             decr remaining;
             if !remaining = 0 then stop := true)
-      done);
+      done)
+
+let run_on ~spawn_engine config build =
+  let log = Log.create ~level:config.log_level () in
+  run_on_into ~spawn_engine ~log config [ build ];
   log
 
-let run config build =
-  run_on config build ~spawn_engine:(fun main ->
-      Vyrd_sched.Coop.run ~seed:config.seed ~max_steps:200_000_000 main)
+let coop_engine config main =
+  Vyrd_sched.Coop.run ~seed:config.seed ~max_steps:200_000_000 main
+
+let run config build = run_on config build ~spawn_engine:(coop_engine config)
 
 let run_native config build =
   run_on config build ~spawn_engine:Vyrd_sched.Native.run
+
+let run_into ?(native = false) ~log config builds =
+  let spawn_engine =
+    if native then Vyrd_sched.Native.run else coop_engine config
+  in
+  run_on_into ~spawn_engine ~log config builds

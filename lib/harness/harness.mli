@@ -34,3 +34,19 @@ val run : config -> (Vyrd.Instrument.ctx -> built) -> Vyrd.Log.t
 
 (** Same workload under real system threads (non-deterministic). *)
 val run_native : config -> (Vyrd.Instrument.ctx -> built) -> Vyrd.Log.t
+
+(** [run_into ~log config builds] runs the workload over one or more data
+    structures appending into a caller-supplied log, so listeners (an online
+    checker farm, a binary segment writer) can be attached before any event
+    flows.  Each thread interleaves random calls across all structures,
+    picking one uniformly per op; with a single build the random streams are
+    exactly those of {!run}, so seeds keep reproducing the same logs.
+    @param native run under system threads instead of the deterministic
+      engine (default [false]).
+    @raise Invalid_argument on an empty build list. *)
+val run_into :
+  ?native:bool ->
+  log:Vyrd.Log.t ->
+  config ->
+  (Vyrd.Instrument.ctx -> built) list ->
+  unit

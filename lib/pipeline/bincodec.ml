@@ -1,0 +1,231 @@
+open Vyrd
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------- varints *)
+
+(* LEB128 over the 63-bit native int, treated as unsigned: [lsr] keeps the
+   loop total even when the top (sign) bit is set by the zigzag mapping. *)
+let put_uvarint b n =
+  let rec go n =
+    if n lsr 7 = 0 then Buffer.add_char b (Char.unsafe_chr (n land 0x7f))
+    else begin
+      Buffer.add_char b (Char.unsafe_chr (n land 0x7f lor 0x80));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let get_uvarint s pos =
+  let len = String.length s in
+  let rec go acc shift pos =
+    if pos >= len then corrupt "truncated varint";
+    if shift > 56 then corrupt "varint longer than 9 bytes";
+    let c = Char.code (String.unsafe_get s pos) in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+  in
+  go 0 0 pos
+
+(* Zigzag: 0,-1,1,-2,... -> 0,1,2,3,...; [asr 62] spreads the sign bit of
+   the 63-bit int. *)
+let put_varint b n = put_uvarint b ((n lsl 1) lxor (n asr 62))
+
+let get_varint s pos =
+  let u, pos = get_uvarint s pos in
+  ((u lsr 1) lxor (- (u land 1)), pos)
+
+let put_string b s =
+  put_uvarint b (String.length s);
+  Buffer.add_string b s
+
+let get_string s pos =
+  let n, pos = get_uvarint s pos in
+  if n < 0 || pos + n > String.length s then corrupt "truncated string (%d bytes)" n;
+  (String.sub s pos n, pos + n)
+
+(* Method, variable and lock names repeat millions of times per log, so the
+   name positions of {!get_event} resolve through a direct-mapped cache of
+   previously decoded strings instead of allocating a fresh copy each time.
+   Collisions and stale entries just fall back to [String.sub]; the cached
+   values are immutable, so cross-domain races are benign. *)
+let intern_size = 4096
+let intern : string array = Array.make intern_size ""
+
+let hash_sub s pos n =
+  let h = ref n in
+  for i = pos to pos + n - 1 do
+    h := (!h * 31) + Char.code (String.unsafe_get s i)
+  done;
+  !h land (intern_size - 1)
+
+let equal_sub s pos n t =
+  String.length t = n
+  &&
+  let rec go i =
+    i = n || (String.unsafe_get t i = String.unsafe_get s (pos + i) && go (i + 1))
+  in
+  go 0
+
+let get_name s pos =
+  let n, pos = get_uvarint s pos in
+  if n < 0 || pos + n > String.length s then corrupt "truncated string (%d bytes)" n;
+  if n > 32 then (String.sub s pos n, pos + n)
+  else begin
+    let h = hash_sub s pos n in
+    let t = Array.unsafe_get intern h in
+    if equal_sub s pos n t then (t, pos + n)
+    else begin
+      let t = String.sub s pos n in
+      Array.unsafe_set intern h t;
+      (t, pos + n)
+    end
+  end
+
+(* -------------------------------------------------------------- values *)
+
+let rec put_repr b = function
+  | Repr.Unit -> Buffer.add_char b '\000'
+  | Repr.Bool false -> Buffer.add_char b '\001'
+  | Repr.Bool true -> Buffer.add_char b '\002'
+  | Repr.Int n ->
+    Buffer.add_char b '\003';
+    put_varint b n
+  | Repr.Str s ->
+    Buffer.add_char b '\004';
+    put_string b s
+  | Repr.Pair (x, y) ->
+    Buffer.add_char b '\005';
+    put_repr b x;
+    put_repr b y
+  | Repr.List vs ->
+    Buffer.add_char b '\006';
+    put_uvarint b (List.length vs);
+    List.iter (put_repr b) vs
+
+let rec get_repr s pos =
+  if pos >= String.length s then corrupt "truncated value";
+  match s.[pos] with
+  | '\000' -> (Repr.Unit, pos + 1)
+  | '\001' -> (Repr.Bool false, pos + 1)
+  | '\002' -> (Repr.Bool true, pos + 1)
+  | '\003' ->
+    let n, pos = get_varint s (pos + 1) in
+    (Repr.Int n, pos)
+  | '\004' ->
+    let v, pos = get_string s (pos + 1) in
+    (Repr.Str v, pos)
+  | '\005' ->
+    let x, pos = get_repr s (pos + 1) in
+    let y, pos = get_repr s pos in
+    (Repr.Pair (x, y), pos)
+  | '\006' ->
+    let n, pos = get_uvarint s (pos + 1) in
+    let rec items acc n pos =
+      if n = 0 then (List.rev acc, pos)
+      else
+        let v, pos = get_repr s pos in
+        items (v :: acc) (n - 1) pos
+    in
+    let vs, pos = items [] n pos in
+    (Repr.List vs, pos)
+  | c -> corrupt "unknown value tag 0x%02x" (Char.code c)
+
+(* -------------------------------------------------------------- events *)
+
+let put_event b ev =
+  let tagged tag tid =
+    Buffer.add_char b tag;
+    put_uvarint b tid
+  in
+  match ev with
+  | Event.Call { tid; mid; args } ->
+    tagged '\000' tid;
+    put_string b mid;
+    put_uvarint b (List.length args);
+    List.iter (put_repr b) args
+  | Event.Return { tid; mid; value } ->
+    tagged '\001' tid;
+    put_string b mid;
+    put_repr b value
+  | Event.Commit { tid } -> tagged '\002' tid
+  | Event.Write { tid; var; value } ->
+    tagged '\003' tid;
+    put_string b var;
+    put_repr b value
+  | Event.Block_begin { tid } -> tagged '\004' tid
+  | Event.Block_end { tid } -> tagged '\005' tid
+  | Event.Read { tid; var } ->
+    tagged '\006' tid;
+    put_string b var
+  | Event.Acquire { tid; lock } ->
+    tagged '\007' tid;
+    put_string b lock
+  | Event.Release { tid; lock } ->
+    tagged '\008' tid;
+    put_string b lock
+
+let get_event s pos =
+  if pos >= String.length s then corrupt "truncated event";
+  let tag = s.[pos] in
+  let tid, pos = get_uvarint s (pos + 1) in
+  match tag with
+  | '\000' ->
+    let mid, pos = get_name s pos in
+    let n, pos = get_uvarint s pos in
+    let rec items acc n pos =
+      if n = 0 then (List.rev acc, pos)
+      else
+        let v, pos = get_repr s pos in
+        items (v :: acc) (n - 1) pos
+    in
+    let args, pos = items [] n pos in
+    (Event.Call { tid; mid; args }, pos)
+  | '\001' ->
+    let mid, pos = get_name s pos in
+    let value, pos = get_repr s pos in
+    (Event.Return { tid; mid; value }, pos)
+  | '\002' -> (Event.Commit { tid }, pos)
+  | '\003' ->
+    let var, pos = get_name s pos in
+    let value, pos = get_repr s pos in
+    (Event.Write { tid; var; value }, pos)
+  | '\004' -> (Event.Block_begin { tid }, pos)
+  | '\005' -> (Event.Block_end { tid }, pos)
+  | '\006' ->
+    let var, pos = get_name s pos in
+    (Event.Read { tid; var }, pos)
+  | '\007' ->
+    let lock, pos = get_name s pos in
+    (Event.Acquire { tid; lock }, pos)
+  | '\008' ->
+    let lock, pos = get_name s pos in
+    (Event.Release { tid; lock }, pos)
+  | c -> corrupt "unknown event tag 0x%02x" (Char.code c)
+
+let event_bytes ev =
+  let b = Buffer.create 32 in
+  put_event b ev;
+  Buffer.length b
+
+(* ------------------------------------------------------------ checksum *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff

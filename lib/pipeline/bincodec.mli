@@ -1,0 +1,53 @@
+(** Compact binary codec for log events.
+
+    The streaming pipeline's wire format, alongside the textual
+    s-expression format of {!Vyrd.Repr.to_text}: framed records with
+    varint-encoded integers and length-prefixed strings.  The original VYRD
+    used .NET binary serialization for exactly this reason (§6.1) — logging
+    must be cheap enough to leave on under heavy traffic, and the textual
+    printer/parser dominates logging cost on hot paths.
+
+    Encoding scheme:
+    - unsigned integers: LEB128 varints (7 bits per byte, high bit =
+      continuation);
+    - signed integers: zigzag-mapped to unsigned first, so small negative
+      values stay short;
+    - strings: varint byte length, then raw bytes (no escaping);
+    - values and events: one tag byte, then the fields in order.
+
+    Decoding is total over arbitrary bytes: malformed input raises
+    {!Corrupt}, never an out-of-bounds access. *)
+
+exception Corrupt of string
+
+(** {1 Varints} *)
+
+(** [put_uvarint b n] appends the LEB128 encoding of [n] interpreted as an
+    unsigned 63-bit integer. *)
+val put_uvarint : Buffer.t -> int -> unit
+
+(** [get_uvarint s pos] decodes one varint; returns the value and the first
+    position after it.  @raise Corrupt on truncation or overlong input. *)
+val get_uvarint : string -> int -> int * int
+
+(** Zigzag-mapped signed varints — total over all of [int], including
+    [min_int] and [max_int]. *)
+val put_varint : Buffer.t -> int -> unit
+
+val get_varint : string -> int -> int * int
+
+(** {1 Values and events} *)
+
+val put_repr : Buffer.t -> Vyrd.Repr.t -> unit
+val get_repr : string -> int -> Vyrd.Repr.t * int
+val put_event : Buffer.t -> Vyrd.Event.t -> unit
+val get_event : string -> int -> Vyrd.Event.t * int
+
+(** [event_bytes ev] is the encoded size of [ev] (convenience for sizing). *)
+val event_bytes : Vyrd.Event.t -> int
+
+(** {1 Checksums} *)
+
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a substring; guards
+    segment payloads against torn writes and bit rot. *)
+val crc32 : ?pos:int -> ?len:int -> string -> int

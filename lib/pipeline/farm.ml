@@ -1,0 +1,275 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type shard = {
+  sh_name : string;
+  sh_spec : Spec.t;
+  sh_mode : Checker.mode;
+  sh_view : View.t option;
+  sh_invariants : Checker.invariant list;
+}
+
+let shard ?(mode = `Io) ?view ?(invariants = []) name spec =
+  { sh_name = name; sh_spec = spec; sh_mode = mode; sh_view = view;
+    sh_invariants = invariants }
+
+type shard_result = {
+  sr_name : string;
+  sr_report : Report.t;
+  sr_fail_index : int option;
+  sr_high_water : int;
+  sr_stall_ns : int;
+  sr_events : int;
+}
+
+type result = { merged : Report.t; shards : shard_result list; fed : int }
+
+type lane = {
+  l_shard : shard;
+  l_ring : (int * Event.t) Ring.t;
+  l_domain : (Report.t * int option * int) Domain.t;
+}
+
+type t = {
+  lanes : lane array;
+  owners : (string, int) Hashtbl.t;  (* method -> lane, memoized kind probes *)
+  current : (Tid.t, int) Hashtbl.t;  (* thread -> lane of its open call *)
+  mutable fed : int;
+  metrics : Metrics.t;
+  m_events : Metrics.counter;
+  m_commits : Metrics.counter;
+  m_skipped : Metrics.counter;
+  mutable logs : Log.t list;  (* attached logs, for the dropped-by-level count *)
+  mutable finished : result option;
+}
+
+(* Batch granularity for the per-shard checking-latency histogram. *)
+let batch = 4096
+
+let consume (sh : shard) ring metrics =
+  let checker =
+    Checker.create ~mode:sh.sh_mode ?view:sh.sh_view ~invariants:sh.sh_invariants
+      sh.sh_spec
+  in
+  let hist = Metrics.histogram metrics ("farm.batch_ns." ^ sh.sh_name) in
+  let checked = Metrics.counter metrics "farm.events_checked" in
+  let fail = ref None in
+  let count = ref 0 in
+  let t0 = ref (Unix.gettimeofday ()) in
+  let rec loop () =
+    match Ring.pop ring with
+    | Some (idx, ev) ->
+      incr count;
+      (match Checker.feed checker ev with
+      | Some _ when !fail = None -> fail := Some idx
+      | _ -> ());
+      Metrics.incr checked;
+      if !count mod batch = 0 then begin
+        let t1 = Unix.gettimeofday () in
+        Metrics.observe hist (int_of_float ((t1 -. !t0) *. 1e9));
+        t0 := t1
+      end;
+      loop ()
+    | None -> (Checker.report checker, !fail, !count)
+  in
+  loop ()
+
+let start ?(capacity = 4096) ?metrics ~level shards =
+  if shards = [] then invalid_arg "Farm.start: no shards";
+  List.iter
+    (fun sh ->
+      match sh.sh_mode with
+      | `Io -> ()
+      | `View ->
+        if sh.sh_view = None then
+          invalid_arg
+            (Printf.sprintf "Farm.start: `View shard %S has no view definition"
+               sh.sh_name);
+        (match level with
+        | `None | `Io ->
+          invalid_arg
+            (Printf.sprintf
+               "Farm.start: `View shard %S cannot check a log recorded below \
+                level `View"
+               sh.sh_name)
+        | `View | `Full -> ()))
+    shards;
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let lanes =
+    Array.of_list
+      (List.map
+         (fun sh ->
+           let ring = Ring.create ~capacity () in
+           let domain = Domain.spawn (fun () -> consume sh ring metrics) in
+           { l_shard = sh; l_ring = ring; l_domain = domain })
+         shards)
+  in
+  {
+    lanes;
+    owners = Hashtbl.create 64;
+    current = Hashtbl.create 16;
+    fed = 0;
+    metrics;
+    m_events = Metrics.counter metrics "farm.events_fed";
+    m_commits = Metrics.counter metrics "farm.commits";
+    m_skipped = Metrics.counter metrics "farm.events_skipped";
+    logs = [];
+    finished = None;
+  }
+
+(* Which lane's specification knows [mid]?  First match wins, exactly like
+   Spec_compose routing; memoized because [kind] probes cost an exception
+   on every miss.  Unknown methods go to lane 0, whose checker reports the
+   ill-formed log. *)
+let owner t mid =
+  match Hashtbl.find_opt t.owners mid with
+  | Some i -> i
+  | None ->
+    let n = Array.length t.lanes in
+    let rec probe i =
+      if i >= n then 0
+      else
+        let module S = (val t.lanes.(i).l_shard.sh_spec : Spec.S) in
+        match S.kind mid with
+        | _ -> i
+        | exception Invalid_argument _ -> probe (i + 1)
+    in
+    let i = probe 0 in
+    Hashtbl.replace t.owners mid i;
+    i
+
+let push t i idx ev = Ring.push t.lanes.(i).l_ring (idx, ev)
+
+let broadcast t idx ev =
+  for i = 0 to Array.length t.lanes - 1 do
+    push t i idx ev
+  done
+
+let feed t ev =
+  if t.finished <> None then invalid_arg "Farm.feed: farm already finished";
+  let idx = t.fed in
+  t.fed <- idx + 1;
+  Metrics.incr t.m_events;
+  match ev with
+  | Event.Call { tid; mid; _ } ->
+    let i = owner t mid in
+    Hashtbl.replace t.current tid i;
+    push t i idx ev
+  | Event.Return { tid; mid; _ } ->
+    let i =
+      match Hashtbl.find_opt t.current tid with
+      | Some i -> i
+      | None -> owner t mid
+    in
+    Hashtbl.remove t.current tid;
+    push t i idx ev
+  | Event.Commit { tid } -> (
+    Metrics.incr t.m_commits;
+    match Hashtbl.find_opt t.current tid with
+    | Some i -> push t i idx ev
+    | None ->
+      (* commit outside any execution: lane 0's checker reports it *)
+      push t 0 idx ev)
+  | Event.Write { tid; _ } | Event.Block_begin { tid } | Event.Block_end { tid }
+    -> (
+    match Hashtbl.find_opt t.current tid with
+    | Some i -> push t i idx ev
+    | None ->
+      (* no open call: structure initialization (or a daemon outside a
+         logged method) — every shard's shadow replay needs to see it *)
+      broadcast t idx ev)
+  | Event.Read _ | Event.Acquire _ | Event.Release _ ->
+    (* consumed by no refinement checker (only by offline analyses) *)
+    Metrics.incr t.m_skipped
+
+let attach t log =
+  t.logs <- log :: t.logs;
+  Log.subscribe log (feed t)
+
+let events_fed t = t.fed
+
+(* Deterministic merge: the violation whose triggering event has the lowest
+   global index wins, ties broken by shard order — independent of how the
+   checker domains were scheduled. *)
+let merge lanes_results fed =
+  let stats =
+    List.fold_left
+      (fun (acc : Report.stats) (sr : shard_result) ->
+        {
+          Report.events_processed =
+            acc.Report.events_processed
+            + sr.sr_report.Report.stats.Report.events_processed;
+          methods_checked =
+            acc.Report.methods_checked
+            + sr.sr_report.Report.stats.Report.methods_checked;
+          commits_resolved =
+            acc.Report.commits_resolved
+            + sr.sr_report.Report.stats.Report.commits_resolved;
+          per_method =
+            acc.Report.per_method @ sr.sr_report.Report.stats.Report.per_method;
+          queue_high_water = max acc.Report.queue_high_water sr.sr_high_water;
+        })
+      {
+        Report.events_processed = 0;
+        methods_checked = 0;
+        commits_resolved = 0;
+        per_method = [];
+        queue_high_water = 0;
+      }
+      lanes_results
+  in
+  let stats = { stats with Report.per_method = List.sort compare stats.Report.per_method } in
+  let first =
+    List.fold_left
+      (fun acc sr ->
+        match (sr.sr_fail_index, sr.sr_report.Report.outcome) with
+        | Some idx, Report.Fail v -> (
+          match acc with
+          | Some (best, _) when best <= idx -> acc
+          | _ -> Some (idx, v))
+        | _ -> acc)
+      None lanes_results
+  in
+  let outcome =
+    match first with Some (_, v) -> Report.Fail v | None -> Report.Pass
+  in
+  ignore fed;
+  { Report.outcome; stats }
+
+let finish t =
+  match t.finished with
+  | Some r -> r
+  | None ->
+    Array.iter (fun l -> Ring.close l.l_ring) t.lanes;
+    let results =
+      Array.to_list
+        (Array.map
+           (fun l ->
+             let report, fail_idx, consumed = Domain.join l.l_domain in
+             {
+               sr_name = l.l_shard.sh_name;
+               sr_report = report;
+               sr_fail_index = fail_idx;
+               sr_high_water = Ring.high_water l.l_ring;
+               sr_stall_ns = Ring.stall_ns l.l_ring;
+               sr_events = consumed;
+             })
+           t.lanes)
+    in
+    let merged = merge results t.fed in
+    (* fold the end-of-run readings into the metrics registry *)
+    let stall = Metrics.counter t.metrics "farm.stall_ns" in
+    let violations = Metrics.counter t.metrics "farm.violations" in
+    List.iter
+      (fun sr ->
+        Metrics.record
+          (Metrics.gauge t.metrics ("farm.high_water." ^ sr.sr_name))
+          sr.sr_high_water;
+        Metrics.add stall sr.sr_stall_ns;
+        if not (Report.is_pass sr.sr_report) then Metrics.incr violations)
+      results;
+    let dropped = Metrics.counter t.metrics "log.events_dropped_by_level" in
+    List.iter (fun log -> Metrics.add dropped (Log.dropped log)) t.logs;
+    let r = { merged; shards = results; fed = t.fed } in
+    t.finished <- Some r;
+    r

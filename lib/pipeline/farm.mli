@@ -1,0 +1,85 @@
+(** The checker farm: one verification domain per data structure.
+
+    {!Vyrd.Online} runs a single checker domain fed by one queue; the farm
+    generalizes it into the streaming pipeline the north star calls for:
+    the tagged event stream of a shared log is {e sharded} across one
+    checker domain per structure — the routing mirror of
+    {!Vyrd.Spec_compose}, which folds several structures into one product
+    specification.  Method events are routed to the component whose
+    specification knows the method name (namespaces must be disjoint, the
+    {!Vyrd.Spec_compose} precondition); commit and commit-block events
+    follow the thread's open call; shared-variable writes outside any call
+    (structure initialization) are broadcast so every shard's shadow replay
+    sees them; reads and lock events are consumed by no refinement checker
+    and are skipped at the router.
+
+    Each shard is fed through a bounded {!Vyrd.Ring}: a producer that
+    outruns a shard blocks at the log append until that shard catches up,
+    so memory stays bounded under any load (blocking backpressure).
+
+    {!finish} implements the drain protocol: close every ring, join every
+    domain, and merge the per-shard reports {e deterministically} — the
+    merged outcome is the violation whose triggering event has the lowest
+    global log index, ties broken by shard order, independent of domain
+    scheduling. *)
+
+type shard = {
+  sh_name : string;
+  sh_spec : Vyrd.Spec.t;
+  sh_mode : Vyrd.Checker.mode;
+  sh_view : Vyrd.View.t option;
+  sh_invariants : Vyrd.Checker.invariant list;
+}
+
+(** [shard name spec] with I/O mode defaults. *)
+val shard :
+  ?mode:Vyrd.Checker.mode ->
+  ?view:Vyrd.View.t ->
+  ?invariants:Vyrd.Checker.invariant list ->
+  string ->
+  Vyrd.Spec.t ->
+  shard
+
+type t
+
+(** [start ~level shards] spawns one checker domain per shard.
+    @param capacity per-shard ring bound (default 4096).
+    @param metrics registry fed by the router and the checker domains.
+    @param level the level of the log about to be streamed — [`View]-mode
+      shards reject sub-[`View] levels up front, like {!Vyrd.Checker.check}.
+    @raise Invalid_argument on an empty shard list, a [`View] shard without
+      a view, or a [`View] shard with a sub-[`View] level. *)
+val start :
+  ?capacity:int -> ?metrics:Metrics.t -> level:Vyrd.Log.level -> shard list -> t
+
+(** [feed t ev] routes one event.  Single producer: call from one thread, or
+    from a {!Vyrd.Log} listener (the log lock already serializes those). *)
+val feed : t -> Vyrd.Event.t -> unit
+
+(** [attach t log] subscribes {!feed} to every subsequently appended
+    event. *)
+val attach : t -> Vyrd.Log.t -> unit
+
+(** Events routed so far. *)
+val events_fed : t -> int
+
+type shard_result = {
+  sr_name : string;
+  sr_report : Vyrd.Report.t;
+  sr_fail_index : int option;
+      (** global log index of the event that triggered the violation *)
+  sr_high_water : int;
+  sr_stall_ns : int;
+  sr_events : int;  (** events this shard consumed *)
+}
+
+type result = {
+  merged : Vyrd.Report.t;
+      (** deterministic merge: earliest violation by global event index;
+          stats are the per-shard sums, [queue_high_water] the maximum *)
+  shards : shard_result list;
+  fed : int;
+}
+
+(** Close every ring, join every domain, merge.  Idempotent. *)
+val finish : t -> result

@@ -1,0 +1,179 @@
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type histogram = {
+  buckets : int Atomic.t array;  (* bucket i counts values in [2^i, 2^(i+1)) *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+type entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { lock : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); entries = Hashtbl.create 32 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let counter t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Counter c) -> c
+      | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add t.entries name (Counter c);
+        c)
+
+let incr c = Atomic.incr c
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let value c = Atomic.get c
+
+let gauge t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Gauge g) -> g
+      | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+      | None ->
+        let g = Atomic.make 0 in
+        Hashtbl.add t.entries name (Gauge g);
+        g)
+
+let rec record g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then record g v
+
+let gauge_value g = Atomic.get g
+
+let n_buckets = 63
+
+let histogram t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some (Histogram h) -> h
+      | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+      | None ->
+        let h =
+          {
+            buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_max = Atomic.make 0;
+          }
+        in
+        Hashtbl.add t.entries name (Histogram h);
+        h)
+
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let rec go i n = if n <= 1 || i = n_buckets - 1 then i else go (i + 1) (n lsr 1) in
+    go 0 v
+
+let observe h v =
+  let v = max 0 v in
+  Atomic.incr h.buckets.(bucket_of v);
+  Atomic.incr h.h_count;
+  ignore (Atomic.fetch_and_add h.h_sum v);
+  record h.h_max v
+
+let hist_count h = Atomic.get h.h_count
+let hist_max h = Atomic.get h.h_max
+
+let quantile h q =
+  let total = Atomic.get h.h_count in
+  if total = 0 then 0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int total)) in
+    let target = max 1 (min total target) in
+    let acc = ref 0 in
+    let result = ref (Atomic.get h.h_max) in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := !acc + Atomic.get h.buckets.(i);
+         if !acc >= target then begin
+           (* geometric midpoint of [2^i, 2^(i+1)) *)
+           result := (if i = 0 then 1 else (1 lsl i) + (1 lsl (i - 1)));
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min !result (Atomic.get h.h_max)
+  end
+
+(* -------------------------------------------------------------- export *)
+
+let sorted t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [])
+  |> List.sort compare
+
+let pp ppf t =
+  let entries = sorted t in
+  let counters = List.filter (function _, Counter _ -> true | _ -> false) entries in
+  let gauges = List.filter (function _, Gauge _ -> true | _ -> false) entries in
+  let hists = List.filter (function _, Histogram _ -> true | _ -> false) entries in
+  let section title rows pr =
+    if rows <> [] then begin
+      Fmt.pf ppf "%s:@." title;
+      List.iter (fun (name, e) -> pr name e) rows
+    end
+  in
+  section "counters" counters (fun name e ->
+      match e with
+      | Counter c -> Fmt.pf ppf "  %-36s %12d@." name (value c)
+      | _ -> ());
+  section "gauges (high-water)" gauges (fun name e ->
+      match e with
+      | Gauge g -> Fmt.pf ppf "  %-36s %12d@." name (gauge_value g)
+      | _ -> ());
+  section "histograms" hists (fun name e ->
+      match e with
+      | Histogram h ->
+        Fmt.pf ppf "  %-36s count %-9d p50 %-11d p99 %-11d max %d@." name
+          (hist_count h) (quantile h 0.5) (quantile h 0.99) (hist_max h)
+      | _ -> ())
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  let entries = sorted t in
+  let emit kind pr =
+    let rows = List.filter (fun (_, e) -> kind e) entries in
+    List.iteri
+      (fun i (name, e) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":" (String.escaped name));
+        pr e)
+      rows
+  in
+  Buffer.add_string b "{\"counters\":{";
+  emit
+    (function Counter _ -> true | _ -> false)
+    (function
+      | Counter c -> Buffer.add_string b (string_of_int (value c))
+      | _ -> ());
+  Buffer.add_string b "},\"gauges\":{";
+  emit
+    (function Gauge _ -> true | _ -> false)
+    (function
+      | Gauge g -> Buffer.add_string b (string_of_int (gauge_value g))
+      | _ -> ());
+  Buffer.add_string b "},\"histograms\":{";
+  emit
+    (function Histogram _ -> true | _ -> false)
+    (function
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
+             (hist_count h) (Atomic.get h.h_sum) (hist_max h) (quantile h 0.5)
+             (quantile h 0.9) (quantile h 0.99))
+      | _ -> ());
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,57 @@
+(** Pipeline metrics: counters, high-water gauges and log2 histograms.
+
+    One registry is shared by the log, the segment writer and every checker
+    domain of a {!Farm}, so handles must be cheap from any domain: each is a
+    single [Atomic.t] (or an array of them), registered once under a mutex
+    and then updated lock-free on the hot path.
+
+    Export is deterministic (names sorted) as either an aligned text table
+    ({!pp}) or a single JSON document ({!to_json}) — the payload the
+    [vyrd-check pipeline --metrics-json] flag and the CI artifact carry. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically increasing totals (events logged, checked,
+    dropped, commits, violations, stall nanoseconds). *)
+
+type counter
+
+(** [counter t name] registers (or retrieves) the counter called [name]. *)
+val counter : t -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} — maximum-tracking levels (queue-depth high-water marks). *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+(** [record g v] raises the gauge to [v] if higher. *)
+val record : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — power-of-two buckets over nonnegative integers
+    (latencies in nanoseconds, batch sizes). *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_max : histogram -> int
+
+(** [quantile h q] estimates the [q]-quantile (0 <= q <= 1) as the
+    geometric midpoint of the bucket where the cumulative count crosses;
+    [0] when empty. *)
+val quantile : histogram -> float -> int
+
+(** {1 Export} *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> string

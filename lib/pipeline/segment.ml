@@ -1,0 +1,283 @@
+open Vyrd
+
+let magic = "VYRDB1"
+
+let level_code = function `None -> 0 | `Io -> 1 | `View -> 2 | `Full -> 3
+
+let level_of_code = function
+  | 0 -> Some `None
+  | 1 -> Some `Io
+  | 2 -> Some `View
+  | 3 -> Some `Full
+  | _ -> None
+
+let frame_header_bytes = 12
+let file_header_bytes = String.length magic + 1
+
+(* --------------------------------------------------------------- writer *)
+
+type writer = {
+  w_segment_bytes : int;
+  w_rotate : int option;
+  w_level : Log.level;
+  w_path : string;
+  w_buf : Buffer.t;
+  mutable w_buf_events : int;
+  mutable w_oc : out_channel option;
+  mutable w_file_index : int;
+  mutable w_file_bytes : int;
+  mutable w_files : string list;  (* reverse stream order *)
+  mutable w_bytes : int;
+  mutable w_segments : int;
+  mutable w_events : int;
+  mutable w_closed : bool;
+}
+
+let create_writer ?(segment_bytes = 65536) ?rotate_bytes ~level path =
+  if segment_bytes <= 0 then invalid_arg "Segment.create_writer: segment_bytes";
+  (match rotate_bytes with
+  | Some n when n <= 0 -> invalid_arg "Segment.create_writer: rotate_bytes"
+  | _ -> ());
+  {
+    w_segment_bytes = segment_bytes;
+    w_rotate = rotate_bytes;
+    w_level = level;
+    w_path = path;
+    w_buf = Buffer.create (segment_bytes + 256);
+    w_buf_events = 0;
+    w_oc = None;
+    w_file_index = 0;
+    w_file_bytes = 0;
+    w_files = [];
+    w_bytes = 0;
+    w_segments = 0;
+    w_events = 0;
+    w_closed = false;
+  }
+
+let current_path w =
+  match w.w_rotate with
+  | None -> w.w_path
+  | Some _ -> Printf.sprintf "%s.%05d" w.w_path w.w_file_index
+
+let ensure_open w =
+  match w.w_oc with
+  | Some oc -> oc
+  | None ->
+    let path = current_path w in
+    let oc = open_out_bin path in
+    output_string oc magic;
+    output_char oc (Char.chr (level_code w.w_level));
+    w.w_oc <- Some oc;
+    w.w_file_bytes <- file_header_bytes;
+    w.w_bytes <- w.w_bytes + file_header_bytes;
+    w.w_files <- path :: w.w_files;
+    oc
+
+let close_current_file w =
+  match w.w_oc with
+  | None -> ()
+  | Some oc ->
+    close_out oc;
+    w.w_oc <- None;
+    w.w_file_index <- w.w_file_index + 1
+
+let put_u32 bytes off n =
+  Bytes.set_int32_le bytes off (Int32.of_int (n land 0xffffffff))
+
+let seal w =
+  if w.w_buf_events > 0 then begin
+    let oc = ensure_open w in
+    let payload = Buffer.contents w.w_buf in
+    let head = Bytes.create frame_header_bytes in
+    put_u32 head 0 (String.length payload);
+    put_u32 head 4 (Bincodec.crc32 payload);
+    put_u32 head 8 w.w_buf_events;
+    output_bytes oc head;
+    output_string oc payload;
+    flush oc;
+    let n = frame_header_bytes + String.length payload in
+    w.w_file_bytes <- w.w_file_bytes + n;
+    w.w_bytes <- w.w_bytes + n;
+    w.w_segments <- w.w_segments + 1;
+    Buffer.clear w.w_buf;
+    w.w_buf_events <- 0;
+    match w.w_rotate with
+    | Some limit when w.w_file_bytes >= limit -> close_current_file w
+    | _ -> ()
+  end
+
+let append w ev =
+  if w.w_closed then invalid_arg "Segment.append: writer is closed";
+  Bincodec.put_event w.w_buf ev;
+  w.w_buf_events <- w.w_buf_events + 1;
+  w.w_events <- w.w_events + 1;
+  if Buffer.length w.w_buf >= w.w_segment_bytes then seal w
+
+let flush w =
+  if not w.w_closed then seal w
+
+let close w =
+  if not w.w_closed then begin
+    (* even an event-free stream leaves a (headered) file behind *)
+    if w.w_files = [] then ignore (ensure_open w);
+    seal w;
+    close_current_file w;
+    w.w_closed <- true
+  end
+
+let attach w log = Log.subscribe log (append w)
+let writer_files w = List.rev w.w_files
+let writer_bytes w = w.w_bytes
+let writer_segments w = w.w_segments
+let writer_events w = w.w_events
+
+let write_file ?segment_bytes path log =
+  let w = create_writer ?segment_bytes ~level:(Log.level log) path in
+  Log.iter (append w) log;
+  close w
+
+(* --------------------------------------------------------------- reader *)
+
+type recovered = {
+  log : Log.t;
+  segments : int;
+  bytes : int;
+  truncated : bool;
+  files : string list;
+}
+
+let is_binary path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match really_input_string ic (String.length magic) with
+        | s -> String.equal s magic
+        | exception End_of_file -> false)
+
+let get_u32 s off =
+  Int32.to_int (String.get_int32_le s off) land 0xffffffff
+
+(* Decode one CRC-validated payload into the log.  The payload passed its
+   checksum, so a decode failure here means an encoder bug, not a torn
+   write: raise rather than silently truncate. *)
+let decode_payload log payload count =
+  let len = String.length payload in
+  let n = ref 0 in
+  let pos = ref 0 in
+  while !pos < len do
+    let ev, pos' = Bincodec.get_event payload !pos in
+    Log.append log ev;
+    incr n;
+    pos := pos'
+  done;
+  if !n <> count then
+    raise
+      (Bincodec.Corrupt
+         (Printf.sprintf "segment declared %d events but contained %d" count !n))
+
+(* Read every whole, CRC-valid segment of [ic]; [false] when a torn payload
+   or a checksum mismatch ended the stream (a torn 12-byte frame header
+   shows up as a clean [End_of_file] here and is caught by the caller's
+   consumed-bytes-vs-file-size comparison). *)
+let read_segments log ic acc_segments acc_bytes =
+  let clean = ref true in
+  let stop = ref false in
+  while not !stop do
+    match really_input_string ic frame_header_bytes with
+    | exception End_of_file -> stop := true
+    | head ->
+      let len = get_u32 head 0 in
+      let crc = get_u32 head 4 in
+      let count = get_u32 head 8 in
+      (match really_input_string ic len with
+      | exception End_of_file ->
+        clean := false;
+        stop := true
+      | payload ->
+        if Bincodec.crc32 payload <> crc then begin
+          clean := false;
+          stop := true
+        end
+        else begin
+          decode_payload log payload count;
+          incr acc_segments;
+          acc_bytes := !acc_bytes + frame_header_bytes + len
+        end)
+  done;
+  !clean
+
+let read_header ic =
+  match really_input_string ic file_header_bytes with
+  | exception End_of_file -> Error `Torn_header
+  | s ->
+    if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+      Error `Bad_magic
+    else (
+      match level_of_code (Char.code s.[String.length magic]) with
+      | Some lvl -> Ok lvl
+      | None -> Error `Bad_magic)
+
+let read_files paths =
+  let log = ref None in
+  let segments = ref 0 in
+  let bytes = ref 0 in
+  let truncated = ref false in
+  let read_one path =
+    let size = (Unix.stat path).Unix.st_size in
+    let before = !bytes in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match read_header ic with
+        | Error `Bad_magic when !log = None ->
+          raise (Bincodec.Corrupt (path ^ ": not a vyrd binary segment file"))
+        | Error (`Bad_magic | `Torn_header) ->
+          (* a crash can truncate even the header of the last rotated file *)
+          truncated := true
+        | Ok lvl ->
+          let l =
+            match !log with
+            | Some l -> l
+            | None ->
+              let l = Log.create ~level:lvl () in
+              log := Some l;
+              l
+          in
+          bytes := !bytes + file_header_bytes;
+          if not (read_segments l ic segments bytes) then truncated := true;
+          (* bytes we validated falling short of the file size means the
+             tail was torn inside a frame header *)
+          if !bytes - before < size then truncated := true)
+  in
+  List.iter (fun path -> if not !truncated then read_one path) paths;
+  let log = match !log with Some l -> l | None -> Log.create ~level:`Full () in
+  {
+    log;
+    segments = !segments;
+    bytes = !bytes;
+    truncated = !truncated;
+    files = paths;
+  }
+
+let read_file path = read_files [ path ]
+
+let read_prefix path =
+  if Sys.file_exists path then read_file path
+  else begin
+    let dir = Filename.dirname path in
+    let base = Filename.basename path ^ "." in
+    let entries =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> String.starts_with ~prefix:base f)
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+    in
+    if entries = [] then
+      raise (Bincodec.Corrupt (path ^ ": no such segment file or rotation set"));
+    read_files entries
+  end

@@ -1,0 +1,90 @@
+(** Binary log segments: durable spool between logging and checking.
+
+    VYRD's architecture decouples cheap in-process logging from (possibly
+    offline, possibly remote) checking (§4.2, §6.1).  This module is the
+    disk format of that decoupling: a stream of length-prefixed,
+    CRC32-checksummed segments of {!Bincodec}-encoded events, preceded by a
+    header recording the {!Vyrd.Log.level} — the binary counterpart of the
+    textual [# vyrd-log level=...] header.
+
+    {b File layout.}  [magic (6 bytes) | level (1 byte)] then zero or more
+    segments, each [payload length (u32 LE) | crc32(payload) (u32 LE) |
+    event count (u32 LE) | payload].  A {!writer} seals a segment when its
+    buffer reaches [segment_bytes] and, when [rotate_bytes] is set, starts a
+    new numbered file ([<path>.00000], [<path>.00001], ...) once the current
+    file exceeds that size — so a long run spools to disk with bounded
+    buffering and bounded per-file size.
+
+    {b Crash recovery.}  A reader validates each segment's length and CRC
+    before decoding; at the first torn or corrupt frame it stops and returns
+    everything before it.  Every event of every CRC-valid prefix segment is
+    preserved — a crash mid-write costs at most the unsealed tail. *)
+
+(** First bytes of every segment file. *)
+val magic : string
+
+(** [is_binary path] sniffs whether [path] starts with {!magic} (false for
+    missing or short files) — used to route between the binary reader and
+    the textual {!Vyrd.Log.of_file}. *)
+val is_binary : string -> bool
+
+(** {1 Writing} *)
+
+type writer
+
+(** [create_writer ~level path] opens a streaming writer.  Not thread-safe:
+    serialize appends externally (a {!Vyrd.Log} listener already runs under
+    the log lock).
+    @param segment_bytes seal a segment once its payload reaches this size
+      (default 65536).
+    @param rotate_bytes when given, rotate to a new numbered file once the
+      current one exceeds this size; without it everything goes to [path]. *)
+val create_writer :
+  ?segment_bytes:int -> ?rotate_bytes:int -> level:Vyrd.Log.level -> string -> writer
+
+val append : writer -> Vyrd.Event.t -> unit
+
+(** Seal the buffered events into a segment now (durability point). *)
+val flush : writer -> unit
+
+(** [close w] flushes and closes; further appends raise [Invalid_argument]. *)
+val close : writer -> unit
+
+(** [attach w log] subscribes the writer to every subsequently appended
+    event. *)
+val attach : writer -> Vyrd.Log.t -> unit
+
+(** Files written so far, in stream order. *)
+val writer_files : writer -> string list
+
+(** Total bytes written (framing included), across all files. *)
+val writer_bytes : writer -> int
+
+val writer_segments : writer -> int
+val writer_events : writer -> int
+
+(** [write_file path log] spools a whole in-memory log to a single binary
+    file. *)
+val write_file : ?segment_bytes:int -> string -> Vyrd.Log.t -> unit
+
+(** {1 Reading} *)
+
+type recovered = {
+  log : Vyrd.Log.t;  (** events of every CRC-valid segment, at the header level *)
+  segments : int;
+  bytes : int;  (** bytes consumed as valid *)
+  truncated : bool;  (** a torn or corrupt tail was discarded *)
+  files : string list;
+}
+
+(** @raise Bincodec.Corrupt when [path] is not a segment file at all (bad
+    magic) — truncated or corrupt {e tails} are recovered, not raised. *)
+val read_file : string -> recovered
+
+(** [read_files paths] concatenates a rotation sequence in list order.
+    Corruption in any file ends the stream there (marked [truncated]). *)
+val read_files : string list -> recovered
+
+(** [read_prefix path] reads [path] itself when it exists, otherwise the
+    sorted rotation set [path.00000], [path.00001], ... *)
+val read_prefix : string -> recovered

@@ -19,4 +19,5 @@ let () =
       ("model", Test_model.suite);
       ("log", Test_log.suite);
       ("faults", Test_faults.suite);
+      ("pipeline", Test_pipeline.suite);
     ]

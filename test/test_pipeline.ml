@@ -1,0 +1,516 @@
+(* The streaming pipeline: binary codec round trips (including the int
+   extremes the zigzag mapping must survive), segment-file crash recovery
+   (every CRC-valid prefix segment's events are preserved), equivalence of
+   the binary and textual formats on the checked-in example logs, the
+   bounded ring's ordering/backpressure/close semantics, and the checker
+   farm agreeing with the offline composed-spec checker on both correct and
+   buggy executions. *)
+
+open Vyrd
+open Vyrd_harness
+open Vyrd_pipeline
+module Prng = Vyrd_sched.Prng
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- codec round trips --------------------------------------------------- *)
+
+let decode_all s =
+  let rec go acc pos =
+    if pos >= String.length s then List.rev acc
+    else
+      let ev, pos = Bincodec.get_event s pos in
+      go (ev :: acc) pos
+  in
+  go [] 0
+
+let varint_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"varint round trip" ~count:500
+       QCheck2.Gen.(
+         oneof
+           [ int; int_range (-200) 200;
+             oneofl [ min_int; max_int; min_int + 1; max_int - 1; 0; -1; 1 ] ])
+       (fun n ->
+         let b = Buffer.create 10 in
+         Bincodec.put_varint b n;
+         let n', pos = Bincodec.get_varint (Buffer.contents b) 0 in
+         n' = n && pos = Buffer.length b))
+
+let test_varint_extremes () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 10 in
+      Bincodec.put_varint b n;
+      let n', _ = Bincodec.get_varint (Buffer.contents b) 0 in
+      Alcotest.(check int) (Printf.sprintf "varint %d" n) n n')
+    [ min_int; max_int; min_int + 1; max_int - 1; 0; 1; -1; 63; -64; 1 lsl 40 ]
+
+let event_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"binary event round trip" ~count:300
+       QCheck2.Gen.(list_size (int_range 0 40) Test_log.event_gen)
+       (fun evs ->
+         let b = Buffer.create 256 in
+         List.iter (Bincodec.put_event b) evs;
+         let evs' = decode_all (Buffer.contents b) in
+         List.length evs' = List.length evs && List.for_all2 Event.equal evs evs'))
+
+let test_decode_garbage_raises () =
+  List.iter
+    (fun s ->
+      match Bincodec.get_event s 0 with
+      | _ -> Alcotest.failf "decoded garbage %S" s
+      | exception Bincodec.Corrupt _ -> ())
+    [ ""; "\255"; "\000\003"; "\000\001\004\255abc" ]
+
+(* --- segment files: round trip, rotation, recovery ------------------------ *)
+
+let with_tmp f =
+  let path = Filename.temp_file "vyrd_pipe" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let record ?(level = `View) ?(seed = 0) ?(ops = 40) () =
+  Harness.run
+    { Harness.default with threads = 4; ops_per_thread = ops; log_level = level; seed }
+    (Subjects.multiset_vector.Subjects.build ~bug:false)
+
+let check_same_log what (a : Log.t) (b : Log.t) =
+  Alcotest.(check bool) (what ^ ": same level") true (Log.level a = Log.level b);
+  Alcotest.(check int) (what ^ ": same length") (Log.length a) (Log.length b);
+  Alcotest.(check bool)
+    (what ^ ": same events") true
+    (List.for_all2 Event.equal (Log.events a) (Log.events b))
+
+let segment_file_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"segment write/read round trip" ~count:60
+       QCheck2.Gen.(
+         pair Test_log.level_gen (list_size (int_range 0 120) Test_log.event_gen))
+       (fun (level, evs) ->
+         let log = Log.create ~level () in
+         List.iter (Log.append log) evs;
+         with_tmp (fun path ->
+             Segment.write_file ~segment_bytes:64 path log;
+             let r = Segment.read_file path in
+             (not r.Segment.truncated)
+             && Log.level r.Segment.log = level
+             && Log.length r.Segment.log = Log.length log
+             && List.for_all2 Event.equal
+                  (Log.events r.Segment.log)
+                  (Log.events log))))
+
+(* cwd is _build/default/test under [dune runtest], the repo root under
+   [dune exec] *)
+let examples_dir () =
+  List.find Sys.file_exists [ "examples/logs"; "../../../examples/logs" ]
+
+let test_binary_matches_text_on_examples () =
+  (* the checked-in textual logs and their binary re-encoding must load to
+     identical logs *)
+  List.iter
+    (fun file ->
+      let path = Filename.concat (examples_dir ()) file in
+      let log = Log.of_file path in
+      Alcotest.(check bool) (file ^ ": non-trivial") true (Log.length log > 0);
+      with_tmp (fun tmp ->
+          Segment.write_file tmp log;
+          let r = Segment.read_file tmp in
+          Alcotest.(check bool) (file ^ ": clean") false r.Segment.truncated;
+          check_same_log file log r.Segment.log))
+    [ "multiset_vector.log"; "cache.log"; "scanfs.log" ]
+
+let test_rotation_and_read_prefix () =
+  let log = record ~level:`Full ~ops:60 () in
+  let dir = Filename.temp_file "vyrd_rot" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let base = Filename.concat dir "stream" in
+      let w =
+        Segment.create_writer ~segment_bytes:512 ~rotate_bytes:2048 ~level:`Full base
+      in
+      Log.iter (Segment.append w) log;
+      Segment.close w;
+      let files = Segment.writer_files w in
+      Alcotest.(check bool) "rotated into several files" true (List.length files > 1);
+      List.iter
+        (fun f -> Alcotest.(check bool) (f ^ " sniffs binary") true (Segment.is_binary f))
+        files;
+      let r = Segment.read_prefix base in
+      Alcotest.(check bool) "clean" false r.Segment.truncated;
+      check_same_log "rotation set" log r.Segment.log)
+
+(* Truncate a written segment file at a sweep of byte lengths and re-read:
+   recovery must never raise, must always yield a prefix of the original
+   events (every CRC-valid whole segment survives, the torn tail is
+   discarded), and must read the untruncated file completely and cleanly. *)
+let test_truncated_tail_recovery () =
+  let log = record ~ops:25 () in
+  let evs = Array.of_list (Log.events log) in
+  with_tmp (fun path ->
+      Segment.write_file ~segment_bytes:256 path log;
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      let size = String.length whole in
+      Alcotest.(check bool) "several segments to tear" true (size > 1024);
+      let saw_torn = ref 0 in
+      for cut = 0 to size do
+        if cut mod 7 = 0 || cut = size then begin
+          let torn = path ^ ".torn" in
+          Out_channel.with_open_bin torn (fun oc ->
+              Out_channel.output_string oc (String.sub whole 0 cut));
+          Fun.protect
+            ~finally:(fun () -> Sys.remove torn)
+            (fun () ->
+              let r = Segment.read_file torn in
+              let got = Log.events r.Segment.log in
+              let n = List.length got in
+              if n > Array.length evs then
+                Alcotest.failf "cut at %d/%d: recovered more events than written"
+                  cut size;
+              if
+                not
+                  (List.for_all2 Event.equal got
+                     (Array.to_list (Array.sub evs 0 n)))
+              then
+                Alcotest.failf "cut at %d/%d: recovered log is not a prefix" cut size;
+              if r.Segment.truncated then incr saw_torn;
+              if cut = size then begin
+                Alcotest.(check bool) "full file reads clean" false r.Segment.truncated;
+                Alcotest.(check int) "full file reads all" (Array.length evs)
+                  (Log.length r.Segment.log)
+              end)
+        end
+      done;
+      Alcotest.(check bool) "sweep hit torn tails" true (!saw_torn > 0))
+
+let test_corrupt_byte_stops_at_crc () =
+  let log = record ~ops:25 () in
+  with_tmp (fun path ->
+      Segment.write_file ~segment_bytes:256 path log;
+      let whole = In_channel.with_open_bin path In_channel.input_all in
+      (* flip one byte most of the way in: everything before the damaged
+         segment must survive, nothing may raise *)
+      let at = String.length whole * 3 / 4 in
+      let bytes = Bytes.of_string whole in
+      Bytes.set bytes at (Char.chr (Char.code (Bytes.get bytes at) lxor 0xff));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+      let r = Segment.read_file path in
+      Alcotest.(check bool) "marked truncated" true r.Segment.truncated;
+      Alcotest.(check bool) "some prefix survived" true (Log.length r.Segment.log > 0);
+      let got = Log.events r.Segment.log in
+      let all = Array.of_list (Log.events log) in
+      Alcotest.(check bool) "prefix of original" true
+        (List.for_all2 Event.equal got
+           (Array.to_list (Array.sub all 0 (List.length got)))))
+
+let test_not_a_segment_file_raises () =
+  with_tmp (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "# vyrd-log level=view\n");
+      Alcotest.(check bool) "text log does not sniff binary" false
+        (Segment.is_binary path);
+      match Segment.read_file path with
+      | _ -> Alcotest.fail "read_file accepted a text log"
+      | exception Bincodec.Corrupt _ -> ())
+
+(* --- the bounded ring ----------------------------------------------------- *)
+
+let test_ring_order_and_close () =
+  let r = Ring.create ~capacity:4 () in
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  Alcotest.(check int) "length" 3 (Ring.length r);
+  Alcotest.(check int) "high water" 3 (Ring.high_water r);
+  Ring.close r;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Ring.pop r);
+  Alcotest.(check (option int)) "drained" None (Ring.pop r);
+  (* pushes after close are silently dropped, not an exception: a stray
+     late listener callback must not crash the instrumented program *)
+  Ring.push r 99;
+  Alcotest.(check (option int)) "still drained" None (Ring.pop r);
+  Alcotest.(check int) "drop counted" 1 (Ring.rejected r)
+
+let test_ring_backpressure () =
+  let capacity = 8 in
+  let n = 5_000 in
+  let r = Ring.create ~capacity () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go acc =
+          match Ring.pop r with None -> List.rev acc | Some v -> go (v :: acc)
+        in
+        go [])
+  in
+  for i = 1 to n do
+    Ring.push r i
+  done;
+  Ring.close r;
+  let got = Domain.join consumer in
+  Alcotest.(check int) "all values received" n (List.length got);
+  Alcotest.(check bool) "in order" true (List.for_all2 ( = ) got (List.init n succ));
+  Alcotest.(check bool)
+    (Printf.sprintf "high water %d within capacity" (Ring.high_water r))
+    true
+    (Ring.high_water r <= capacity)
+
+(* --- log traversal, drop counter, positioned parse errors ----------------- *)
+
+let test_log_fold_snapshot_iter_agree () =
+  let log = record ~level:`Full ~ops:30 () in
+  let via_events = Log.events log in
+  let via_fold = List.rev (Log.fold (fun acc ev -> ev :: acc) [] log) in
+  let via_iter =
+    let acc = ref [] in
+    Log.iter (fun ev -> acc := ev :: !acc) log;
+    List.rev !acc
+  in
+  let via_snapshot = Array.to_list (Log.snapshot log) in
+  List.iter
+    (fun (what, got) ->
+      Alcotest.(check int) (what ^ " length") (List.length via_events) (List.length got);
+      Alcotest.(check bool) (what ^ " events") true
+        (List.for_all2 Event.equal via_events got))
+    [ ("fold", via_fold); ("iter", via_iter); ("snapshot", via_snapshot) ]
+
+let test_log_dropped_counter () =
+  let log = Log.create ~level:`Io () in
+  Log.append log (Event.Call { tid = 1; mid = "op"; args = [] });
+  Log.append log (Event.Write { tid = 1; var = "x"; value = Repr.Int 1 });
+  Log.append log (Event.Read { tid = 1; var = "x" });
+  Alcotest.(check int) "one admitted" 1 (Log.length log);
+  Alcotest.(check int) "two dropped" 2 (Log.dropped log)
+
+let test_parse_error_is_positioned () =
+  let path = Filename.temp_file "vyrd_bad" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "# vyrd-log level=view\n";
+          Out_channel.output_string oc
+            (Event.to_line (Event.Commit { tid = 1 }) ^ "\n");
+          Out_channel.output_string oc "not an event\n");
+      match Log.of_file path with
+      | (_ : Log.t) -> Alcotest.fail "malformed line accepted"
+      | exception Log.Parse_error { line; message = _ } ->
+        Alcotest.(check int) "1-based line of the bad event" 3 line)
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "events" in
+  Metrics.incr c;
+  Metrics.add c 9;
+  Alcotest.(check int) "counter" 10 (Metrics.value c);
+  Alcotest.(check int) "re-registration shares" 10
+    (Metrics.value (Metrics.counter m "events"));
+  let g = Metrics.gauge m "depth" in
+  Metrics.record g 7;
+  Metrics.record g 3;
+  Alcotest.(check int) "gauge keeps max" 7 (Metrics.gauge_value g);
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 1; 2; 4; 8; 1024; 100_000 ];
+  Alcotest.(check int) "count" 6 (Metrics.hist_count h);
+  Alcotest.(check int) "max" 100_000 (Metrics.hist_max h);
+  Alcotest.(check bool) "p50 in range" true
+    (Metrics.quantile h 0.5 >= 1 && Metrics.quantile h 0.5 <= 100_000);
+  Alcotest.(check bool) "quantiles monotone" true
+    (Metrics.quantile h 0.5 <= Metrics.quantile h 0.99);
+  let json = Metrics.to_json m in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("json mentions " ^ affix) true (is_infix ~affix json))
+    [ "\"events\":10"; "\"depth\":7"; "\"count\":6" ]
+
+(* --- the farm vs the offline composed checker ----------------------------- *)
+
+let capacity = 8
+
+let composed_spec =
+  Spec_compose.pair Vyrd_multiset.Multiset_spec.spec Vyrd_jlib.Vector.spec
+
+let composed_view =
+  Spec_compose.pair_views
+    (Vyrd_multiset.Multiset_vector.viewdef ~capacity)
+    (Vyrd_jlib.Vector.viewdef ~capacity)
+
+let shards () =
+  [
+    Farm.shard ~mode:`View
+      ~view:(Vyrd_multiset.Multiset_vector.viewdef ~capacity)
+      "multiset" Vyrd_multiset.Multiset_spec.spec;
+    Farm.shard ~mode:`View
+      ~view:(Vyrd_jlib.Vector.viewdef ~capacity)
+      "vector" Vyrd_jlib.Vector.spec;
+  ]
+
+let run_both ?(ms_bugs = []) ~seed () =
+  let log = Log.create ~level:`View () in
+  Vyrd_sched.Coop.run ~seed (fun s ->
+      let ctx = Instrument.make s log in
+      let ms = Vyrd_multiset.Multiset_vector.create ~bugs:ms_bugs ~capacity ctx in
+      let v = Vyrd_jlib.Vector.create ~capacity ctx in
+      for t = 1 to 4 do
+        s.spawn (fun () ->
+            let rng = Prng.create (seed + (19 * t)) in
+            for _ = 1 to 15 do
+              let x = Prng.int rng 5 in
+              match Prng.int rng 8 with
+              | 0 | 1 -> ignore (Vyrd_multiset.Multiset_vector.insert ms x)
+              | 2 -> ignore (Vyrd_multiset.Multiset_vector.delete ms x)
+              | 3 -> ignore (Vyrd_multiset.Multiset_vector.lookup ms x)
+              | 4 | 5 -> ignore (Vyrd_jlib.Vector.add v x)
+              | 6 -> ignore (Vyrd_jlib.Vector.remove_last v)
+              | _ -> ignore (Vyrd_jlib.Vector.size v)
+            done)
+      done);
+  log
+
+let farm_check log =
+  let farm = Farm.start ~capacity:64 ~level:(Log.level log) (shards ()) in
+  Array.iter (Farm.feed farm) (Log.snapshot log);
+  Farm.finish farm
+
+let test_farm_agrees_on_correct_runs () =
+  for seed = 0 to 7 do
+    let log = run_both ~seed () in
+    let offline = Checker.check ~mode:`View ~view:composed_view log composed_spec in
+    let result = farm_check log in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d offline pass" seed)
+      true (Report.is_pass offline);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d farm pass" seed)
+      true
+      (Report.is_pass result.Farm.merged);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d all events routed" seed)
+      (Log.length log) result.Farm.fed;
+    List.iter
+      (fun (sr : Farm.shard_result) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d %s bounded" seed sr.Farm.sr_name)
+          true
+          (sr.Farm.sr_high_water <= 64))
+      result.Farm.shards
+  done
+
+let test_farm_agrees_on_buggy_runs () =
+  (* sweep seeds; wherever the offline composed checker convicts the racy
+     multiset, the farm must convict too (and vice versa) *)
+  let convictions = ref 0 in
+  for seed = 0 to 30 do
+    let log =
+      run_both ~ms_bugs:[ Vyrd_multiset.Multiset_vector.Racy_find_slot ] ~seed ()
+    in
+    let offline = Checker.check ~mode:`View ~view:composed_view log composed_spec in
+    let result = farm_check log in
+    if not (Report.is_pass offline) then incr convictions;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d verdicts agree" seed)
+      (Report.is_pass offline)
+      (Report.is_pass result.Farm.merged);
+    if not (Report.is_pass result.Farm.merged) then
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d violation kind" seed)
+        (Report.tag offline)
+        (Report.tag result.Farm.merged)
+  done;
+  Alcotest.(check bool) "the sweep actually hit the bug" true (!convictions > 0)
+
+let test_farm_streams_from_live_log () =
+  (* end-to-end: harness -> log listener -> farm, multi-structure, with the
+     subjects' own specs and views *)
+  let subjects = [ Subjects.multiset_vector; Subjects.jvector ] in
+  let log = Log.create ~level:`View () in
+  let metrics = Metrics.create () in
+  let farm =
+    Farm.start ~capacity:128 ~metrics ~level:`View
+      (List.map
+         (fun (s : Subjects.t) ->
+           Farm.shard ~mode:`View ~view:s.Subjects.view s.Subjects.name
+             s.Subjects.spec)
+         subjects)
+  in
+  Farm.attach farm log;
+  Harness.run_into ~log
+    { Harness.default with threads = 4; ops_per_thread = 40 }
+    (List.map (fun (s : Subjects.t) -> s.Subjects.build ~bug:false) subjects);
+  let result = Farm.finish farm in
+  Alcotest.(check bool) "stream passes" true (Report.is_pass result.Farm.merged);
+  Alcotest.(check int) "every event routed" (Log.length log) result.Farm.fed;
+  Alcotest.(check bool) "finish is idempotent" true (Farm.finish farm == result)
+
+let test_farm_view_requires_view_level () =
+  match Farm.start ~level:`Io (shards ()) with
+  | (_ : Farm.t) -> Alcotest.fail "`View shards accepted an `Io-level stream"
+  | exception Invalid_argument _ -> ()
+
+(* --- Online with a bounded queue ------------------------------------------ *)
+
+let test_online_capacity_and_high_water () =
+  let s = Subjects.multiset_vector in
+  let log = Log.create ~level:`View () in
+  let online =
+    Online.start ~capacity:256 ~mode:`View ~view:s.Subjects.view log s.Subjects.spec
+  in
+  Vyrd_sched.Coop.run ~seed:3 (fun sched ->
+      let ctx = Instrument.make sched log in
+      let b = s.Subjects.build ~bug:false ctx in
+      for t = 1 to 4 do
+        sched.spawn (fun () ->
+            let rng = Prng.create (3 + (7 * t)) in
+            for _ = 1 to 30 do
+              b.Harness.random_op rng (Prng.int rng 8)
+            done)
+      done);
+  let report = Online.finish online in
+  Alcotest.(check bool) "passes" true (Report.is_pass report);
+  let hw = report.Report.stats.Report.queue_high_water in
+  Alcotest.(check bool)
+    (Printf.sprintf "high water %d recorded and bounded" hw)
+    true
+    (hw > 0 && hw <= 256)
+
+let suite =
+  [
+    varint_roundtrip;
+    ("varint int extremes", `Quick, test_varint_extremes);
+    event_roundtrip;
+    ("garbage input raises Corrupt", `Quick, test_decode_garbage_raises);
+    segment_file_roundtrip;
+    ( "binary matches text on examples/logs",
+      `Quick,
+      test_binary_matches_text_on_examples );
+    ("rotation set reassembles via read_prefix", `Quick, test_rotation_and_read_prefix);
+    ("truncated tails recover every whole segment", `Quick, test_truncated_tail_recovery);
+    ("corrupt byte stops at the CRC", `Quick, test_corrupt_byte_stops_at_crc);
+    ("text log rejected by binary reader", `Quick, test_not_a_segment_file_raises);
+    ("ring order, close, late-push drop", `Quick, test_ring_order_and_close);
+    ("ring backpressure across domains", `Quick, test_ring_backpressure);
+    ("fold/iter/snapshot agree with events", `Quick, test_log_fold_snapshot_iter_agree);
+    ("dropped counter counts refused appends", `Quick, test_log_dropped_counter);
+    ("parse errors carry the line number", `Quick, test_parse_error_is_positioned);
+    ("metrics counters/gauges/histograms", `Quick, test_metrics_basics);
+    ("farm = offline checker on correct runs", `Quick, test_farm_agrees_on_correct_runs);
+    ("farm = offline checker on buggy runs", `Quick, test_farm_agrees_on_buggy_runs);
+    ("farm streams from a live log", `Quick, test_farm_streams_from_live_log);
+    ("farm `View shards reject `Io streams", `Quick, test_farm_view_requires_view_level);
+    ("online bounded queue records high water", `Quick, test_online_capacity_and_high_water);
+  ]
