@@ -514,6 +514,29 @@ let analyze_perf () =
 module Bincodec = Vyrd_pipeline.Bincodec
 module Farm = Vyrd_pipeline.Farm
 module Pmetrics = Vyrd_pipeline.Metrics
+module Wire = Vyrd_net.Wire
+module Server = Vyrd_net.Server
+module Client = Vyrd_net.Client
+
+(* Machine-readable sidecars (BENCH_pipeline.json, BENCH_net.json) so CI can
+   track throughput without scraping the tables. *)
+let write_json file fields =
+  match open_out file with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then output_string oc ",";
+            Printf.fprintf oc "%S:%s" k v)
+          fields;
+        output_string oc "}\n");
+    Fmt.pr "wrote %s@." file
+  | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." file msg
+
+let jnum f = if Float.is_nan f then "null" else Printf.sprintf "%.2f" f
 
 (* Disjoint method namespaces, as the farm router requires. *)
 let pipeline_subjects =
@@ -667,6 +690,13 @@ let pipeline_drain ?(ops = 20_000) () =
   let farm = Farm.start ~capacity ~metrics ~level (farm_shards ()) in
   let log = Log.create ~level () in
   Farm.attach farm log;
+  (* wire-equivalent byte accounting for the bytes/s sidecar figure *)
+  let bin_bytes = ref 0 in
+  let bin_buf = Buffer.create 64 in
+  Log.subscribe log (fun ev ->
+      Buffer.clear bin_buf;
+      Bincodec.put_event bin_buf ev;
+      bin_bytes := !bin_bytes + Buffer.length bin_buf);
   let cfg =
     { Harness.threads = 8; ops_per_thread = ops; key_pool = 12; key_range = 32;
       seed = 11; log_level = level }
@@ -690,11 +720,12 @@ let pipeline_drain ?(ops = 20_000) () =
         sr.Farm.sr_events sr.Farm.sr_high_water capacity
         (float_of_int sr.Farm.sr_stall_ns /. 1e6))
     result.Farm.shards;
-  let bounded =
-    List.for_all
-      (fun (sr : Farm.shard_result) -> sr.Farm.sr_high_water <= capacity)
-      result.Farm.shards
+  let high_water =
+    List.fold_left
+      (fun a (sr : Farm.shard_result) -> max a sr.Farm.sr_high_water)
+      0 result.Farm.shards
   in
+  let bounded = high_water <= capacity in
   let spec, view = composed () in
   let offline = Checker.check ~mode:`View ~view log spec in
   let agree = Report.is_pass offline = Report.is_pass result.Farm.merged in
@@ -704,13 +735,102 @@ let pipeline_drain ?(ops = 20_000) () =
   Fmt.pr "verdict equality with the offline checker: %s (farm %s, offline %s)@."
     (if agree then "yes" else "NO")
     (Report.tag result.Farm.merged) (Report.tag offline);
-  if not (bounded && agree) then exit 1
+  if not (bounded && agree) then exit 1;
+  (n, dt, !bin_bytes, high_water)
 
-let pipeline () =
+let pipeline ?(json_out = Some "BENCH_pipeline.json") () =
   pipeline_codec ();
   pipeline_scaling ();
   pipeline_backpressure ();
-  pipeline_drain ()
+  let events, dt, bytes, high_water = pipeline_drain () in
+  match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"pipeline-drain\"");
+        ("events", string_of_int events);
+        ("bytes", string_of_int bytes);
+        ("seconds", jnum dt);
+        ("events_per_sec", jnum (float_of_int events /. dt));
+        ("bytes_per_sec", jnum (float_of_int bytes /. dt));
+        ("queue_high_water", string_of_int high_water);
+      ]
+
+(* ----------------------------------------------------- net loopback bench *)
+
+(* Same workload checked three ways — offline in-process, farm in-process,
+   and streamed over a loopback Unix socket into a vyrdd server — so the
+   socket + framing + flow-control tax is directly visible.  EXPERIMENTS.md
+   tracks the shape; BENCH_net.json carries the raw numbers for CI. *)
+let net_bench ?(json_out = Some "BENCH_net.json") () =
+  Fmt.pr "@.Net: loopback submit throughput vs in-process checking@.@.";
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops:2000 ~seed:9 ~level in
+  let n = Log.length log in
+  let spec, view = composed () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Checker.check ~mode:`View ~view log spec);
+  let offline_dt = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let farm = Farm.start ~capacity:4096 ~level (farm_shards ()) in
+  Log.iter (Farm.feed farm) log;
+  let farm_result = Farm.finish farm in
+  let farm_dt = Unix.gettimeofday () -. t0 in
+  let sock = Filename.temp_file "vyrdd-bench" ".sock" in
+  let metrics = Pmetrics.create () in
+  let server =
+    Server.start
+      (Server.config ~capacity:4096 ~metrics ~addr:(Wire.Unix_socket sock)
+         (fun _level -> farm_shards ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  let client = Client.connect ~level ~batch_events:256 (Server.addr server) in
+  Log.iter (Client.send client) log;
+  let outcome = Client.finish client in
+  let net_dt = Unix.gettimeofday () -. t0 in
+  let bytes = Client.bytes_sent client in
+  Server.stop server;
+  let high_water, net_tag =
+    match outcome with
+    | Client.Checked { report; _ } ->
+      (report.Report.stats.queue_high_water, Report.tag report)
+    | Client.Spilled _ -> (0, "spilled")
+  in
+  let evs dt = float_of_int n /. dt in
+  Fmt.pr "%d events at `View level, batches of 256 over a Unix socket@.@." n;
+  Fmt.pr "%-30s %10s %12s@." "configuration" "wall ms" "events/s";
+  Fmt.pr "%s@." (line 54);
+  let row name dt =
+    Fmt.pr "%-30s %10.2f %12s@." name (dt *. 1e3) (Fmt.str "%.2fM" (evs dt /. 1e6))
+  in
+  row "offline, in-process" offline_dt;
+  row "farm, in-process" farm_dt;
+  row "farm, loopback socket" net_dt;
+  Fmt.pr
+    "@.loopback: %d wire bytes (%.1f MB/s), verdicts agree: %s (farm %s, net %s)@."
+    bytes
+    (float_of_int bytes /. net_dt /. 1e6)
+    (if String.equal net_tag (Report.tag farm_result.Farm.merged) then "yes"
+     else "NO")
+    (Report.tag farm_result.Farm.merged)
+    net_tag;
+  if not (String.equal net_tag (Report.tag farm_result.Farm.merged)) then exit 1;
+  match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"net-loopback\"");
+        ("events", string_of_int n);
+        ("bytes", string_of_int bytes);
+        ("seconds", jnum net_dt);
+        ("events_per_sec", jnum (evs net_dt));
+        ("bytes_per_sec", jnum (float_of_int bytes /. net_dt));
+        ("queue_high_water", string_of_int high_water);
+        ("farm_events_per_sec", jnum (evs farm_dt));
+        ("offline_events_per_sec", jnum (evs offline_dt));
+      ]
 
 (* ------------------------------------------------------------------ CLI *)
 
@@ -724,6 +844,7 @@ let all () =
   explore_bounds ();
   analyze_perf ();
   pipeline ();
+  net_bench ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -752,8 +873,13 @@ let () =
         cmd "pipeline"
           "Streaming pipeline: binary-vs-text codec throughput, 1-vs-N \
            checker-domain scaling, backpressure stall time, and a large \
-           bounded-memory drain with verdict equality."
-          pipeline;
+           bounded-memory drain with verdict equality (writes \
+           BENCH_pipeline.json)."
+          (fun () -> pipeline ());
+        cmd "net"
+          "Loopback vyrdd submit throughput vs in-process checking (writes \
+           BENCH_net.json)."
+          (fun () -> net_bench ());
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

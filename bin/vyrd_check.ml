@@ -32,6 +32,9 @@ let resolve name =
 module Segment = Vyrd_pipeline.Segment
 module Metrics = Vyrd_pipeline.Metrics
 module Farm = Vyrd_pipeline.Farm
+module Wire = Vyrd_net.Wire
+module Server = Vyrd_net.Server
+module Client = Vyrd_net.Client
 
 (* Load a serialized log, sniffing the binary segment format by magic.
    Text-format errors come out as positioned [file:line] diagnostics; a
@@ -539,6 +542,189 @@ let pipeline_cmd =
       const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
       $ invariants $ segments $ rotate $ metrics_json $ native)
 
+(* ----------------------------------------------------------- serve/submit *)
+
+let addr_arg =
+  let addr_conv =
+    ( (fun s -> `Ok (Wire.addr_of_string s)),
+      fun ppf a -> Wire.pp_addr ppf a )
+  in
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "l"; "listen"; "to" ] ~docv:"ADDR"
+        ~doc:
+          "Socket address: a Unix socket path, or $(i,HOST:PORT) for \
+           loopback/remote TCP.")
+
+let write_metrics_json file metrics =
+  match open_out file with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Metrics.to_json metrics);
+        output_char oc '\n')
+  | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." file msg
+
+let shards_for subjects invariants level =
+  List.map
+    (fun (s : Subjects.t) ->
+      match level with
+      | `View | `Full ->
+        Farm.shard ~mode:`View ~view:s.view
+          ~invariants:(if invariants then s.invariants else [])
+          s.name s.spec
+      | `Io | `None -> Farm.shard ~mode:`Io s.name s.spec)
+    subjects
+
+let serve_cmd =
+  let subjects_arg =
+    Arg.(
+      value
+      & opt (list string)
+          [ "Multiset-Vector"; "java.util.Vector"; "java.util.StringBuffer" ]
+      & info [ "subjects" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated subjects every session is checked against, one \
+             checker domain each; method namespaces must be disjoint.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~docv:"N" ~doc:"Per-shard ring bound.")
+  in
+  let window =
+    Arg.(
+      value & opt int 8192
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Credit window: events a client may have in flight.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Concurrent checking sessions; further sessions spill to segment \
+             files for later offline checking instead of being refused.")
+  in
+  let spill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR" ~doc:"Where overload spools go.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Fail a session after this long without a frame (heartbeats reset it).")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ] ~doc:"Also check each subject's runtime invariants.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the metrics registry as JSON to $(docv) on shutdown.")
+  in
+  let run addr names capacity window max_sessions spill_dir idle_timeout
+      invariants metrics_json =
+    let subjects = List.map resolve names in
+    let metrics = Metrics.create () in
+    let cfg =
+      Server.config ~capacity ~window ~max_sessions ?spill_dir ~idle_timeout
+        ~metrics ~addr
+        (shards_for subjects invariants)
+    in
+    let server =
+      match Server.start cfg with
+      | server -> server
+      | exception Unix.Unix_error (e, _, arg) ->
+        Fmt.epr "cannot listen on %a: %s %s@." Wire.pp_addr addr
+          (Unix.error_message e) arg;
+        exit 2
+    in
+    Fmt.pr "vyrdd: listening on %a (%d shard(s)/session, window %d, spill after \
+            %d sessions)@."
+      Wire.pp_addr (Server.addr server)
+      (List.length subjects) window max_sessions;
+    Fmt.pr "vyrdd: SIGUSR1 dumps metrics; SIGINT/SIGTERM drains and exits@.";
+    let stop = ref false in
+    let handle _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Fmt.epr "%a@." Metrics.pp metrics));
+    while not !stop do
+      (try Thread.delay 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Fmt.pr "vyrdd: draining %d open session(s)...@." (Server.active server);
+    Server.stop server;
+    Fmt.pr "%a@." Metrics.pp metrics;
+    Option.iter (fun f -> write_metrics_json f metrics) metrics_json
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the vyrdd verification daemon: accept binary event streams over \
+          a socket, drive one checker farm per session, answer with the \
+          verdict; overload spills to segment files.")
+    Term.(
+      const run $ addr_arg $ subjects_arg $ capacity $ window $ max_sessions
+      $ spill_dir $ idle_timeout $ invariants $ metrics_json)
+
+let submit_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Connect retries (exponential backoff) on transient failures.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 256
+      & info [ "batch" ] ~docv:"N" ~doc:"Events per wire batch frame.")
+  in
+  let run addr retries batch file =
+    let log = load_log file in
+    let t0 = Unix.gettimeofday () in
+    match
+      Client.submit_log ~retries ~batch_events:batch
+        ~producer:(Filename.basename file) addr log
+    with
+    | Client.Checked { report; fail_index } ->
+      let dt = Unix.gettimeofday () -. t0 in
+      Fmt.pr "%a@." Report.pp report;
+      Option.iter (Fmt.pr "violating event at stream index %d@.") fail_index;
+      Fmt.pr "submitted %d events in %.3fs (%.0f ev/s)@." (Log.length log) dt
+        (float_of_int (Log.length log) /. dt);
+      if Report.is_pass report then exit 0 else exit 1
+    | Client.Spilled { path; events } ->
+      Fmt.pr
+        "server overloaded: %d events spooled to %s on the server for later \
+         offline checking@."
+        events path;
+      exit 0
+    | exception Client.Server_error msg ->
+      Fmt.epr "session failed: %s@." msg;
+      exit 2
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "cannot reach %a: %s@." Wire.pp_addr addr (Unix.error_message e);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Stream a recorded log (text or binary) to a running vyrdd and print \
+          its verdict.")
+    Term.(const run $ addr_arg $ retries $ batch $ file)
+
 let explore_cmd =
   let threads = Arg.(value & opt int 2 & info [ "threads" ] ~docv:"N") in
   let ops =
@@ -627,5 +813,7 @@ let () =
             timeline_cmd;
             analyze_cmd;
             pipeline_cmd;
+            serve_cmd;
+            submit_cmd;
             explore_cmd;
           ]))

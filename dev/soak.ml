@@ -5,18 +5,29 @@
 
      dune exec dev/soak.exe [seeds-per-config]
      dune exec dev/soak.exe pipeline [seeds]
+     dune exec dev/soak.exe net [seconds] [metrics.json]
 
    The pipeline mode soaks the streaming path instead: each seed runs a
    multi-structure workload through the checker farm while spooling binary
    segments, then re-reads the spool and checks the recovered log offline —
    the merged farm verdict, the offline verdict on the live log and the
    offline verdict on the disk round trip must all agree.
+
+   The net mode soaks the vyrdd loopback service for a wall-clock budget:
+   correct and buggy workloads are submitted over a Unix socket — serially
+   and in concurrent bursts that overflow max_sessions into the spill path —
+   and every verdict (live or re-checked from the spool) must match the
+   offline checker.  Writes the server's metrics as JSON for CI.
 *)
 
 open Vyrd
 open Vyrd_harness
 module Farm = Vyrd_pipeline.Farm
 module Segment = Vyrd_pipeline.Segment
+module Pmetrics = Vyrd_pipeline.Metrics
+module Wire = Vyrd_net.Wire
+module Server = Vyrd_net.Server
+module Client = Vyrd_net.Client
 
 let subject_soak seeds =
   let any_failure = ref false in
@@ -143,9 +154,142 @@ let pipeline_soak seeds =
   end
   else Fmt.pr "@.PIPELINE SOAK CLEAN@."
 
+(* ------------------------------------------------------------------ net *)
+
+let net_soak seconds json_out =
+  let spec, view = composed () in
+  let shards _level =
+    List.map
+      (fun (s : Subjects.t) -> Farm.shard ~mode:`View ~view:s.view s.name s.spec)
+      pipeline_subjects
+  in
+  let sock = Filename.temp_file "vyrd_soak" ".sock" in
+  let spill_dir = Filename.temp_file "vyrd_soak_spill" "" in
+  Sys.remove spill_dir;
+  Unix.mkdir spill_dir 0o700;
+  let metrics = Pmetrics.create () in
+  (* max_sessions 2 so concurrent bursts overflow into the spill path *)
+  let server =
+    Server.start
+      (Server.config ~metrics ~max_sessions:2 ~spill_dir
+         ~addr:(Wire.Unix_socket sock) shards)
+  in
+  let addr = Server.addr server in
+  Fmt.pr "net soak: %ds against %a (max_sessions 2, spill to %s)@.@." seconds
+    Wire.pp_addr addr spill_dir;
+  let lock = Mutex.create () in
+  let sessions = ref 0
+  and events = ref 0
+  and convicted = ref 0
+  and spilled = ref 0
+  and mismatches = ref 0 in
+  let tally f =
+    Mutex.lock lock;
+    f ();
+    Mutex.unlock lock
+  in
+  let mismatch seed what =
+    tally (fun () -> incr mismatches);
+    Fmt.pr "!! seed %d: %s@." seed what
+  in
+  let one_session seed =
+    let bug = seed mod 3 = 0 in
+    let log =
+      if bug then
+        Harness.run
+          { Harness.default with threads = 4; ops_per_thread = 25; key_pool = 10;
+            key_range = 16; seed }
+          (Subjects.multiset_vector.build ~bug:true)
+      else begin
+        let log = Log.create ~level:`View () in
+        Harness.run_into ~log
+          { Harness.default with threads = 4; ops_per_thread = 20; key_pool = 10;
+            key_range = 16; seed }
+          (List.map (fun (s : Subjects.t) -> s.build ~bug:false) pipeline_subjects);
+        log
+      end
+    in
+    let offline = Checker.check ~mode:`View ~view log spec in
+    let batch = [| 32; 256; 1024 |].(seed mod 3) in
+    match Client.submit_log ~retries:3 ~batch_events:batch addr log with
+    | Client.Checked { report; fail_index } ->
+      tally (fun () ->
+          incr sessions;
+          events := !events + Log.length log;
+          if not (Report.is_pass report) then incr convicted);
+      if not (String.equal (Report.tag report) (Report.tag offline)) then
+        mismatch seed
+          (Printf.sprintf "live verdict %s, offline %s" (Report.tag report)
+             (Report.tag offline));
+      if (not (Report.is_pass report)) && fail_index = None then
+        mismatch seed "violation without a fail index"
+    | Client.Spilled { path; events = n } ->
+      tally (fun () ->
+          incr sessions;
+          incr spilled;
+          events := !events + Log.length log);
+      if n <> Log.length log then
+        mismatch seed
+          (Printf.sprintf "spool consumed %d of %d events" n (Log.length log));
+      let r = Segment.read_file path in
+      let rechecked = Checker.check ~mode:`View ~view r.Segment.log spec in
+      if r.Segment.truncated then mismatch seed "spool read back truncated";
+      if not (String.equal (Report.tag rechecked) (Report.tag offline)) then
+        mismatch seed
+          (Printf.sprintf "spool re-check %s, offline %s" (Report.tag rechecked)
+             (Report.tag offline));
+      Sys.remove path
+    | exception Client.Server_error msg ->
+      mismatch seed ("server failed the session: " ^ msg)
+  in
+  let deadline = Unix.gettimeofday () +. float_of_int seconds in
+  let seed = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    let base = !seed in
+    if base mod 5 = 0 then begin
+      (* a burst of concurrent sessions: two check live, the rest spill *)
+      let threads =
+        List.init 4 (fun i -> Thread.create one_session (base + i))
+      in
+      List.iter Thread.join threads;
+      seed := base + 4
+    end
+    else begin
+      one_session base;
+      incr seed
+    end
+  done;
+  Server.stop server;
+  (match Sys.readdir spill_dir with
+  | [||] -> Unix.rmdir spill_dir
+  | leftover ->
+    Array.iter (fun f -> Sys.remove (Filename.concat spill_dir f)) leftover;
+    Unix.rmdir spill_dir);
+  (match open_out json_out with
+  | oc ->
+    output_string oc (Pmetrics.to_json metrics);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "@.metrics written to %s@." json_out
+  | exception Sys_error msg -> Fmt.pr "@.cannot write %s: %s@." json_out msg);
+  Fmt.pr
+    "@.%d sessions (%d spilled), %d events, %d convictions, %d mismatches@."
+    !sessions !spilled !events !convicted !mismatches;
+  if !mismatches > 0 || !sessions = 0 || !convicted = 0 then begin
+    Fmt.pr "NET SOAK FAILED@.";
+    exit 1
+  end
+  else Fmt.pr "NET SOAK CLEAN@."
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "pipeline" :: rest ->
     pipeline_soak (match rest with n :: _ -> int_of_string n | [] -> 25)
+  | _ :: "net" :: rest ->
+    let seconds = match rest with n :: _ -> int_of_string n | [] -> 30 in
+    let json_out =
+      match rest with _ :: f :: _ -> f | _ -> "SOAK_net_metrics.json"
+    in
+    net_soak seconds json_out
   | _ :: n :: _ -> subject_soak (int_of_string n)
   | _ -> subject_soak 100

@@ -1,0 +1,178 @@
+open Vyrd
+module Bincodec = Vyrd_pipeline.Bincodec
+
+exception Server_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  batch_events : int;
+  buf : Event.t array;  (* partial batch, [count] filled *)
+  mutable count : int;
+  mutable credit : int;
+  mutable sent : int;
+  mutable bytes : int;
+  mutable closed : bool;
+  c_session : int;
+  c_spilling : bool;
+}
+
+type outcome =
+  | Checked of { report : Report.t; fail_index : int option }
+  | Spilled of { path : string; events : int }
+
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ETIMEDOUT | Unix.ECONNRESET
+  | Unix.EAGAIN | Unix.EINTR ->
+    true
+  | _ -> false
+
+let dial ~retries ~backoff addr =
+  let sockaddr = Wire.sockaddr_of_addr addr in
+  let domain =
+    match addr with
+    | Wire.Unix_socket _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let rec attempt i =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception Unix.Unix_error (e, _, _) when transient e && i < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf (backoff *. (2. ** float_of_int i));
+      attempt (i + 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  attempt 0
+
+let connect ?(retries = 0) ?(backoff = 0.05) ?(level = `View) ?(batch_events = 256)
+    ?(producer = "vyrd-client") addr =
+  if batch_events <= 0 then invalid_arg "Client.connect: batch_events";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = dial ~retries ~backoff addr in
+  match
+    Wire.send_client fd
+      (Wire.Hello { h_version = Wire.version; h_level = level; h_producer = producer });
+    Wire.recv_server fd
+  with
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+  | Wire.Error msg ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Server_error msg)
+  | Wire.Hello_ack { a_version; a_session; a_credit; a_spilling } ->
+    if a_version <> Wire.version then begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Server_error (Printf.sprintf "server speaks protocol %d, not %d"
+                             a_version Wire.version))
+    end;
+    {
+      fd;
+      batch_events;
+      buf = Array.make batch_events (Event.Commit { tid = 0 });
+      count = 0;
+      credit = a_credit;
+      sent = 0;
+      bytes = 0;
+      closed = false;
+      c_session = a_session;
+      c_spilling = a_spilling;
+    }
+  | _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Server_error "protocol error: expected hello-ack")
+
+let session t = t.c_session
+let spilling t = t.c_spilling
+let events_sent t = t.sent
+let bytes_sent t = t.bytes
+
+let fail t msg =
+  t.closed <- true;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  raise (Server_error msg)
+
+(* Drain one server message while waiting for credit or the verdict. *)
+let recv t =
+  match Wire.recv_server t.fd with
+  | msg -> msg
+  | exception Wire.Closed -> fail t "server closed the connection"
+  | exception Bincodec.Corrupt msg -> fail t ("corrupt server frame: " ^ msg)
+
+let rec await_credit t need =
+  if t.credit < need then
+    match recv t with
+    | Wire.Credit n ->
+      t.credit <- t.credit + n;
+      await_credit t need
+    | Wire.Heartbeat_ack -> await_credit t need
+    | Wire.Error msg -> fail t msg
+    | Wire.Hello_ack _ | Wire.Verdict _ ->
+      fail t "protocol error: unexpected server message while streaming"
+
+let write_msg t msg =
+  let payload = Wire.encode_client msg in
+  t.bytes <- t.bytes + String.length payload + 8;
+  match Wire.write_frame t.fd payload with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) -> fail t (Unix.error_message e)
+
+let flush t =
+  if t.closed then raise (Server_error "session is closed");
+  if t.count > 0 then begin
+    let n = t.count in
+    await_credit t n;
+    let evs = Array.sub t.buf 0 n in
+    t.count <- 0;
+    write_msg t (Wire.Batch evs);
+    t.credit <- t.credit - n;
+    t.sent <- t.sent + n
+  end
+
+let send t ev =
+  if t.closed then raise (Server_error "session is closed");
+  t.buf.(t.count) <- ev;
+  t.count <- t.count + 1;
+  if t.count >= t.batch_events then flush t
+
+let heartbeat t =
+  if t.closed then raise (Server_error "session is closed");
+  write_msg t Wire.Heartbeat
+
+let attach t log = Log.subscribe log (send t)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let finish t =
+  flush t;
+  write_msg t Wire.Finish;
+  let rec await () =
+    match recv t with
+    | Wire.Verdict v ->
+      close t;
+      (match v.Wire.v_spilled with
+      | Some path -> Spilled { path; events = v.Wire.v_events }
+      | None ->
+        Checked { report = v.Wire.v_report; fail_index = v.Wire.v_fail_index })
+    | Wire.Credit _ | Wire.Heartbeat_ack -> await ()
+    | Wire.Error msg -> fail t msg
+    | Wire.Hello_ack _ -> fail t "protocol error: unexpected hello-ack"
+  in
+  await ()
+
+let submit_log ?retries ?backoff ?batch_events ?producer addr log =
+  let t =
+    connect ?retries ?backoff ~level:(Log.level log) ?batch_events ?producer addr
+  in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      Log.iter (send t) log;
+      finish t)

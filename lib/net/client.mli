@@ -1,0 +1,87 @@
+(** Client side of the vyrdd wire protocol.
+
+    Connect to a {!Server} (retrying transient failures with exponential
+    backoff), stream events — batched, under the server's credit-based flow
+    control, so a slow remote checker blocks the sender instead of buffering
+    without bound — and {!finish} to obtain the server's verdict.  A client
+    can be {!attach}ed to a live {!Vyrd.Log} exactly like
+    {!Vyrd_pipeline.Segment.attach}: every subsequently appended event is
+    streamed out. *)
+
+(** The server failed the session (its {!Wire.Error} message). *)
+exception Server_error of string
+
+type t
+
+(** [connect addr] dials and performs the hello exchange.
+    @param retries re-attempts after a transient connect failure
+      (connection refused, socket file not there yet, timeouts) —
+      default 0.
+    @param backoff first retry delay in seconds, doubled per attempt
+      (default 0.05).
+    @param level log level announced in the hello; the server builds its
+      checker farm to match (default [`View]).
+    @param batch_events events buffered per {!Wire.Batch} frame
+      (default 256).
+    @param producer free-form identification sent in the hello.
+    @raise Unix.Unix_error when every attempt failed.
+    @raise Server_error when the server refused the session. *)
+val connect :
+  ?retries:int ->
+  ?backoff:float ->
+  ?level:Vyrd.Log.level ->
+  ?batch_events:int ->
+  ?producer:string ->
+  Wire.addr ->
+  t
+
+(** Session id assigned by the server. *)
+val session : t -> int
+
+(** The server announced it is spilling this session to a segment spool
+    (overload degradation) rather than checking it live. *)
+val spilling : t -> bool
+
+(** [send t ev] buffers one event, flushing a batch when full.  Blocks
+    waiting for credit when the server is behind.
+    @raise Server_error if the server failed the session. *)
+val send : t -> Vyrd.Event.t -> unit
+
+(** Flush the current partial batch. *)
+val flush : t -> unit
+
+(** [heartbeat t] keeps an idle session alive across the server's idle
+    timeout (the ack is consumed by the next credit/verdict wait). *)
+val heartbeat : t -> unit
+
+(** [attach t log] subscribes {!send} to every subsequently appended
+    event. *)
+val attach : t -> Vyrd.Log.t -> unit
+
+val events_sent : t -> int
+
+(** Bytes written to the socket, framing included. *)
+val bytes_sent : t -> int
+
+type outcome =
+  | Checked of { report : Vyrd.Report.t; fail_index : int option }
+      (** the server's merged farm verdict; [fail_index] is the 0-based
+          stream index of the violating event *)
+  | Spilled of { path : string; events : int }
+      (** overload: the stream was spooled to segment file(s) at [path] on
+          the {e server's} filesystem for later offline checking *)
+
+(** [finish t] flushes, requests the drain, waits for the verdict and
+    closes the socket.
+    @raise Server_error if the server failed the session instead. *)
+val finish : t -> outcome
+
+(** Abandon the session without a verdict.  Idempotent; {!finish} closes
+    implicitly. *)
+val close : t -> unit
+
+(** [submit_log addr log] is the one-shot convenience: connect at the log's
+    level, stream every event, [finish]. *)
+val submit_log :
+  ?retries:int -> ?backoff:float -> ?batch_events:int -> ?producer:string ->
+  Wire.addr -> Vyrd.Log.t -> outcome

@@ -1,0 +1,343 @@
+open Vyrd
+module Farm = Vyrd_pipeline.Farm
+module Metrics = Vyrd_pipeline.Metrics
+module Segment = Vyrd_pipeline.Segment
+module Bincodec = Vyrd_pipeline.Bincodec
+
+type config = {
+  addr : Wire.addr;
+  shards : Log.level -> Farm.shard list;
+  capacity : int;
+  window : int;
+  max_sessions : int;
+  spill_dir : string;
+  idle_timeout : float;
+  metrics : Metrics.t;
+}
+
+let config ?(capacity = 4096) ?(window = 8192) ?(max_sessions = 8) ?spill_dir
+    ?(idle_timeout = 30.) ?metrics ~addr shards =
+  let spill_dir =
+    match spill_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+  in
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout; metrics }
+
+type session = { s_id : int; s_fd : Unix.file_descr; mutable s_checking : bool }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Wire.addr;
+  mutable accept_thread : Thread.t option;
+  lock : Mutex.t;
+  live : (int, session) Hashtbl.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_session : int;
+  mutable accepted : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  (* metrics handles, registered once *)
+  m_sessions : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_spilled : Metrics.counter;
+  m_events : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_credits : Metrics.counter;
+  m_heartbeats : Metrics.counter;
+  m_verdicts : Metrics.counter;
+  m_peak : Metrics.gauge;
+  m_batch_events : Metrics.histogram;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let addr t = t.bound
+let metrics t = t.cfg.metrics
+let sessions t = with_lock t (fun () -> t.accepted)
+let active t = with_lock t (fun () -> Hashtbl.length t.live)
+
+(* A session in checking mode owns a farm; in spill mode, a segment writer.
+   [checking] is decided at hello time from the live checking count. *)
+
+let trivial_report events =
+  {
+    Report.outcome = Report.Pass;
+    stats =
+      {
+        Report.events_processed = events;
+        methods_checked = 0;
+        commits_resolved = 0;
+        per_method = [];
+        queue_high_water = 0;
+      };
+  }
+
+let min_fail_index (result : Farm.result) =
+  List.fold_left
+    (fun acc (sr : Farm.shard_result) ->
+      match (acc, sr.Farm.sr_fail_index) with
+      | None, i -> i
+      | Some a, Some b -> Some (min a b)
+      | Some _, None -> acc)
+    None result.Farm.shards
+
+(* Everything a single connection does, from hello to verdict.  Raises on
+   any protocol failure; the caller contains it. *)
+let serve_session t (s : session) =
+  let fd = s.s_fd in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+  let hello =
+    match Wire.recv_client fd with
+    | Wire.Hello h -> h
+    | _ -> raise (Bincodec.Corrupt "expected hello")
+  in
+  if hello.Wire.h_version <> Wire.version then
+    raise
+      (Bincodec.Corrupt
+         (Printf.sprintf "protocol version %d, expected %d" hello.Wire.h_version
+            Wire.version));
+  let level = hello.Wire.h_level in
+  let checking =
+    with_lock t (fun () ->
+        let busy =
+          Hashtbl.fold (fun _ s n -> if s.s_checking then n + 1 else n) t.live 0
+        in
+        let ok = busy < t.cfg.max_sessions in
+        s.s_checking <- ok;
+        ok)
+  in
+  (* The sink this session feeds: a farm, or a segment spool under overload.
+     Both are torn down through [cleanup] on any exit path. *)
+  let farm = ref None in
+  let writer = ref None in
+  let spill_path = ref None in
+  if checking then
+    (* Invalid_argument (e.g. a `View shard template refusing an `Io-level
+       hello) must fail this session, not kill the server *)
+    match Farm.start ~capacity:t.cfg.capacity ~metrics:t.cfg.metrics ~level
+            (t.cfg.shards level) with
+    | f -> farm := Some f
+    | exception Invalid_argument msg -> raise (Bincodec.Corrupt msg)
+  else begin
+    let path =
+      Filename.concat t.cfg.spill_dir (Printf.sprintf "vyrdd-spill-%06d.seg" s.s_id)
+    in
+    writer := Some (Segment.create_writer ~level path);
+    spill_path := Some path;
+    Metrics.incr t.m_spilled
+  end;
+  let cleanup () =
+    (match !farm with
+    | Some f -> ignore (Farm.finish f : Farm.result)
+    | None -> ());
+    match !writer with Some w -> Segment.close w | None -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Wire.send_server fd
+    (Wire.Hello_ack
+       {
+         a_version = Wire.version;
+         a_session = s.s_id;
+         a_credit = t.cfg.window;
+         a_spilling = not checking;
+       });
+  let consumed = ref 0 in
+  let ungranted = ref 0 in
+  let grant_at = max 1 (t.cfg.window / 2) in
+  let finished = ref false in
+  while not !finished do
+    let payload = Wire.read_frame fd in
+    Metrics.add t.m_bytes (String.length payload + 8);
+    match Wire.decode_client payload with
+    | Wire.Hello _ -> raise (Bincodec.Corrupt "unexpected second hello")
+    | Wire.Heartbeat ->
+      Metrics.incr t.m_heartbeats;
+      Wire.send_server fd Wire.Heartbeat_ack
+    | Wire.Batch evs ->
+      let n = Array.length evs in
+      (match !farm with
+      | Some f -> Array.iter (Farm.feed f) evs
+      | None ->
+        let w = Option.get !writer in
+        Array.iter (Segment.append w) evs);
+      consumed := !consumed + n;
+      ungranted := !ungranted + n;
+      Metrics.add t.m_events n;
+      Metrics.incr t.m_batches;
+      Metrics.observe t.m_batch_events n;
+      if !ungranted >= grant_at then begin
+        Wire.send_server fd (Wire.Credit !ungranted);
+        Metrics.add t.m_credits !ungranted;
+        ungranted := 0
+      end
+    | Wire.Finish ->
+      let verdict =
+        match !farm with
+        | Some f ->
+          let result = Farm.finish f in
+          farm := None;
+          {
+            Wire.v_report = result.Farm.merged;
+            v_fail_index = min_fail_index result;
+            v_events = !consumed;
+            v_spilled = None;
+          }
+        | None ->
+          let w = Option.get !writer in
+          Segment.close w;
+          writer := None;
+          {
+            Wire.v_report = trivial_report !consumed;
+            v_fail_index = None;
+            v_events = !consumed;
+            v_spilled = !spill_path;
+          }
+      in
+      Wire.send_server fd (Wire.Verdict verdict);
+      Metrics.incr t.m_verdicts;
+      finished := true
+  done
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let session_thread t s =
+  let failed msg =
+    Metrics.incr t.m_failed;
+    (* best effort: the peer may already be gone *)
+    try Wire.send_server s.s_fd (Wire.Error msg)
+    with Unix.Unix_error _ | Wire.Closed -> ()
+  in
+  (try serve_session t s with
+  | Bincodec.Corrupt msg -> failed msg
+  | Wire.Closed -> failed "connection closed mid-session"
+  | Wire.Timeout -> failed "session idle timeout"
+  | Unix.Unix_error (e, _, _) -> failed (Unix.error_message e)
+  | Sys_error msg -> failed msg);
+  close_quietly s.s_fd;
+  with_lock t (fun () ->
+      Hashtbl.remove t.live s.s_id;
+      Hashtbl.remove t.threads s.s_id)
+
+let accept_loop t =
+  let stop = ref false in
+  while not !stop do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      if with_lock t (fun () -> t.stopping) then begin
+        close_quietly fd
+      end
+      else begin
+        let s =
+          with_lock t (fun () ->
+              let id = t.next_session in
+              t.next_session <- id + 1;
+              t.accepted <- t.accepted + 1;
+              let s = { s_id = id; s_fd = fd; s_checking = false } in
+              Hashtbl.replace t.live id s;
+              s)
+        in
+        Metrics.incr t.m_sessions;
+        let th = Thread.create (fun () -> session_thread t s) () in
+        with_lock t (fun () ->
+            Metrics.record t.m_peak (Hashtbl.length t.live);
+            if Hashtbl.mem t.live s.s_id then Hashtbl.replace t.threads s.s_id th)
+      end
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ESHUTDOWN), _, _)
+      ->
+      stop := true
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+      if with_lock t (fun () -> t.stopping) then stop := true
+  done
+
+let start cfg =
+  (* a dead peer surfaces as EPIPE from write, not a process-killing signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain =
+    match cfg.addr with
+    | Wire.Unix_socket _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match
+    (match cfg.addr with
+     | Wire.Unix_socket path ->
+       if Sys.file_exists path then Unix.unlink path
+     | Wire.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
+    Unix.bind listen_fd (Wire.sockaddr_of_addr cfg.addr);
+    Unix.listen listen_fd 64;
+    (match Unix.getsockname listen_fd with
+    | Unix.ADDR_UNIX path -> Wire.Unix_socket path
+    | Unix.ADDR_INET (ip, port) -> Wire.Tcp (Unix.string_of_inet_addr ip, port))
+  with
+  | exception e ->
+    close_quietly listen_fd;
+    raise e
+  | bound ->
+    let m = cfg.metrics in
+    let t =
+      {
+        cfg;
+        listen_fd;
+        bound;
+        accept_thread = None;
+        lock = Mutex.create ();
+        live = Hashtbl.create 16;
+        threads = Hashtbl.create 16;
+        next_session = 0;
+        accepted = 0;
+        stopping = false;
+        stopped = false;
+        m_sessions = Metrics.counter m "net.sessions";
+        m_failed = Metrics.counter m "net.sessions_failed";
+        m_spilled = Metrics.counter m "net.sessions_spilled";
+        m_events = Metrics.counter m "net.events";
+        m_batches = Metrics.counter m "net.batches";
+        m_bytes = Metrics.counter m "net.bytes_in";
+        m_credits = Metrics.counter m "net.credits_granted";
+        m_heartbeats = Metrics.counter m "net.heartbeats";
+        m_verdicts = Metrics.counter m "net.verdicts";
+        m_peak = Metrics.gauge m "net.sessions_peak";
+        m_batch_events = Metrics.histogram m "net.batch_events";
+      }
+    in
+    t.accept_thread <- Some (Thread.create accept_loop t);
+    t
+
+let stop ?(deadline = 10.) t =
+  let already = with_lock t (fun () ->
+      let s = t.stopped in
+      t.stopping <- true;
+      t.stopped <- true;
+      s)
+  in
+  if not already then begin
+    (* wake the accept loop: shutdown flips accept() into EINVAL on Linux *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    close_quietly t.listen_fd;
+    (* drain: let open sessions run to their verdict until the deadline *)
+    let until = Unix.gettimeofday () +. deadline in
+    while active t > 0 && Unix.gettimeofday () < until do
+      Thread.delay 0.02
+    done;
+    (* force-close stragglers; their threads fail the session cleanly *)
+    let stragglers =
+      with_lock t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.live [])
+    in
+    List.iter
+      (fun s ->
+        try Unix.shutdown s.s_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      stragglers;
+    let threads =
+      with_lock t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [])
+    in
+    List.iter Thread.join threads;
+    match t.bound with
+    | Wire.Unix_socket path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ()
+  end

@@ -1,0 +1,81 @@
+(** The vyrdd verification daemon.
+
+    One accept loop on a Unix-domain (or loopback TCP) stream socket; each
+    connection becomes a {e session}: the client's {!Wire.Hello} names the
+    {!Vyrd.Log.level} of the stream, the server builds a per-session
+    {!Vyrd_pipeline.Farm} from its shard template at that level, feeds every
+    {!Wire.Batch} through it, and answers {!Wire.Finish} with the merged
+    verdict — the two-phase architecture of the paper (§4.2, §6.1) with the
+    log finally crossing a process (and potentially machine) boundary.
+
+    {b Flow control.}  Each session starts with a credit window of [window]
+    events and is re-credited only as the farm consumes; a checker that
+    falls behind therefore stalls the producer across the socket (bounded
+    buffering end to end: socket buffer + one in-flight batch + the farm's
+    rings).
+
+    {b Overload degradation.}  When more than [max_sessions] sessions are
+    checking concurrently, additional sessions are not refused and not
+    dropped: their streams are spilled to {!Vyrd_pipeline.Segment} files
+    under [spill_dir] for later offline checking ([vyrd-check check] reads
+    them directly), and their verdict names the spool file.
+
+    {b Failure containment.}  A torn frame, CRC mismatch, malformed payload,
+    protocol-order violation or idle timeout fails {e that session} cleanly:
+    the server sends {!Wire.Error} when the socket still accepts writes,
+    tears the session's farm down, and keeps serving every other session. *)
+
+module Farm = Vyrd_pipeline.Farm
+module Metrics = Vyrd_pipeline.Metrics
+
+type config = {
+  addr : Wire.addr;
+  shards : Vyrd.Log.level -> Farm.shard list;
+      (** per-session farm template, built at the hello-negotiated level
+          (e.g. [`Io] hellos get [`Io]-mode shards) *)
+  capacity : int;  (** per-shard ring bound (default 4096) *)
+  window : int;  (** credit window in events (default 8192) *)
+  max_sessions : int;
+      (** checking sessions beyond this spill to segment files (default 8) *)
+  spill_dir : string;  (** where overload spools go (default [Filename.get_temp_dir_name ()]) *)
+  idle_timeout : float;
+      (** seconds without a frame before a session is failed; heartbeats
+          reset it (default 30) *)
+  metrics : Metrics.t;
+}
+
+(** [config ~addr shards] with the defaults above. *)
+val config :
+  ?capacity:int ->
+  ?window:int ->
+  ?max_sessions:int ->
+  ?spill_dir:string ->
+  ?idle_timeout:float ->
+  ?metrics:Metrics.t ->
+  addr:Wire.addr ->
+  (Vyrd.Log.level -> Farm.shard list) ->
+  config
+
+type t
+
+(** [start config] binds, listens and spawns the accept loop.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : config -> t
+
+(** The actually-bound address — resolves port [0] to the kernel-assigned
+    port for TCP. *)
+val addr : t -> Wire.addr
+
+val metrics : t -> Metrics.t
+
+(** Sessions accepted so far. *)
+val sessions : t -> int
+
+(** Sessions currently open. *)
+val active : t -> int
+
+(** [stop t] shuts down gracefully: stop accepting, let every open session
+    drain (serve it to its verdict) for up to [deadline] seconds (default
+    10), then force-close the stragglers.  Idempotent.  The Unix socket
+    file, if any, is unlinked. *)
+val stop : ?deadline:float -> t -> unit

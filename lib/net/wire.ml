@@ -1,0 +1,389 @@
+open Vyrd
+module Bincodec = Vyrd_pipeline.Bincodec
+
+let version = 1
+let max_frame_bytes = 1 lsl 24
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bincodec.Corrupt m)) fmt
+
+(* ------------------------------------------------------------- levels *)
+
+let level_code = function `None -> 0 | `Io -> 1 | `View -> 2 | `Full -> 3
+
+let level_of_code = function
+  | 0 -> `None
+  | 1 -> `Io
+  | 2 -> `View
+  | 3 -> `Full
+  | c -> corrupt "unknown log level code %d" c
+
+(* ------------------------------------------------------------ messages *)
+
+type hello = { h_version : int; h_level : Log.level; h_producer : string }
+
+type client_msg =
+  | Hello of hello
+  | Batch of Event.t array
+  | Heartbeat
+  | Finish
+
+type verdict = {
+  v_report : Report.t;
+  v_fail_index : int option;
+  v_events : int;
+  v_spilled : string option;
+}
+
+type server_msg =
+  | Hello_ack of { a_version : int; a_session : int; a_credit : int; a_spilling : bool }
+  | Credit of int
+  | Heartbeat_ack
+  | Verdict of verdict
+  | Error of string
+
+(* ------------------------------------------------------ report codec *)
+
+let put_option put b = function
+  | None -> Buffer.add_char b '\000'
+  | Some v ->
+    Buffer.add_char b '\001';
+    put b v
+
+let get_option get s pos =
+  if pos >= String.length s then corrupt "truncated option";
+  match s.[pos] with
+  | '\000' -> (None, pos + 1)
+  | '\001' ->
+    let v, pos = get s (pos + 1) in
+    (Some v, pos)
+  | c -> corrupt "unknown option tag 0x%02x" (Char.code c)
+
+let put_exec b (e : Report.exec) =
+  Bincodec.put_uvarint b e.Report.e_tid;
+  Bincodec.put_string b e.Report.e_mid;
+  Bincodec.put_uvarint b (List.length e.Report.e_args);
+  List.iter (Bincodec.put_repr b) e.Report.e_args;
+  put_option Bincodec.put_repr b e.Report.e_ret
+
+let get_exec s pos =
+  let e_tid, pos = Bincodec.get_uvarint s pos in
+  let e_mid, pos = Bincodec.get_string s pos in
+  let n, pos = Bincodec.get_uvarint s pos in
+  let rec items acc n pos =
+    if n = 0 then (List.rev acc, pos)
+    else
+      let v, pos = Bincodec.get_repr s pos in
+      items (v :: acc) (n - 1) pos
+  in
+  let e_args, pos = items [] n pos in
+  let e_ret, pos = get_option Bincodec.get_repr s pos in
+  ({ Report.e_tid; e_mid; e_args; e_ret }, pos)
+
+let put_violation b (v : Report.violation) =
+  match v with
+  | Report.Io_violation { exec; commit_ordinal; reason } ->
+    Buffer.add_char b '\000';
+    put_exec b exec;
+    Bincodec.put_uvarint b commit_ordinal;
+    Bincodec.put_string b reason
+  | Report.Observer_violation { exec; window = lo, hi } ->
+    Buffer.add_char b '\001';
+    put_exec b exec;
+    Bincodec.put_varint b lo;
+    Bincodec.put_varint b hi
+  | Report.View_violation { exec; commit_ordinal; view_i; view_s } ->
+    Buffer.add_char b '\002';
+    put_exec b exec;
+    Bincodec.put_uvarint b commit_ordinal;
+    Bincodec.put_repr b view_i;
+    Bincodec.put_repr b view_s
+  | Report.Invariant_violation { exec; commit_ordinal; invariant } ->
+    Buffer.add_char b '\003';
+    put_exec b exec;
+    Bincodec.put_uvarint b commit_ordinal;
+    Bincodec.put_string b invariant
+  | Report.Ill_formed { event; reason } ->
+    Buffer.add_char b '\004';
+    put_option Bincodec.put_event b event;
+    Bincodec.put_string b reason
+
+let get_violation s pos =
+  if pos >= String.length s then corrupt "truncated violation";
+  match s.[pos] with
+  | '\000' ->
+    let exec, pos = get_exec s (pos + 1) in
+    let commit_ordinal, pos = Bincodec.get_uvarint s pos in
+    let reason, pos = Bincodec.get_string s pos in
+    (Report.Io_violation { exec; commit_ordinal; reason }, pos)
+  | '\001' ->
+    let exec, pos = get_exec s (pos + 1) in
+    let lo, pos = Bincodec.get_varint s pos in
+    let hi, pos = Bincodec.get_varint s pos in
+    (Report.Observer_violation { exec; window = (lo, hi) }, pos)
+  | '\002' ->
+    let exec, pos = get_exec s (pos + 1) in
+    let commit_ordinal, pos = Bincodec.get_uvarint s pos in
+    let view_i, pos = Bincodec.get_repr s pos in
+    let view_s, pos = Bincodec.get_repr s pos in
+    (Report.View_violation { exec; commit_ordinal; view_i; view_s }, pos)
+  | '\003' ->
+    let exec, pos = get_exec s (pos + 1) in
+    let commit_ordinal, pos = Bincodec.get_uvarint s pos in
+    let invariant, pos = Bincodec.get_string s pos in
+    (Report.Invariant_violation { exec; commit_ordinal; invariant }, pos)
+  | '\004' ->
+    let event, pos = get_option Bincodec.get_event s (pos + 1) in
+    let reason, pos = Bincodec.get_string s pos in
+    (Report.Ill_formed { event; reason }, pos)
+  | c -> corrupt "unknown violation tag 0x%02x" (Char.code c)
+
+let put_report b (r : Report.t) =
+  (match r.Report.outcome with
+  | Report.Pass -> Buffer.add_char b '\000'
+  | Report.Fail v ->
+    Buffer.add_char b '\001';
+    put_violation b v);
+  let s = r.Report.stats in
+  Bincodec.put_uvarint b s.Report.events_processed;
+  Bincodec.put_uvarint b s.Report.methods_checked;
+  Bincodec.put_uvarint b s.Report.commits_resolved;
+  Bincodec.put_uvarint b (List.length s.Report.per_method);
+  List.iter
+    (fun (mid, n) ->
+      Bincodec.put_string b mid;
+      Bincodec.put_uvarint b n)
+    s.Report.per_method;
+  Bincodec.put_uvarint b s.Report.queue_high_water
+
+let get_report s pos =
+  if pos >= String.length s then corrupt "truncated report";
+  let outcome_tag = s.[pos] in
+  let outcome, pos =
+    match outcome_tag with
+    | '\000' -> (Report.Pass, pos + 1)
+    | '\001' ->
+      let v, pos = get_violation s (pos + 1) in
+      (Report.Fail v, pos)
+    | c -> corrupt "unknown outcome tag 0x%02x" (Char.code c)
+  in
+  let events_processed, pos = Bincodec.get_uvarint s pos in
+  let methods_checked, pos = Bincodec.get_uvarint s pos in
+  let commits_resolved, pos = Bincodec.get_uvarint s pos in
+  let n, pos = Bincodec.get_uvarint s pos in
+  let rec items acc n pos =
+    if n = 0 then (List.rev acc, pos)
+    else
+      let mid, pos = Bincodec.get_string s pos in
+      let count, pos = Bincodec.get_uvarint s pos in
+      items ((mid, count) :: acc) (n - 1) pos
+  in
+  let per_method, pos = items [] n pos in
+  let queue_high_water, pos = Bincodec.get_uvarint s pos in
+  ( {
+      Report.outcome;
+      stats =
+        {
+          Report.events_processed;
+          methods_checked;
+          commits_resolved;
+          per_method;
+          queue_high_water;
+        };
+    },
+    pos )
+
+(* ------------------------------------------------------ message codec *)
+
+let put_uvarint_option b = put_option (fun b n -> Bincodec.put_uvarint b n) b
+let get_uvarint_option = get_option (fun s pos -> Bincodec.get_uvarint s pos)
+
+let encode_client msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Hello h ->
+    Buffer.add_char b '\000';
+    Bincodec.put_uvarint b h.h_version;
+    Buffer.add_char b (Char.chr (level_code h.h_level));
+    Bincodec.put_string b h.h_producer
+  | Batch evs ->
+    Buffer.add_char b '\001';
+    Bincodec.put_uvarint b (Array.length evs);
+    Array.iter (Bincodec.put_event b) evs
+  | Heartbeat -> Buffer.add_char b '\002'
+  | Finish -> Buffer.add_char b '\003');
+  Buffer.contents b
+
+(* A payload whose message ends before the payload does is as corrupt as a
+   truncated one: trailing garbage means framing desynchronization. *)
+let finish_decode what (v, pos) s =
+  if pos <> String.length s then
+    corrupt "%s message payload has %d trailing bytes" what (String.length s - pos);
+  v
+
+let decode_client s =
+  if s = "" then corrupt "empty message";
+  finish_decode "client"
+    (match s.[0] with
+    | '\000' ->
+      let h_version, pos = Bincodec.get_uvarint s 1 in
+      if pos >= String.length s then corrupt "truncated hello";
+      let h_level = level_of_code (Char.code s.[pos]) in
+      let h_producer, pos = Bincodec.get_string s (pos + 1) in
+      (Hello { h_version; h_level; h_producer }, pos)
+    | '\001' ->
+      let n, pos = Bincodec.get_uvarint s 1 in
+      if n > max_frame_bytes then corrupt "batch of %d events" n;
+      let pos = ref pos in
+      let evs =
+        Array.init n (fun _ ->
+            let ev, p = Bincodec.get_event s !pos in
+            pos := p;
+            ev)
+      in
+      (Batch evs, !pos)
+    | '\002' -> (Heartbeat, 1)
+    | '\003' -> (Finish, 1)
+    | c -> corrupt "unknown client message tag 0x%02x" (Char.code c))
+    s
+
+let encode_server msg =
+  let b = Buffer.create 64 in
+  (match msg with
+  | Hello_ack { a_version; a_session; a_credit; a_spilling } ->
+    Buffer.add_char b '\000';
+    Bincodec.put_uvarint b a_version;
+    Bincodec.put_uvarint b a_session;
+    Bincodec.put_uvarint b a_credit;
+    Buffer.add_char b (if a_spilling then '\001' else '\000')
+  | Credit n ->
+    Buffer.add_char b '\001';
+    Bincodec.put_uvarint b n
+  | Heartbeat_ack -> Buffer.add_char b '\002'
+  | Verdict v ->
+    Buffer.add_char b '\003';
+    put_report b v.v_report;
+    put_uvarint_option b v.v_fail_index;
+    Bincodec.put_uvarint b v.v_events;
+    put_option Bincodec.put_string b v.v_spilled
+  | Error msg ->
+    Buffer.add_char b '\004';
+    Bincodec.put_string b msg);
+  Buffer.contents b
+
+let decode_server s =
+  if s = "" then corrupt "empty message";
+  finish_decode "server"
+    (match s.[0] with
+    | '\000' ->
+      let a_version, pos = Bincodec.get_uvarint s 1 in
+      let a_session, pos = Bincodec.get_uvarint s pos in
+      let a_credit, pos = Bincodec.get_uvarint s pos in
+      if pos >= String.length s then corrupt "truncated hello-ack";
+      let a_spilling = s.[pos] <> '\000' in
+      (Hello_ack { a_version; a_session; a_credit; a_spilling }, pos + 1)
+    | '\001' ->
+      let n, pos = Bincodec.get_uvarint s 1 in
+      (Credit n, pos)
+    | '\002' -> (Heartbeat_ack, 1)
+    | '\003' ->
+      let v_report, pos = get_report s 1 in
+      let v_fail_index, pos = get_uvarint_option s pos in
+      let v_events, pos = Bincodec.get_uvarint s pos in
+      let v_spilled, pos = get_option Bincodec.get_string s pos in
+      (Verdict { v_report; v_fail_index; v_events; v_spilled }, pos)
+    | '\004' ->
+      let msg, pos = Bincodec.get_string s 1 in
+      (Error msg, pos)
+    | c -> corrupt "unknown server message tag 0x%02x" (Char.code c))
+    s
+
+(* -------------------------------------------------------------- frames *)
+
+exception Closed
+exception Timeout
+
+let frame_header_bytes = 8
+
+let frame payload =
+  let head = Bytes.create frame_header_bytes in
+  Bytes.set_int32_le head 0 (Int32.of_int (String.length payload land 0xffffffff));
+  Bytes.set_int32_le head 4 (Int32.of_int (Bincodec.crc32 payload land 0xffffffff));
+  Bytes.unsafe_to_string head ^ payload
+
+(* [write] can send short on sockets; loop, restarting on EINTR. *)
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write_substring fd s !pos (len - !pos) with
+    | 0 -> raise Closed
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_frame fd payload = write_all fd (frame payload)
+
+(* Read exactly [n] bytes.  [`Eof] only when zero bytes had been read —
+   EOF mid-read is a torn frame, reported as [Corrupt] by the caller. *)
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       match Unix.read fd buf !pos (n - !pos) with
+       | 0 -> raise Exit
+       | k -> pos := !pos + k
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         raise Timeout
+     done
+   with Exit -> ());
+  if !pos = n then `Ok (Bytes.unsafe_to_string buf)
+  else if !pos = 0 then `Eof
+  else `Torn !pos
+
+let get_u32 s off = Int32.to_int (String.get_int32_le s off) land 0xffffffff
+
+let read_frame ?(max_bytes = max_frame_bytes) fd =
+  match read_exactly fd frame_header_bytes with
+  | `Eof -> raise Closed
+  | `Torn n -> corrupt "torn frame header (%d of %d bytes)" n frame_header_bytes
+  | `Ok head -> (
+    let len = get_u32 head 0 in
+    let crc = get_u32 head 4 in
+    if len > max_bytes then corrupt "frame of %d bytes exceeds the %d limit" len max_bytes;
+    match read_exactly fd len with
+    | `Eof | `Torn _ -> corrupt "torn frame payload (wanted %d bytes)" len
+    | `Ok payload ->
+      if Bincodec.crc32 payload <> crc then corrupt "frame checksum mismatch";
+      payload)
+
+let send_client fd msg = write_frame fd (encode_client msg)
+let send_server fd msg = write_frame fd (encode_server msg)
+let recv_client ?max_bytes fd = decode_client (read_frame ?max_bytes fd)
+let recv_server ?max_bytes fd = decode_server (read_frame ?max_bytes fd)
+
+(* ----------------------------------------------------------- addresses *)
+
+type addr = Unix_socket of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port -> Tcp (String.sub s 0 i, port)
+    | None -> Unix_socket s)
+  | None -> Unix_socket s
+
+let pp_addr ppf = function
+  | Unix_socket path -> Fmt.pf ppf "unix:%s" path
+  | Tcp (host, port) -> Fmt.pf ppf "%s:%d" host port
+
+let sockaddr_of_addr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    Unix.ADDR_INET (ip, port)

@@ -1,0 +1,129 @@
+(** The vyrdd wire protocol.
+
+    VYRD's architecture decouples cheap in-process logging from checking
+    that may run "offline, possibly on a different machine" (§4.2, §6.1);
+    this module is the socket format of that decoupling, the network
+    counterpart of the {!Vyrd_pipeline.Segment} disk format.  A session is
+    a sequence of {e frames} in each direction over one stream socket:
+
+    {v payload length (u32 LE) | crc32(payload) (u32 LE) | payload v}
+
+    where the payload is one {!Bincodec}-encoded message (one tag byte,
+    then the fields in order).  Decoding is total: a bad length, a CRC
+    mismatch or a malformed payload raises {!Vyrd_pipeline.Bincodec.Corrupt},
+    never an out-of-bounds access — the receiving end fails the session
+    cleanly at the first damaged frame.
+
+    {b Session shape.}  The client opens with {!Hello} carrying the protocol
+    version and the {!Vyrd.Log.level} of the stream about to be sent (level
+    negotiation: the server builds its per-session checker farm to match).
+    The server answers {!Hello_ack} with an initial {e credit} — the number
+    of events the client may send before it must wait for a {!Credit}
+    replenishment.  Credits are granted only as the server's checker farm
+    actually consumes events, so a slow checker exerts backpressure across
+    the socket instead of buffering without bound.  {!Batch} carries events;
+    {!Heartbeat}/{!Heartbeat_ack} keep an idle session alive across the
+    server's idle timeout; {!Finish} asks for the drain: the server finishes
+    its farm and replies with a {!Verdict} carrying the merged
+    {!Vyrd.Report.t}, or with [spilled] set when overload degraded the
+    session to spooling {!Vyrd_pipeline.Segment} files for later offline
+    checking. *)
+
+(** Protocol version carried in {!Hello} / {!Hello_ack}. *)
+val version : int
+
+(** Frames larger than this are rejected as corrupt before any allocation
+    ({!read_frame}'s default [max_bytes]). *)
+val max_frame_bytes : int
+
+(** {1 Messages} *)
+
+type hello = {
+  h_version : int;
+  h_level : Vyrd.Log.level;  (** level of the event stream to follow *)
+  h_producer : string;  (** free-form client identification, for logs/metrics *)
+}
+
+type client_msg =
+  | Hello of hello
+  | Batch of Vyrd.Event.t array
+  | Heartbeat
+  | Finish  (** drain request: no more events, send the verdict *)
+
+(** The server's reply to {!Finish}. *)
+type verdict = {
+  v_report : Vyrd.Report.t;  (** merged farm report; trivial pass when spilled *)
+  v_fail_index : int option;
+      (** stream index (0-based, in submission order) of the event that
+          triggered the violation *)
+  v_events : int;  (** events the server consumed *)
+  v_spilled : string option;
+      (** when overload degraded the session: path of the segment spool
+          holding the stream for later offline checking *)
+}
+
+type server_msg =
+  | Hello_ack of { a_version : int; a_session : int; a_credit : int; a_spilling : bool }
+  | Credit of int  (** additional events the client may send *)
+  | Heartbeat_ack
+  | Verdict of verdict
+  | Error of string  (** session failed; no verdict will follow *)
+
+(** {1 Encoding}
+
+    [decode_*] raise {!Vyrd_pipeline.Bincodec.Corrupt} on malformed
+    payloads. *)
+
+val encode_client : client_msg -> string
+val decode_client : string -> client_msg
+val encode_server : server_msg -> string
+val decode_server : string -> server_msg
+
+(** The report codec used inside {!Verdict} (exposed for tests). *)
+val put_report : Buffer.t -> Vyrd.Report.t -> unit
+
+val get_report : string -> int -> Vyrd.Report.t * int
+
+(** {1 Framing} *)
+
+(** Raised by {!read_frame} on a clean end of stream at a frame boundary. *)
+exception Closed
+
+(** Raised by {!read_frame} when the socket's receive timeout expires
+    (the server's idle/heartbeat timeout). *)
+exception Timeout
+
+(** [frame payload] is the framed bytes: length, CRC, payload. *)
+val frame : string -> string
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_frame fd] reads one whole frame and returns its payload.
+    @raise Closed on EOF at a frame boundary.
+    @raise Vyrd_pipeline.Bincodec.Corrupt on a torn frame, an oversized
+      length, or a CRC mismatch.
+    @raise Timeout when the descriptor's [SO_RCVTIMEO] expires. *)
+val read_frame : ?max_bytes:int -> Unix.file_descr -> string
+
+(** Convenience compositions used by both endpoints. *)
+val send_client : Unix.file_descr -> client_msg -> unit
+
+val send_server : Unix.file_descr -> server_msg -> unit
+val recv_client : ?max_bytes:int -> Unix.file_descr -> client_msg
+val recv_server : ?max_bytes:int -> Unix.file_descr -> server_msg
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_socket of string  (** path of a Unix-domain stream socket *)
+  | Tcp of string * int  (** host, port *)
+
+(** ["host:port"] (numeric port) parses as {!Tcp}, anything else as
+    {!Unix_socket}. *)
+val addr_of_string : string -> addr
+
+val pp_addr : Format.formatter -> addr -> unit
+
+(** [sockaddr_of_addr addr] resolves to a [Unix.sockaddr] ready for
+    [connect]/[bind].  @raise Not_found when a TCP host does not resolve. *)
+val sockaddr_of_addr : addr -> Unix.sockaddr

@@ -36,6 +36,13 @@ val put_varint : Buffer.t -> int -> unit
 
 val get_varint : string -> int -> int * int
 
+(** {1 Strings} *)
+
+(** [put_string b s] appends a varint byte length, then the raw bytes. *)
+val put_string : Buffer.t -> string -> unit
+
+val get_string : string -> int -> string * int
+
 (** {1 Values and events} *)
 
 val put_repr : Buffer.t -> Vyrd.Repr.t -> unit

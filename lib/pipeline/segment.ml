@@ -119,11 +119,15 @@ let flush w =
 
 let close w =
   if not w.w_closed then begin
-    (* even an event-free stream leaves a (headered) file behind *)
-    if w.w_files = [] then ignore (ensure_open w);
-    seal w;
-    close_current_file w;
-    w.w_closed <- true
+    w.w_closed <- true;
+    (* the channel must not outlive the writer even when the final seal
+       fails (disk full, quota) *)
+    Fun.protect
+      ~finally:(fun () -> close_current_file w)
+      (fun () ->
+        (* even an event-free stream leaves a (headered) file behind *)
+        if w.w_files = [] then ignore (ensure_open w);
+        seal w)
   end
 
 let attach w log = Log.subscribe log (append w)
@@ -134,8 +138,9 @@ let writer_events w = w.w_events
 
 let write_file ?segment_bytes path log =
   let w = create_writer ?segment_bytes ~level:(Log.level log) path in
-  Log.iter (append w) log;
-  close w
+  Fun.protect
+    ~finally:(fun () -> close w)
+    (fun () -> Log.iter (append w) log)
 
 (* --------------------------------------------------------------- reader *)
 

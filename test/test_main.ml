@@ -20,4 +20,5 @@ let () =
       ("log", Test_log.suite);
       ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);
+      ("net", Test_net.suite);
     ]

@@ -1,0 +1,502 @@
+(* The networked verification service: wire-protocol round trips (every
+   message, every violation kind inside a verdict), framing corruption
+   handling, and end-to-end loopback sessions against a live vyrdd server —
+   verdict equality with the offline checker on the checked-in buggy
+   example, overload spill with identical re-checked verdicts,
+   retry-with-backoff connects, heartbeats vs the idle timeout, and a
+   byte-sweep showing that truncating or corrupting a recorded session at
+   any point fails that session cleanly (no verdict, server keeps serving). *)
+
+open Vyrd
+open Vyrd_harness
+open Vyrd_pipeline
+open Vyrd_net
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* --- message codecs -------------------------------------------------------- *)
+
+let exec : Report.exec =
+  {
+    Report.e_tid = 3;
+    e_mid = "insert_pair";
+    e_args = [ Repr.Int 51; Repr.Int 52 ];
+    e_ret = Some Repr.success;
+  }
+
+let stats : Report.stats =
+  {
+    Report.events_processed = 19;
+    methods_checked = 2;
+    commits_resolved = 1;
+    per_method = [ ("insert", 1); ("insert_pair", 1) ];
+    queue_high_water = 508;
+  }
+
+(* one report per violation constructor, plus a pass *)
+let sample_reports : Report.t list =
+  let fail v = { Report.outcome = Report.Fail v; stats } in
+  [
+    { Report.outcome = Report.Pass; stats };
+    fail (Report.Io_violation { exec; commit_ordinal = 4; reason = "no transition" });
+    fail (Report.Observer_violation { exec; window = (2, 7) });
+    fail
+      (Report.View_violation
+         {
+           exec;
+           commit_ordinal = 1;
+           view_i = Repr.List [ Repr.Int 26 ];
+           view_s = Repr.List [ Repr.Int 51 ];
+         });
+    fail
+      (Report.Invariant_violation
+         { exec; commit_ordinal = 9; invariant = "sorted" });
+    fail
+      (Report.Ill_formed
+         { event = Some (Event.Commit { tid = 2 }); reason = "commit w/o call" });
+    fail (Report.Ill_formed { event = None; reason = "truncated log" });
+  ]
+
+let test_report_roundtrip () =
+  List.iter
+    (fun r ->
+      let b = Buffer.create 128 in
+      Wire.put_report b r;
+      let r', pos = Wire.get_report (Buffer.contents b) 0 in
+      Alcotest.(check bool) (Report.tag r ^ " report survives") true (r = r');
+      Alcotest.(check int) "whole buffer consumed" (Buffer.length b) pos)
+    sample_reports
+
+let test_server_msg_roundtrip () =
+  let msgs =
+    [
+      Wire.Hello_ack { a_version = 1; a_session = 42; a_credit = 8192; a_spilling = true };
+      Wire.Credit 4096;
+      Wire.Heartbeat_ack;
+      Wire.Error "session idle timeout";
+    ]
+    @ List.map
+        (fun r ->
+          Wire.Verdict
+            {
+              Wire.v_report = r;
+              v_fail_index = (if Report.is_pass r then None else Some 18);
+              v_events = 508;
+              v_spilled = (if Report.is_pass r then Some "/tmp/spill.seg" else None);
+            })
+        sample_reports
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "server msg survives" true
+        (Wire.decode_server (Wire.encode_server m) = m))
+    msgs
+
+let client_msg_eq a b =
+  match (a, b) with
+  | Wire.Batch x, Wire.Batch y ->
+    Array.length x = Array.length y
+    && Array.for_all2 Event.equal x y
+  | x, y -> x = y
+
+let client_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"client msg round trip" ~count:200
+       QCheck2.Gen.(
+         oneof
+           [
+             return Wire.Heartbeat;
+             return Wire.Finish;
+             map
+               (fun (lvl, producer) ->
+                 Wire.Hello { h_version = Wire.version; h_level = lvl; h_producer = producer })
+               (pair Test_log.level_gen (string_size (int_range 0 40)));
+             map
+               (fun evs -> Wire.Batch (Array.of_list evs))
+               (list_size (int_range 0 60) Test_log.event_gen);
+           ])
+       (fun m -> client_msg_eq m (Wire.decode_client (Wire.encode_client m))))
+
+let test_decode_rejects_garbage () =
+  (* unknown tag, empty payload, trailing bytes after a valid message *)
+  List.iter
+    (fun payload ->
+      match Wire.decode_client payload with
+      | _ -> Alcotest.failf "decoded garbage client payload %S" payload
+      | exception Bincodec.Corrupt _ -> ())
+    [ ""; "\009"; Wire.encode_client Wire.Finish ^ "x" ];
+  List.iter
+    (fun payload ->
+      match Wire.decode_server payload with
+      | _ -> Alcotest.failf "decoded garbage server payload %S" payload
+      | exception Bincodec.Corrupt _ -> ())
+    [ ""; "\009"; Wire.encode_server Wire.Heartbeat_ack ^ "x" ]
+
+(* --- framing over a socketpair -------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip_and_corruption () =
+  let payload = Wire.encode_client (Wire.Hello
+      { h_version = Wire.version; h_level = `View; h_producer = "t" }) in
+  with_socketpair (fun a b ->
+      Wire.write_frame a payload;
+      Alcotest.(check string) "frame round trip" payload (Wire.read_frame b));
+  (* one flipped payload byte must be caught by the CRC *)
+  with_socketpair (fun a b ->
+      let bytes = Bytes.of_string (Wire.frame payload) in
+      let at = Bytes.length bytes - 1 in
+      Bytes.set bytes at (Char.chr (Char.code (Bytes.get bytes at) lxor 0x01));
+      ignore (Unix.write a bytes 0 (Bytes.length bytes));
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Wire.read_frame b with
+      | _ -> Alcotest.fail "corrupt frame accepted"
+      | exception Bincodec.Corrupt _ -> ());
+  (* clean EOF at a frame boundary is Closed, mid-frame is Corrupt *)
+  with_socketpair (fun a b ->
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Wire.read_frame b with
+      | _ -> Alcotest.fail "read from closed stream"
+      | exception Wire.Closed -> ());
+  with_socketpair (fun a b ->
+      let framed = Wire.frame payload in
+      ignore (Unix.write_substring a framed 0 (String.length framed / 2));
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Wire.read_frame b with
+      | _ -> Alcotest.fail "torn frame accepted"
+      | exception Bincodec.Corrupt _ -> ())
+
+let test_addr_of_string () =
+  Alcotest.(check bool) "host:port is tcp" true
+    (Wire.addr_of_string "127.0.0.1:9090" = Wire.Tcp ("127.0.0.1", 9090));
+  Alcotest.(check bool) "path is unix" true
+    (Wire.addr_of_string "/tmp/vyrdd.sock" = Wire.Unix_socket "/tmp/vyrdd.sock");
+  Alcotest.(check bool) "non-numeric port is a path" true
+    (Wire.addr_of_string "host:http" = Wire.Unix_socket "host:http")
+
+(* --- loopback sessions ----------------------------------------------------- *)
+
+(* cwd is _build/default/test under [dune runtest], the repo root under
+   [dune exec] *)
+let examples_dir () =
+  List.find Sys.file_exists [ "examples/logs"; "../../../examples/logs" ]
+
+let subject = Subjects.multiset_vector
+
+let shards _level =
+  [ Farm.shard ~mode:`View ~view:subject.Subjects.view subject.Subjects.name
+      subject.Subjects.spec ]
+
+let with_server ?window ?max_sessions ?spill_dir ?idle_timeout f =
+  let sock = Filename.temp_file "vyrd_net" ".sock" in
+  let srv =
+    Server.start
+      (Server.config ?window ?max_sessions ?spill_dir ?idle_timeout
+         ~addr:(Wire.Unix_socket sock) shards)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop ~deadline:5. srv;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f srv)
+
+let buggy_log () =
+  Log.of_file (Filename.concat (examples_dir ()) "multiset_vector_buggy.log")
+
+let correct_log () =
+  Harness.run
+    { Harness.default with threads = 4; ops_per_thread = 25; log_level = `View }
+    (subject.Subjects.build ~bug:false)
+
+let local_fail_index log =
+  let farm = Farm.start ~capacity:4096 ~level:(Log.level log) (shards `View) in
+  Log.iter (Farm.feed farm) log;
+  let r = Farm.finish farm in
+  List.fold_left
+    (fun acc (sr : Farm.shard_result) ->
+      match (acc, sr.Farm.sr_fail_index) with
+      | None, i -> i
+      | Some a, Some b -> Some (min a b)
+      | Some _, None -> acc)
+    None r.Farm.shards
+
+let test_loopback_matches_offline () =
+  let log = buggy_log () in
+  let offline =
+    Checker.check ~mode:`View ~view:subject.Subjects.view log subject.Subjects.spec
+  in
+  Alcotest.(check bool) "example log is convicting" false (Report.is_pass offline);
+  with_server (fun srv ->
+      match Client.submit_log ~batch_events:64 (Server.addr srv) log with
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled"
+      | Client.Checked { report; fail_index } ->
+        Alcotest.(check string) "same violation kind as offline"
+          (Report.tag offline) (Report.tag report);
+        Alcotest.(check (option int)) "same fail index as the local farm"
+          (local_fail_index log) fail_index)
+
+let test_loopback_correct_run_passes () =
+  let log = correct_log () in
+  with_server (fun srv ->
+      let t = Client.connect ~level:(Log.level log) ~batch_events:32 (Server.addr srv) in
+      Log.iter (Client.send t) log;
+      Alcotest.(check bool) "not spilling" false (Client.spilling t);
+      match Client.finish t with
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled"
+      | Client.Checked { report; fail_index } ->
+        Alcotest.(check bool) "passes" true (Report.is_pass report);
+        Alcotest.(check (option int)) "no fail index" None fail_index;
+        Alcotest.(check int) "every event was sent" (Log.length log)
+          (Client.events_sent t);
+        Alcotest.(check bool) "framing was accounted" true (Client.bytes_sent t > 0))
+
+let test_overload_spills_and_recheck_agrees () =
+  let log = buggy_log () in
+  let offline =
+    Checker.check ~mode:`View ~view:subject.Subjects.view log subject.Subjects.spec
+  in
+  let dir = Filename.temp_file "vyrd_spill" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      (* max_sessions 0: every session degrades to the segment spool *)
+      with_server ~max_sessions:0 ~spill_dir:dir (fun srv ->
+          match Client.submit_log (Server.addr srv) log with
+          | Client.Checked _ -> Alcotest.fail "overloaded server checked live"
+          | Client.Spilled { path; events } ->
+            Alcotest.(check int) "spool holds the whole stream" (Log.length log)
+              events;
+            let r = Segment.read_file path in
+            Alcotest.(check bool) "spool reads clean" false r.Segment.truncated;
+            Alcotest.(check int) "spool event count" (Log.length log)
+              (Log.length r.Segment.log);
+            let rechecked =
+              Checker.check ~mode:`View ~view:subject.Subjects.view r.Segment.log
+                subject.Subjects.spec
+            in
+            Alcotest.(check string) "re-checked verdict is identical"
+              (Report.tag offline) (Report.tag rechecked)))
+
+let test_connect_retries_until_server_appears () =
+  let sock = Filename.temp_file "vyrd_late" ".sock" in
+  Sys.remove sock;
+  let srv = ref None in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        srv := Some (Server.start (Server.config ~addr:(Wire.Unix_socket sock) shards)))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join starter;
+      (match !srv with Some s -> Server.stop ~deadline:5. s | None -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      (* the socket does not exist yet: only retry-with-backoff can win *)
+      let t = Client.connect ~retries:10 ~backoff:0.05 (Wire.Unix_socket sock) in
+      Alcotest.(check bool) "session granted" true (Client.session t >= 0);
+      Client.close t)
+
+let test_no_retry_fails_fast () =
+  let sock = Filename.temp_file "vyrd_none" ".sock" in
+  Sys.remove sock;
+  match Client.connect (Wire.Unix_socket sock) with
+  | _ -> Alcotest.fail "connected to nothing"
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let test_heartbeat_survives_idle_timeout () =
+  let log = correct_log () in
+  with_server ~idle_timeout:0.4 (fun srv ->
+      let t = Client.connect ~level:(Log.level log) (Server.addr srv) in
+      (* stay idle for ~3 timeouts, heartbeating through them *)
+      for _ = 1 to 6 do
+        Thread.delay 0.2;
+        Client.heartbeat t
+      done;
+      Log.iter (Client.send t) log;
+      match Client.finish t with
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "still verdicts after idling" true
+          (Report.is_pass report)
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled")
+
+let test_idle_timeout_fails_session_cleanly () =
+  with_server ~idle_timeout:0.3 (fun srv ->
+      let t = Client.connect (Server.addr srv) in
+      Thread.delay 1.0;
+      (match Client.finish t with
+      | _ -> Alcotest.fail "timed-out session still produced a verdict"
+      | exception Client.Server_error _ -> ());
+      (* the failure was contained: the same server still serves *)
+      match Client.submit_log (Server.addr srv) (correct_log ()) with
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "server survived the timeout" true
+          (Report.is_pass report)
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled")
+
+(* --- byte sweep over a recorded session ------------------------------------ *)
+
+(* A valid session, as raw bytes. *)
+let session_bytes log =
+  let evs = Array.sub (Log.snapshot log) 0 (min 40 (Log.length log)) in
+  String.concat ""
+    [
+      Wire.frame
+        (Wire.encode_client
+           (Wire.Hello
+              { h_version = Wire.version; h_level = Log.level log; h_producer = "sweep" }));
+      Wire.frame (Wire.encode_client (Wire.Batch evs));
+      Wire.frame (Wire.encode_client Wire.Finish);
+    ]
+
+(* Push raw bytes at the server, close our write side, and collect every
+   server reply until it hangs up.  Returns [true] iff a complete, decodable
+   verdict frame came back. *)
+let raw_session srv bytes =
+  let sockaddr = Wire.sockaddr_of_addr (Server.addr srv) in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd sockaddr;
+      (match Unix.write_substring fd bytes 0 (String.length bytes) with
+      | (_ : int) -> ()
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+        (* the server already failed the session and hung up *)
+        ());
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let saw_verdict = ref false in
+      let continue = ref true in
+      while !continue do
+        match Wire.recv_server fd with
+        | Wire.Verdict _ -> saw_verdict := true
+        | _ -> ()
+        | exception (Wire.Closed | Bincodec.Corrupt _ | Unix.Unix_error _) ->
+          continue := false
+      done;
+      !saw_verdict)
+
+let test_session_byte_sweep () =
+  let log = correct_log () in
+  let whole = session_bytes log in
+  let len = String.length whole in
+  with_server (fun srv ->
+      Alcotest.(check bool) "the untouched session verdicts" true
+        (raw_session srv whole);
+      (* truncation at every prefix length and a single-byte corruption at a
+         stride of positions: the session must fail cleanly — no verdict —
+         and the server must keep serving *)
+      let cuts = ref 0 in
+      for cut = 0 to len - 1 do
+        if cut mod 17 = 0 then begin
+          incr cuts;
+          if raw_session srv (String.sub whole 0 cut) then
+            Alcotest.failf "verdict from a session truncated at %d/%d" cut len
+        end
+      done;
+      for at = 0 to len - 1 do
+        if at mod 13 = 0 then begin
+          incr cuts;
+          let bytes = Bytes.of_string whole in
+          Bytes.set bytes at (Char.chr (Char.code (Bytes.get bytes at) lxor 0xa5));
+          if raw_session srv (Bytes.to_string bytes) then
+            Alcotest.failf "verdict from a session corrupted at byte %d/%d" at len
+        end
+      done;
+      Alcotest.(check bool) "sweep exercised many cut points" true (!cuts > 30);
+      Alcotest.(check bool) "server still verdicts after the sweep" true
+        (raw_session srv whole);
+      Alcotest.(check bool) "failed sessions were counted" true
+        (Metrics.value (Metrics.counter (Server.metrics srv) "net.sessions_failed")
+        >= !cuts))
+
+(* --- fd hygiene ------------------------------------------------------------ *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_corrupt_reader_does_not_leak_fds () =
+  (* a segment file whose payload passes its CRC but lies about its event
+     count: [read_file] must raise Corrupt from inside the decode, and the
+     file descriptor must still be released *)
+  let path = Filename.temp_file "vyrd_leak" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let payload =
+        let b = Buffer.create 64 in
+        Bincodec.put_event b (Event.Commit { tid = 1 });
+        Bincodec.put_event b (Event.Commit { tid = 2 });
+        Buffer.contents b
+      in
+      let head = Bytes.create 12 in
+      Bytes.set_int32_le head 0 (Int32.of_int (String.length payload));
+      Bytes.set_int32_le head 4 (Int32.of_int (Bincodec.crc32 payload));
+      Bytes.set_int32_le head 8 3l (* declares 3 events, contains 2 *);
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc "VYRDB1";
+          Out_channel.output_char oc '\002';
+          Out_channel.output_bytes oc head;
+          Out_channel.output_string oc payload);
+      let before = count_fds () in
+      for _ = 1 to 10 do
+        match Segment.read_file path with
+        | _ -> Alcotest.fail "lying segment accepted"
+        | exception Bincodec.Corrupt _ -> ()
+      done;
+      Alcotest.(check int) "no fd leaked across 10 corrupt reads" before
+        (count_fds ()))
+
+let test_loopback_sessions_do_not_leak_fds () =
+  with_server (fun srv ->
+      let log = correct_log () in
+      ignore (Client.submit_log (Server.addr srv) log : Client.outcome);
+      let before = count_fds () in
+      for _ = 1 to 5 do
+        ignore (Client.submit_log (Server.addr srv) log : Client.outcome)
+      done;
+      (* session threads tear down asynchronously after the verdict *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while Server.active srv > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "no fd leaked across 5 sessions" before (count_fds ()))
+
+let suite =
+  [
+    ("report codec round trip", `Quick, test_report_roundtrip);
+    ("server msg round trip", `Quick, test_server_msg_roundtrip);
+    client_roundtrip;
+    ("garbage payloads rejected", `Quick, test_decode_rejects_garbage);
+    ("framing round trip / CRC / torn", `Quick, test_frame_roundtrip_and_corruption);
+    ("address parsing", `Quick, test_addr_of_string);
+    ("loopback verdict = offline checker", `Quick, test_loopback_matches_offline);
+    ("loopback correct run passes", `Quick, test_loopback_correct_run_passes);
+    ( "overload spills; re-check agrees",
+      `Quick,
+      test_overload_spills_and_recheck_agrees );
+    ( "connect retries until the server appears",
+      `Quick,
+      test_connect_retries_until_server_appears );
+    ("no-retry connect fails fast", `Quick, test_no_retry_fails_fast);
+    ("heartbeat survives the idle timeout", `Quick, test_heartbeat_survives_idle_timeout);
+    ( "idle timeout fails the session cleanly",
+      `Quick,
+      test_idle_timeout_fails_session_cleanly );
+    ("session byte sweep never yields a verdict", `Quick, test_session_byte_sweep);
+    ( "corrupt segment reader releases its fd",
+      `Quick,
+      test_corrupt_reader_does_not_leak_fds );
+    ("loopback sessions release their fds", `Quick, test_loopback_sessions_do_not_leak_fds);
+  ]

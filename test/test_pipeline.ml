@@ -215,6 +215,60 @@ let test_corrupt_byte_stops_at_crc () =
         (List.for_all2 Event.equal got
            (Array.to_list (Array.sub all 0 (List.length got)))))
 
+(* Corrupt a byte inside a *middle* file of a rotation set: recovery must
+   keep everything up to the damaged file, mark the stream truncated, and
+   not read past it — later rotation files describe a suffix whose gap
+   would silently corrupt any analysis run over the reassembled log. *)
+let test_corrupt_middle_rotation_file () =
+  let log = record ~level:`Full ~ops:60 () in
+  let dir = Filename.temp_file "vyrd_midrot" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let base = Filename.concat dir "stream" in
+      let w =
+        Segment.create_writer ~segment_bytes:512 ~rotate_bytes:2048 ~level:`Full base
+      in
+      Log.iter (Segment.append w) log;
+      Segment.close w;
+      let files = Segment.writer_files w in
+      Alcotest.(check bool) "at least 3 files to damage the middle of" true
+        (List.length files >= 3);
+      let per_file =
+        List.map (fun f -> Log.length (Segment.read_file f).Segment.log) files
+      in
+      let mid = List.length files / 2 in
+      let victim = List.nth files mid in
+      let bytes =
+        Bytes.of_string (In_channel.with_open_bin victim In_channel.input_all)
+      in
+      let at = Bytes.length bytes / 2 in
+      Bytes.set bytes at (Char.chr (Char.code (Bytes.get bytes at) lxor 0xff));
+      Out_channel.with_open_bin victim (fun oc -> Out_channel.output_bytes oc bytes);
+      let r = Segment.read_files files in
+      Alcotest.(check bool) "marked truncated" true r.Segment.truncated;
+      let before_victim =
+        List.fold_left ( + ) 0 (List.filteri (fun i _ -> i < mid) per_file)
+      in
+      let n = Log.length r.Segment.log in
+      Alcotest.(check bool)
+        (Printf.sprintf "recovered %d: whole files before the damage survive" n)
+        true
+        (n >= before_victim);
+      Alcotest.(check bool)
+        (Printf.sprintf "recovered %d: stream ends inside the damaged file" n)
+        true
+        (n < before_victim + List.nth per_file mid + 1);
+      let all = Array.of_list (Log.events log) in
+      Alcotest.(check bool) "recovered log is a prefix" true
+        (List.for_all2 Event.equal
+           (Log.events r.Segment.log)
+           (Array.to_list (Array.sub all 0 n))))
+
 let test_not_a_segment_file_raises () =
   with_tmp (fun path ->
       Out_channel.with_open_bin path (fun oc ->
@@ -457,6 +511,22 @@ let test_farm_streams_from_live_log () =
   Alcotest.(check int) "every event routed" (Log.length log) result.Farm.fed;
   Alcotest.(check bool) "finish is idempotent" true (Farm.finish farm == result)
 
+let test_farm_finish_idempotent () =
+  (* a second finish — e.g. the server's cleanup path running after the
+     verdict was already taken — must return the same result object and
+     must not re-run the drain *)
+  let log =
+    run_both ~ms_bugs:[ Vyrd_multiset.Multiset_vector.Racy_find_slot ] ~seed:0 ()
+  in
+  let farm = Farm.start ~capacity:64 ~level:(Log.level log) (shards ()) in
+  Array.iter (Farm.feed farm) (Log.snapshot log);
+  let r1 = Farm.finish farm in
+  let r2 = Farm.finish farm in
+  Alcotest.(check bool) "same result object" true (r1 == r2);
+  Alcotest.(check string) "same verdict" (Report.tag r1.Farm.merged)
+    (Report.tag r2.Farm.merged);
+  Alcotest.(check int) "same fed count" r1.Farm.fed r2.Farm.fed
+
 let test_farm_view_requires_view_level () =
   match Farm.start ~level:`Io (shards ()) with
   | (_ : Farm.t) -> Alcotest.fail "`View shards accepted an `Io-level stream"
@@ -501,6 +571,9 @@ let suite =
     ("rotation set reassembles via read_prefix", `Quick, test_rotation_and_read_prefix);
     ("truncated tails recover every whole segment", `Quick, test_truncated_tail_recovery);
     ("corrupt byte stops at the CRC", `Quick, test_corrupt_byte_stops_at_crc);
+    ( "corrupt middle rotation file truncates there",
+      `Quick,
+      test_corrupt_middle_rotation_file );
     ("text log rejected by binary reader", `Quick, test_not_a_segment_file_raises);
     ("ring order, close, late-push drop", `Quick, test_ring_order_and_close);
     ("ring backpressure across domains", `Quick, test_ring_backpressure);
@@ -511,6 +584,7 @@ let suite =
     ("farm = offline checker on correct runs", `Quick, test_farm_agrees_on_correct_runs);
     ("farm = offline checker on buggy runs", `Quick, test_farm_agrees_on_buggy_runs);
     ("farm streams from a live log", `Quick, test_farm_streams_from_live_log);
+    ("farm finish is idempotent", `Quick, test_farm_finish_idempotent);
     ("farm `View shards reject `Io streams", `Quick, test_farm_view_requires_view_level);
     ("online bounded queue records high water", `Quick, test_online_capacity_and_high_water);
   ]
