@@ -69,6 +69,13 @@ let connect ?(retries = 0) ?(backoff = 0.05) ?(level = `View) ?(batch_events = 2
       raise (Server_error (Printf.sprintf "server speaks protocol %d, not %d"
                              a_version Wire.version))
     end;
+    if a_credit <= 0 then begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Server_error "server granted no credit")
+    end;
+    (* outstanding credit can never exceed the server window, so a batch
+       larger than [a_credit] would make [flush] wait forever *)
+    let batch_events = min batch_events a_credit in
     {
       fd;
       batch_events;

@@ -40,6 +40,7 @@ type t = {
   (* metrics handles, registered once *)
   m_sessions : Metrics.counter;
   m_failed : Metrics.counter;
+  m_accept_errors : Metrics.counter;
   m_spilled : Metrics.counter;
   m_events : Metrics.counter;
   m_batches : Metrics.counter;
@@ -90,6 +91,9 @@ let min_fail_index (result : Farm.result) =
 let serve_session t (s : session) =
   let fd = s.s_fd in
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+  (* a peer that stops *reading* must not pin this thread in a blocking
+     write (Credit/Verdict) past the idle timeout either *)
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.idle_timeout;
   let hello =
     match Wire.recv_client fd with
     | Wire.Hello h -> h
@@ -209,14 +213,17 @@ let session_thread t s =
     Metrics.incr t.m_failed;
     (* best effort: the peer may already be gone *)
     try Wire.send_server s.s_fd (Wire.Error msg)
-    with Unix.Unix_error _ | Wire.Closed -> ()
+    with Unix.Unix_error _ | Wire.Closed | Wire.Timeout -> ()
   in
+  (* the fd close and live/threads removal below must run on *every* exit,
+     else the session pins a checking slot forever — hence the catch-all *)
   (try serve_session t s with
   | Bincodec.Corrupt msg -> failed msg
   | Wire.Closed -> failed "connection closed mid-session"
   | Wire.Timeout -> failed "session idle timeout"
   | Unix.Unix_error (e, _, _) -> failed (Unix.error_message e)
-  | Sys_error msg -> failed msg);
+  | Sys_error msg -> failed msg
+  | e -> failed ("unexpected exception: " ^ Printexc.to_string e));
   close_quietly s.s_fd;
   with_lock t (fun () ->
       Hashtbl.remove t.live s.s_id;
@@ -251,6 +258,15 @@ let accept_loop t =
       stop := true
     | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
       if with_lock t (fun () -> t.stopping) then stop := true
+    | exception Unix.Unix_error (_, _, _) ->
+      (* EMFILE/ENFILE and friends are transient: dying here would leave a
+         daemon that looks alive but never accepts again.  Back off briefly
+         so fd pressure can clear, then retry. *)
+      if with_lock t (fun () -> t.stopping) then stop := true
+      else begin
+        Metrics.incr t.m_accept_errors;
+        Thread.delay 0.1
+      end
   done
 
 let start cfg =
@@ -293,6 +309,7 @@ let start cfg =
         stopped = false;
         m_sessions = Metrics.counter m "net.sessions";
         m_failed = Metrics.counter m "net.sessions_failed";
+        m_accept_errors = Metrics.counter m "net.accept_errors";
         m_spilled = Metrics.counter m "net.sessions_spilled";
         m_events = Metrics.counter m "net.events";
         m_batches = Metrics.counter m "net.batches";

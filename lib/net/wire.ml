@@ -319,6 +319,10 @@ let write_all fd s =
     | 0 -> raise Closed
     | n -> pos := !pos + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    (* only reachable when SO_SNDTIMEO is set (server side): a peer that
+       stopped reading.  Fail the session like an idle read would. *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Timeout
   done
 
 let write_frame fd payload = write_all fd (frame payload)

@@ -41,9 +41,11 @@ let put_string b s =
   put_uvarint b (String.length s);
   Buffer.add_string b s
 
+(* [pos + n] can overflow to negative when a hostile 9-byte uvarint decodes
+   near max_int, so bound [n] by the remaining bytes instead. *)
 let get_string s pos =
   let n, pos = get_uvarint s pos in
-  if n < 0 || pos + n > String.length s then corrupt "truncated string (%d bytes)" n;
+  if n < 0 || n > String.length s - pos then corrupt "truncated string (%d bytes)" n;
   (String.sub s pos n, pos + n)
 
 (* Method, variable and lock names repeat millions of times per log, so the
@@ -71,7 +73,7 @@ let equal_sub s pos n t =
 
 let get_name s pos =
   let n, pos = get_uvarint s pos in
-  if n < 0 || pos + n > String.length s then corrupt "truncated string (%d bytes)" n;
+  if n < 0 || n > String.length s - pos then corrupt "truncated string (%d bytes)" n;
   if n > 32 then (String.sub s pos n, pos + n)
   else begin
     let h = hash_sub s pos n in

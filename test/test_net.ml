@@ -422,6 +422,60 @@ let test_session_byte_sweep () =
         (Metrics.value (Metrics.counter (Server.metrics srv) "net.sessions_failed")
         >= !cuts))
 
+(* The server can only ever grant [window] credit in total, so a client batch
+   larger than the window must be clamped at connect time or flush would wait
+   for credit that cannot arrive. *)
+let test_oversized_batch_clamped_to_window () =
+  let log = correct_log () in
+  with_server ~window:8 (fun srv ->
+      let t =
+        Client.connect ~level:(Log.level log) ~batch_events:1024 (Server.addr srv)
+      in
+      Log.iter (Client.send t) log;
+      match Client.finish t with
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "oversized batch still verdicts" true
+          (Report.is_pass report);
+        Alcotest.(check int) "every event was sent" (Log.length log)
+          (Client.events_sent t)
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled")
+
+(* A CRC-valid frame whose payload smuggles a near-max_int string length must
+   fail only that session — and release its checking slot.  With max_sessions
+   1, a pinned slot would force the follow-up submit into the spill path. *)
+let test_hostile_length_frame_releases_slot () =
+  let hostile =
+    let b = Buffer.create 32 in
+    Buffer.add_char b '\001' (* Batch *);
+    Bincodec.put_uvarint b 1;
+    Buffer.add_char b '\000' (* Call *);
+    Bincodec.put_uvarint b 0 (* tid *);
+    Bincodec.put_uvarint b max_int (* method-name length *);
+    String.concat ""
+      [
+        Wire.frame
+          (Wire.encode_client
+             (Wire.Hello
+                { h_version = Wire.version; h_level = `View; h_producer = "evil" }));
+        Wire.frame (Buffer.contents b);
+      ]
+  in
+  with_server ~max_sessions:1 (fun srv ->
+      for _ = 1 to 3 do
+        if raw_session srv hostile then
+          Alcotest.fail "hostile length frame produced a verdict"
+      done;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while Server.active srv > 0 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "no session left pinned" 0 (Server.active srv);
+      match Client.submit_log (Server.addr srv) (correct_log ()) with
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "slot was released for live checking" true
+          (Report.is_pass report)
+      | Client.Spilled _ -> Alcotest.fail "checking slot still pinned: spilled")
+
 (* --- fd hygiene ------------------------------------------------------------ *)
 
 let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
@@ -495,6 +549,12 @@ let suite =
       `Quick,
       test_idle_timeout_fails_session_cleanly );
     ("session byte sweep never yields a verdict", `Quick, test_session_byte_sweep);
+    ( "oversized batch is clamped to the window",
+      `Quick,
+      test_oversized_batch_clamped_to_window );
+    ( "hostile length frame releases its slot",
+      `Quick,
+      test_hostile_length_frame_releases_slot );
     ( "corrupt segment reader releases its fd",
       `Quick,
       test_corrupt_reader_does_not_leak_fds );

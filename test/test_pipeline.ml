@@ -69,6 +69,27 @@ let test_decode_garbage_raises () =
       | exception Bincodec.Corrupt _ -> ())
     [ ""; "\255"; "\000\003"; "\000\001\004\255abc" ]
 
+(* A length near max_int must not overflow the bounds check into a passing
+   negative sum: decoding stays total (Corrupt, never Invalid_argument). *)
+let test_decode_huge_length_raises () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 16 in
+      Bincodec.put_uvarint b n;
+      Buffer.add_string b "abc";
+      let payload = Buffer.contents b in
+      (match Bincodec.get_string payload 0 with
+      | _ -> Alcotest.failf "get_string accepted length %d" n
+      | exception Bincodec.Corrupt _ -> ());
+      (* same length smuggled in as a Call's method-name field *)
+      let ev = Buffer.create 16 in
+      Buffer.add_string ev "\000\000";
+      Buffer.add_string ev payload;
+      match Bincodec.get_event (Buffer.contents ev) 0 with
+      | _ -> Alcotest.failf "get_event accepted name length %d" n
+      | exception Bincodec.Corrupt _ -> ())
+    [ max_int; max_int - 1; max_int / 2; 1 lsl 40 ]
+
 (* --- segment files: round trip, rotation, recovery ------------------------ *)
 
 let with_tmp f =
@@ -564,6 +585,7 @@ let suite =
     ("varint int extremes", `Quick, test_varint_extremes);
     event_roundtrip;
     ("garbage input raises Corrupt", `Quick, test_decode_garbage_raises);
+    ("huge length raises Corrupt", `Quick, test_decode_huge_length_raises);
     segment_file_roundtrip;
     ( "binary matches text on examples/logs",
       `Quick,
