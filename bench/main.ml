@@ -832,6 +832,89 @@ let net_bench ?(json_out = Some "BENCH_net.json") () =
         ("offline_events_per_sec", jnum (evs offline_dt));
       ]
 
+(* ---------------------------------------------- checkpoint/resume bench *)
+
+(* The replay work the checkpoint frames save: spool a ~1M-event composed
+   workload with a checkpoint frame every n/10 events, then compare a full
+   re-check of the recovered spool against resuming from the frame at the
+   90% mark (only the final tenth is replayed).  Both sides run over the
+   same pre-read [Segment.resumable] through the same feed loop, so the
+   ratio isolates checking work from disk recovery.  EXPERIMENTS.md tracks
+   the shape; BENCH_checkpoint.json carries the raw numbers for CI. *)
+let checkpoint_bench ?(json_out = Some "BENCH_checkpoint.json") ?(ops = 20_000) () =
+  Fmt.pr "@.Checkpoint: resume at the 90%% frame vs full re-check of a spool@.@.";
+  let module Resume = Vyrd_pipeline.Resume in
+  let module Segment = Vyrd_pipeline.Segment in
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops ~seed:13 ~level in
+  let n = Log.length log in
+  let every = max 1 (n / 10) in
+  let spec, view = composed () in
+  let path = Filename.temp_file "vyrd-bench-ckpt" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let spool = Resume.check_to_spool ~mode:`View ~view ~every ~path log spec in
+  Fmt.pr "%d events spooled with %d checkpoint frame(s) (every %d events)@.@." n
+    spool.Resume.checkpoints every;
+  let rz = Segment.read_from_checkpoint path in
+  (* [at:0] admits no checkpoint, so this is the full replay through the
+     identical code path *)
+  let t0 = Unix.gettimeofday () in
+  let full = Resume.resume_recovered ~mode:`View ~view ~at:0 rz spec in
+  let full_dt = Unix.gettimeofday () -. t0 in
+  let at = n * 9 / 10 in
+  let t0 = Unix.gettimeofday () in
+  let resumed = Resume.resume_recovered ~mode:`View ~view ~at rz spec in
+  let resume_dt = Unix.gettimeofday () -. t0 in
+  let speedup = full_dt /. resume_dt in
+  Fmt.pr "%-30s %10s %12s %12s@." "configuration" "wall ms" "events/s" "replayed";
+  Fmt.pr "%s@." (line 68);
+  let row name dt replayed =
+    Fmt.pr "%-30s %10.2f %12s %12d@." name (dt *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int n /. dt /. 1e6))
+      replayed
+  in
+  row "full re-check" full_dt full.Resume.replayed;
+  row "resume at 90%" resume_dt resumed.Resume.replayed;
+  let agree =
+    String.equal (Report.tag full.Resume.report) (Report.tag resumed.Resume.report)
+    && full.Resume.fail_index = resumed.Resume.fail_index
+  in
+  Fmt.pr
+    "@.resumed at event %s, replayed %d of %d; verdicts agree: %s; speedup: \
+     %.1fx@."
+    (match resumed.Resume.resumed_at with
+    | Some i -> string_of_int i
+    | None -> "NONE (no usable checkpoint)")
+    resumed.Resume.replayed n
+    (if agree then "yes" else "NO")
+    speedup;
+  if not agree then exit 1;
+  if resumed.Resume.resumed_at = None then exit 1;
+  if speedup < 5.0 then begin
+    Fmt.epr "resume speedup %.1fx below the 5x floor@." speedup;
+    exit 1
+  end;
+  match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"checkpoint-resume\"");
+        ("events", string_of_int n);
+        ("checkpoint_every", string_of_int every);
+        ("checkpoints", string_of_int spool.Resume.checkpoints);
+        ("full_seconds", jnum full_dt);
+        ("resume_seconds", jnum resume_dt);
+        ("speedup", jnum speedup);
+        ( "resumed_at",
+          match resumed.Resume.resumed_at with
+          | Some i -> string_of_int i
+          | None -> "null" );
+        ("replayed", string_of_int resumed.Resume.replayed);
+      ]
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -845,6 +928,7 @@ let all () =
   analyze_perf ();
   pipeline ();
   net_bench ();
+  checkpoint_bench ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -880,6 +964,11 @@ let () =
           "Loopback vyrdd submit throughput vs in-process checking (writes \
            BENCH_net.json)."
           (fun () -> net_bench ());
+        cmd "checkpoint"
+          "Checkpointed resume: full re-check of a ~1M-event spool vs \
+           resuming from the 90% checkpoint frame, with verdict-equality \
+           and speedup gates (writes BENCH_checkpoint.json)."
+          (fun () -> checkpoint_bench ());
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

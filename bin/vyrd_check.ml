@@ -32,6 +32,7 @@ let resolve name =
 module Segment = Vyrd_pipeline.Segment
 module Metrics = Vyrd_pipeline.Metrics
 module Farm = Vyrd_pipeline.Farm
+module Resume = Vyrd_pipeline.Resume
 module Wire = Vyrd_net.Wire
 module Server = Vyrd_net.Server
 module Client = Vyrd_net.Client
@@ -154,8 +155,91 @@ let check_cmd =
       & info [ "explain" ]
           ~doc:"On a violation, render the trailing events as a per-thread timeline.")
   in
-  let run subject mode invariants explain file =
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a binary spool from its latest usable checkpoint frame \
+             and check only the event suffix, instead of replaying from \
+             event zero.  The verdict is identical either way.")
+  in
+  let checkpoint_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-events" ] ~docv:"N"
+          ~doc:
+            "Check a binary spool and append a checkpoint frame to it every \
+             $(docv) events, so the next check of the same spool can \
+             $(b,--resume).")
+  in
+  let run subject mode invariants explain resume checkpoint_events file =
     let subject = resolve subject in
+    if resume || checkpoint_events <> None then begin
+      if resume && checkpoint_events <> None then begin
+        Fmt.epr
+          "--resume and --checkpoint-events are exclusive: annotate first, \
+           then resume@.";
+        exit 2
+      end;
+      if not (Sys.file_exists file && Segment.is_binary file) then begin
+        Fmt.epr
+          "%s: checkpoints live in binary segment spools; record with \
+           --binary first@."
+          file;
+        exit 2
+      end;
+      let view = match mode with `View -> Some subject.view | `Io -> None in
+      let invariants =
+        match mode with `View when invariants -> subject.invariants | _ -> []
+      in
+      let outcome =
+        match
+          match checkpoint_events with
+          | Some every ->
+            Resume.annotate ~mode ?view ~invariants ~every ~path:file
+              subject.spec
+          | None -> Resume.resume ~mode ?view ~invariants ~path:file subject.spec
+        with
+        | o -> o
+        | exception Invalid_argument msg ->
+          Fmt.epr "configuration error: %s@." msg;
+          exit 2
+        | exception Vyrd_pipeline.Bincodec.Corrupt msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+        | exception Sys_error msg ->
+          Fmt.epr "%s@." msg;
+          exit 2
+      in
+      Fmt.pr "%a@." Report.pp outcome.Resume.report;
+      (match checkpoint_events with
+      | Some every ->
+        if outcome.Resume.truncated then
+          Fmt.pr
+            "truncated spool: checked %d recovered events, no checkpoints \
+             appended@."
+            outcome.Resume.total
+        else
+          Fmt.pr "annotated %d checkpoint frame(s) at %d-event spacing over %d events@."
+            outcome.Resume.checkpoints every outcome.Resume.total
+      | None -> (
+        match outcome.Resume.resumed_at with
+        | Some at ->
+          Fmt.pr
+            "resumed at event %d: replayed %d of %d events (%d checkpoint(s) \
+             on the spool)@."
+            at outcome.Resume.replayed outcome.Resume.total
+            outcome.Resume.checkpoints
+        | None ->
+          Fmt.pr "no usable checkpoint: full replay of %d events@."
+            outcome.Resume.total));
+      Option.iter
+        (Fmt.pr "violating event at stream index %d@.")
+        outcome.Resume.fail_index;
+      if Report.is_pass outcome.Resume.report then exit 0 else exit 1
+    end;
     let log = load_log file in
     let report =
       match
@@ -184,7 +268,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a serialized log against a subject's specification.")
-    Term.(const run $ subject_arg $ mode $ invariants $ explain $ file)
+    Term.(
+      const run $ subject_arg $ mode $ invariants $ explain $ resume
+      $ checkpoint_events $ file)
 
 let timeline_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
@@ -446,6 +532,16 @@ let pipeline_cmd =
       & info [ "rotate-bytes" ] ~docv:"N"
           ~doc:"Rotate the segment spool at ~$(docv) bytes per file.")
   in
+  let checkpoint_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-events" ] ~docv:"N"
+          ~doc:
+            "Interleave a farm checkpoint frame into the segment spool every \
+             $(docv) events, so a later re-check can resume mid-stream \
+             (requires --segments).")
+  in
   let metrics_json =
     Arg.(
       value
@@ -461,7 +557,7 @@ let pipeline_cmd =
                 deterministic engine.")
   in
   let run names seed threads ops bug level capacity invariants segments rotate
-      metrics_json native =
+      checkpoint_events metrics_json native =
     let subjects = List.map resolve names in
     let cfg =
       { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
@@ -497,6 +593,33 @@ let pipeline_cmd =
           w)
         segments
     in
+    let checkpoints = ref 0 in
+    (match checkpoint_events with
+    | None -> ()
+    | Some every ->
+      if every <= 0 then begin
+        Fmt.epr "--checkpoint-events must be positive@.";
+        exit 2
+      end;
+      (match writer with
+      | None ->
+        Fmt.epr
+          "--checkpoint-events requires --segments: checkpoints are frames \
+           in the spool@.";
+        exit 2
+      | Some w ->
+        (* subscribed after the farm and the writer: when this fires on
+           event [i] the farm has consumed and the writer has buffered all
+           [i] events, so the barrier snapshot and the frame position agree *)
+        let seen = ref 0 in
+        Log.subscribe log (fun _ ->
+            incr seen;
+            if !seen mod every = 0 then
+              match Farm.checkpoint farm with
+              | Some state ->
+                Segment.append_checkpoint w state;
+                incr checkpoints
+              | None -> ())));
     let t0 = Unix.gettimeofday () in
     Harness.run_into ~native ~log cfg
       (List.map (fun (s : Subjects.t) -> s.build ~bug) subjects);
@@ -522,6 +645,8 @@ let pipeline_cmd =
         (List.length (Segment.writer_files w))
         (Segment.writer_segments w) (Segment.writer_bytes w)
     | None -> ());
+    if checkpoint_events <> None then
+      Fmt.pr "checkpoints: %d frame(s) interleaved@." !checkpoints;
     Fmt.pr "@.%a" Metrics.pp metrics;
     (match metrics_json with
     | Some f ->
@@ -540,7 +665,8 @@ let pipeline_cmd =
           segment spooling, merged verdict and metrics at the end.")
     Term.(
       const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
-      $ invariants $ segments $ rotate $ metrics_json $ native)
+      $ invariants $ segments $ rotate $ checkpoint_events $ metrics_json
+      $ native)
 
 (* ----------------------------------------------------------- serve/submit *)
 
@@ -625,6 +751,23 @@ let serve_cmd =
       value & flag
       & info [ "invariants" ] ~doc:"Also check each subject's runtime invariants.")
   in
+  let recheck_spills =
+    Arg.(
+      value & flag
+      & info [ "recheck-spills" ]
+          ~doc:
+            "Re-check each spilled spool offline once its session finishes \
+             and a checking slot frees up, resuming from the spool's latest \
+             checkpoint frame.")
+  in
+  let checkpoint_events =
+    Arg.(
+      value & opt int 50_000
+      & info [ "checkpoint-events" ] ~docv:"N"
+          ~doc:
+            "Checkpoint-frame spacing (events) that spill re-checks append \
+             to their spools.")
+  in
   let metrics_json =
     Arg.(
       value
@@ -633,12 +776,12 @@ let serve_cmd =
           ~doc:"Write the metrics registry as JSON to $(docv) on shutdown.")
   in
   let run addr names capacity window max_sessions spill_dir idle_timeout
-      invariants metrics_json =
+      invariants recheck_spills checkpoint_events metrics_json =
     let subjects = List.map resolve names in
     let metrics = Metrics.create () in
     let cfg =
       Server.config ~capacity ~window ~max_sessions ?spill_dir ~idle_timeout
-        ~metrics ~addr
+        ~recheck_spills ~checkpoint_events ~metrics ~addr
         (shards_for subjects invariants)
     in
     let server =
@@ -676,7 +819,8 @@ let serve_cmd =
           verdict; overload spills to segment files.")
     Term.(
       const run $ addr_arg $ subjects_arg $ capacity $ window $ max_sessions
-      $ spill_dir $ idle_timeout $ invariants $ metrics_json)
+      $ spill_dir $ idle_timeout $ invariants $ recheck_spills
+      $ checkpoint_events $ metrics_json)
 
 let submit_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in

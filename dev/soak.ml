@@ -238,6 +238,58 @@ let net_soak seconds json_out =
         mismatch seed
           (Printf.sprintf "spool re-check %s, offline %s" (Report.tag rechecked)
              (Report.tag offline));
+      (* kill-and-resume: re-check the spool only to the halfway mark,
+         checkpoint there, abandon the checker (the simulated kill), then
+         resume — the resumed verdict and fail index must match offline *)
+      let half = Log.length r.Segment.log / 2 in
+      if half > 0 then begin
+        let checker = Checker.create ~mode:`View ~view spec in
+        let stop = ref false in
+        (try
+           Log.iter
+             (let i = ref 0 in
+              fun ev ->
+                if (not !stop) && !i < half then begin
+                  incr i;
+                  if Checker.feed checker ev <> None then stop := true
+                end)
+             r.Segment.log
+         with Invalid_argument _ -> stop := true);
+        (match (!stop, Checker.snapshot checker) with
+        | false, Some state -> Segment.append_checkpoint_file path ~events:half state
+        | _ -> ());
+        match
+          Vyrd_pipeline.Resume.resume ~mode:`View ~view ~path spec
+        with
+        | outcome ->
+          let offline_fail =
+            match offline.Report.outcome with
+            | Report.Pass -> None
+            | Report.Fail _ ->
+              Some (offline.Report.stats.Report.events_processed - 1)
+          in
+          if
+            not
+              (String.equal
+                 (Report.tag outcome.Vyrd_pipeline.Resume.report)
+                 (Report.tag offline))
+          then
+            mismatch seed
+              (Printf.sprintf "resumed re-check %s, offline %s"
+                 (Report.tag outcome.Vyrd_pipeline.Resume.report)
+                 (Report.tag offline));
+          if outcome.Vyrd_pipeline.Resume.fail_index <> offline_fail then
+            mismatch seed "resumed fail index diverges from offline";
+          if
+            (not !stop)
+            && Log.length r.Segment.log > 1
+            && outcome.Vyrd_pipeline.Resume.resumed_at = None
+          then mismatch seed "resume ignored the appended checkpoint frame"
+        | exception
+            ( Vyrd_pipeline.Bincodec.Corrupt _ | Invalid_argument _
+            | Sys_error _ ) ->
+          mismatch seed "resume of the annotated spool raised"
+      end;
       Sys.remove path
     | exception Client.Server_error msg ->
       mismatch seed ("server failed the session: " ^ msg)

@@ -569,6 +569,24 @@ module S = struct
          st [])
 
   let snapshot st = st
+
+  let save st =
+    Some
+      (Repr.List
+         (IntMap.fold
+            (fun k (v, r) acc ->
+              Repr.Pair (Repr.Int k, Repr.Pair (Repr.Int v, Repr.Int r)) :: acc)
+            st []))
+
+  let load = function
+    | Repr.List kvs ->
+      List.fold_left
+        (fun st -> function
+          | Repr.Pair (Repr.Int k, Repr.Pair (Repr.Int v, Repr.Int r)) ->
+            IntMap.add k (v, r) st
+          | v -> invalid_arg ("blink-tree spec: bad saved entry " ^ Repr.to_string v))
+        IntMap.empty kvs
+    | v -> invalid_arg ("blink-tree spec: bad saved state " ^ Repr.to_string v)
 end
 
 let spec : Spec.t = (module S)

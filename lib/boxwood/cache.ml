@@ -340,5 +340,19 @@ let spec ~chunks : Spec.t =
            st [])
 
     let snapshot st = st
+
+    let save st =
+      Some
+        (Repr.List
+           (IntMap.fold (fun h s acc -> Repr.Pair (Repr.Int h, Repr.Str s) :: acc) st []))
+
+    let load = function
+      | Repr.List kvs ->
+        List.fold_left
+          (fun st -> function
+            | Repr.Pair (Repr.Int h, Repr.Str s) -> IntMap.add h s st
+            | v -> invalid_arg ("cache spec: bad saved entry " ^ Repr.to_string v))
+          IntMap.empty kvs
+      | v -> invalid_arg ("cache spec: bad saved state " ^ Repr.to_string v)
   end in
   (module S)

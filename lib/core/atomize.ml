@@ -27,5 +27,10 @@ let spec (type i) (ops : i ops) : Spec.t =
     let observe state ~mid ~args ~ret = ops.az_observe state ~mid ~args ~ret
     let view state = ops.az_view state
     let snapshot state = ops.az_copy state
+
+    (* An atomized imperative structure has no serializer for its internal
+       representation; checkpointing degrades to full replay. *)
+    let save _ = None
+    let load _ = invalid_arg (ops.az_name ^ ": atomized specs do not checkpoint")
   end in
   (module M : Spec.S)

@@ -9,6 +9,8 @@ type t = {
   c_violation : unit -> Report.violation option;
   c_methods : unit -> int;
   c_projections : unit -> int;
+  c_snapshot : unit -> Repr.t option;
+  c_restore : Repr.t -> unit;
 }
 
 (* One committed mutator execution waiting for its specification transition.
@@ -280,6 +282,195 @@ let create ?(mode = `Io) ?view ?(invariants = []) (spec : Spec.t) : t =
     end
     else None
   in
+  (* ---------------------------------------------------------- checkpoints
+
+     A snapshot captures everything [feed] consults: the witness cursor
+     ([commits_logged]/[commits_resolved]), the retained specification-state
+     window with its base ordinal, the commit queue, still-open method
+     executions, pending observers (an observer whose call straddles the
+     checkpoint keeps its whole [o_start..o_end] window, §4.3), the shadow
+     replay including open commit blocks, and the statistics.  The keyed
+     view cache is NOT serialized: restore resets it and the replay restore
+     marks every variable dirty, so the first recomputation rebuilds it. *)
+  let format_tag = "checker/1" in
+  let kind_code = function Spec.Mutator -> 0 | Spec.Observer -> 1 | Spec.Internal -> 2 in
+  let kind_of_code = function
+    | 0 -> Spec.Mutator
+    | 1 -> Spec.Observer
+    | 2 -> Spec.Internal
+    | n -> Ckpt.malformed "checker snapshot: unknown method kind %d" n
+  in
+  let snapshot () =
+    if !violation <> None then None
+    else
+      match
+        List.rev
+          (Vec.fold_left
+             (fun acc s ->
+               match Sp.save s with Some r -> r :: acc | None -> raise_notrace Exit)
+             [] state_window)
+      with
+      | exception Exit -> None (* the specification does not checkpoint *)
+      | states ->
+        let enc_pc pc =
+          Repr.List
+            [ Repr.Int pc.pc_tid; Repr.Str pc.pc_mid; Repr.List pc.pc_args;
+              Repr.Int (kind_code pc.pc_kind); Ckpt.of_opt pc.pc_ret;
+              Ckpt.of_opt pc.pc_view_i ]
+        in
+        let pcs =
+          List.rev (Queue.fold (fun acc pc -> enc_pc pc :: acc) [] pending_commits)
+        in
+        let oes =
+          Hashtbl.fold (fun tid oe acc -> (tid, oe) :: acc) open_execs []
+          |> List.sort compare
+          |> List.map (fun (tid, oe) ->
+                 Repr.List
+                   [ Repr.Int tid; Repr.Str oe.oe_mid; Repr.List oe.oe_args;
+                     Repr.Int (kind_code oe.oe_kind); Repr.Int oe.oe_start;
+                     Repr.Bool (oe.oe_commit <> None) ])
+        in
+        let obs =
+          List.rev
+            (Vec.fold_left
+               (fun acc (o : pending_observer) ->
+                 Repr.List
+                   [ Repr.Int o.o_exec.Report.e_tid; Repr.Str o.o_exec.Report.e_mid;
+                     Repr.List o.o_exec.Report.e_args;
+                     Ckpt.of_opt o.o_exec.Report.e_ret; Repr.Int o.o_start;
+                     Repr.Int o.o_end; Repr.Int o.o_next ]
+                 :: acc)
+               [] pending_observers)
+        in
+        let pm =
+          Hashtbl.fold (fun mid n acc -> (mid, n) :: acc) per_method []
+          |> List.sort compare
+          |> List.map (fun (mid, n) -> Repr.Pair (Repr.Str mid, Repr.Int n))
+        in
+        Some
+          (Ckpt.tagged format_tag
+             (Repr.List
+                [ Repr.Int !events_processed; Repr.Int !commits_logged;
+                  Repr.Int !commits_resolved; Repr.Int !methods_checked;
+                  Repr.List pm; Repr.Int !state_base; Repr.List states;
+                  Repr.List pcs; Repr.List oes; Repr.List obs;
+                  Replay.snapshot replay ]))
+  in
+  let restore repr =
+    match Ckpt.list (Ckpt.untag format_tag repr) with
+    | [ ep; cl; cr; mc; pm; sb; states; pcs; oes; obs; rp ] ->
+      (* parse (and validate) everything before mutating, so most malformed
+         checkpoints reject without touching the checker *)
+      let ep = Ckpt.int ep and cl = Ckpt.int cl and cr = Ckpt.int cr in
+      let mc = Ckpt.int mc and sb = Ckpt.int sb in
+      let states =
+        List.map
+          (fun r ->
+            match Sp.load r with
+            | s -> s
+            | exception Invalid_argument m ->
+              Ckpt.malformed "checker snapshot: state load: %s" m)
+          (Ckpt.list states)
+      in
+      if ep < 0 || sb < 0 || cr > cl || cr < sb then
+        Ckpt.malformed "checker snapshot: inconsistent cursor counters";
+      if List.length states <> cr - sb + 1 then
+        Ckpt.malformed "checker snapshot: state window of %d states for ordinals %d..%d"
+          (List.length states) sb cr;
+      let dec_pc r =
+        match Ckpt.list r with
+        | [ tid; mid; args; kind; ret; view_i ] ->
+          { pc_tid = Ckpt.int tid; pc_mid = Ckpt.str mid; pc_args = Ckpt.list args;
+            pc_kind = kind_of_code (Ckpt.int kind); pc_ret = Ckpt.opt ret;
+            pc_view_i = Ckpt.opt view_i }
+        | _ -> Ckpt.malformed "checker snapshot: bad pending commit"
+      in
+      let pcs = List.map dec_pc (Ckpt.list pcs) in
+      (* a pending commit whose return has not arrived belongs to exactly
+         one still-open execution of the same thread: re-link the alias *)
+      let pc_by_tid = Hashtbl.create 8 in
+      List.iter
+        (fun pc ->
+          if pc.pc_ret = None then begin
+            if Hashtbl.mem pc_by_tid pc.pc_tid then
+              Ckpt.malformed "checker snapshot: two open commits on %s"
+                (Tid.to_string pc.pc_tid);
+            Hashtbl.replace pc_by_tid pc.pc_tid pc
+          end)
+        pcs;
+      let dec_oe r =
+        match Ckpt.list r with
+        | [ tid; mid; args; kind; start; has_commit ] ->
+          let tid = Ckpt.int tid in
+          let start = Ckpt.int start in
+          if start < sb then
+            Ckpt.malformed "checker snapshot: execution window start %d below base %d"
+              start sb;
+          let commit =
+            if Ckpt.bool has_commit then (
+              match Hashtbl.find_opt pc_by_tid tid with
+              | Some pc -> Some pc
+              | None ->
+                Ckpt.malformed "checker snapshot: open execution on %s has no commit"
+                  (Tid.to_string tid))
+            else None
+          in
+          ( tid,
+            { oe_mid = Ckpt.str mid; oe_args = Ckpt.list args;
+              oe_kind = kind_of_code (Ckpt.int kind); oe_start = start;
+              oe_commit = commit } )
+        | _ -> Ckpt.malformed "checker snapshot: bad open execution"
+      in
+      let oes = List.map dec_oe (Ckpt.list oes) in
+      let dec_ob r =
+        match Ckpt.list r with
+        | [ tid; mid; args; ret; start; end_; next ] ->
+          let ret =
+            match Ckpt.opt ret with
+            | Some v -> Some v
+            | None -> Ckpt.malformed "checker snapshot: observer without return value"
+          in
+          let o =
+            { o_exec =
+                { Report.e_tid = Ckpt.int tid; e_mid = Ckpt.str mid;
+                  e_args = Ckpt.list args; e_ret = ret };
+              o_start = Ckpt.int start; o_end = Ckpt.int end_;
+              o_next = Ckpt.int next }
+          in
+          if o.o_next < sb || o.o_next < o.o_start || o.o_end > cl then
+            Ckpt.malformed "checker snapshot: observer window outside retained states";
+          o
+        | _ -> Ckpt.malformed "checker snapshot: bad pending observer"
+      in
+      let obs = List.map dec_ob (Ckpt.list obs) in
+      let pm =
+        List.map
+          (fun r ->
+            let m, n = Ckpt.pair r in
+            (Ckpt.str m, Ckpt.int n))
+          (Ckpt.list pm)
+      in
+      violation := None;
+      events_processed := ep;
+      commits_logged := cl;
+      commits_resolved := cr;
+      methods_checked := mc;
+      Hashtbl.reset per_method;
+      List.iter (fun (m, n) -> Hashtbl.replace per_method m n) pm;
+      state_base := sb;
+      Vec.clear state_window;
+      List.iter (Vec.push state_window) states;
+      Queue.clear pending_commits;
+      List.iter (fun pc -> Queue.push pc pending_commits) pcs;
+      Hashtbl.reset open_execs;
+      List.iter (fun (tid, oe) -> Hashtbl.replace open_execs tid oe) oes;
+      Vec.clear pending_observers;
+      List.iter (Vec.push pending_observers) obs;
+      Replay.restore replay rp;
+      Option.iter View.reset view_eval
+    | _ -> Ckpt.malformed "checker snapshot: bad payload shape"
+  in
+
   let report () : Report.t =
     let stats : Report.stats =
       { events_processed = !events_processed;
@@ -301,6 +492,8 @@ let create ?(mode = `Io) ?view ?(invariants = []) (spec : Spec.t) : t =
     c_methods = (fun () -> !methods_checked);
     c_projections =
       (fun () -> match view_eval with Some e -> View.projections e | None -> 0);
+    c_snapshot = snapshot;
+    c_restore = restore;
   }
 
 let feed t ev = t.c_feed ev
@@ -308,6 +501,8 @@ let report t = t.c_report ()
 let violation t = t.c_violation ()
 let methods_checked t = t.c_methods ()
 let view_projections t = t.c_projections ()
+let snapshot t = t.c_snapshot ()
+let restore t repr = t.c_restore repr
 
 (* `View mode presumes write events: against a call/return/commit-only log
    the shadow replay stays empty and every mutation would surface as a

@@ -60,6 +60,31 @@ val methods_checked : t -> int
 (** Key projections performed by a [Keyed] view (ablation instrumentation). *)
 val view_projections : t -> int
 
+(** [snapshot t] serializes the checker's complete mid-stream state: the
+    commit-order cursor, the retained specification-state window, queued
+    commits awaiting their return values, still-open method executions,
+    pending observers — an observer whose call straddles the checkpoint
+    keeps its full eligible-state window [o_start..o_end] (§4.3), so after
+    a restore it is still admitted against {e any} in-window state, exactly
+    as in an uninterrupted run — the shadow replay (incl. open commit
+    blocks), and the statistics counters.
+
+    Returns [None] when a violation has already been found (a frozen
+    checker has nothing to resume) or when the specification's [save]
+    declines.  Restoring into a checker created with the same
+    [mode]/[view]/[invariants]/spec arguments and feeding the remaining
+    suffix yields the same verdict, fail position and statistics as an
+    uninterrupted run. *)
+val snapshot : t -> Repr.t option
+
+(** [restore t repr] replaces [t]'s state with a snapshot.  [t] must have
+    been created with the same arguments as the snapshotting checker.
+    @raise Ckpt.Malformed (or [Invalid_argument] from the spec's [load])
+    when [repr] is not a usable snapshot; [t] may then be partially
+    mutated — discard it and fall back to an older checkpoint or a fresh
+    full-replay checker. *)
+val restore : t -> Repr.t -> unit
+
 (** [check ?mode ?view log spec] runs a whole log through a fresh checker.
     @raise Invalid_argument when [mode = `View] and [log] was recorded below
     level [`View] — view refinement cannot be checked on such a log. *)

@@ -1,0 +1,33 @@
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let int = function Repr.Int n -> n | v -> malformed "expected int, got %s" (Repr.to_string v)
+let bool = function Repr.Bool b -> b | v -> malformed "expected bool, got %s" (Repr.to_string v)
+let str = function Repr.Str s -> s | v -> malformed "expected string, got %s" (Repr.to_string v)
+
+let list = function
+  | Repr.List vs -> vs
+  | v -> malformed "expected list, got %s" (Repr.to_string v)
+
+let pair = function
+  | Repr.Pair (x, y) -> (x, y)
+  | v -> malformed "expected pair, got %s" (Repr.to_string v)
+
+let opt = function
+  | Repr.List [] -> None
+  | Repr.List [ v ] -> Some v
+  | v -> malformed "expected option, got %s" (Repr.to_string v)
+
+let of_opt = function None -> Repr.List [] | Some v -> Repr.List [ v ]
+
+(* Checkpoint payloads are tagged with a format name so a single-checker
+   snapshot is never mistaken for a farm snapshot (or vice versa) — restore
+   raises [Malformed] on the wrong tag and resume falls back. *)
+let tagged tag payload = Repr.Pair (Repr.Str tag, payload)
+
+let untag tag v =
+  match v with
+  | Repr.Pair (Repr.Str t, payload) when String.equal t tag -> payload
+  | Repr.Pair (Repr.Str t, _) -> malformed "checkpoint format %S, expected %S" t tag
+  | v -> malformed "untagged checkpoint value %s" (Repr.to_string v)

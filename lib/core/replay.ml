@@ -57,3 +57,58 @@ let take_dirty t =
   let vars = Hashtbl.fold (fun var () acc -> var :: acc) t.dirty [] in
   Hashtbl.reset t.dirty;
   vars
+
+(* ---------------------------------------------------------- checkpoints *)
+
+let snapshot t =
+  let visible =
+    Hashtbl.fold (fun var v acc -> (var, v) :: acc) t.visible []
+    |> List.sort compare
+    |> List.map (fun (var, v) -> Repr.Pair (Repr.Str var, v))
+  in
+  let blocks =
+    Hashtbl.fold (fun tid b acc -> (tid, b) :: acc) t.blocks []
+    |> List.sort compare
+    |> List.map (fun (tid, b) ->
+           Repr.List
+             [
+               Repr.Int tid;
+               Repr.Bool b.published;
+               Repr.List
+                 (List.rev
+                    (Vec.fold_left
+                       (fun acc (var, v) -> Repr.Pair (Repr.Str var, v) :: acc)
+                       [] b.buffered));
+             ])
+  in
+  Repr.List [ Repr.List visible; Repr.List blocks ]
+
+let restore t repr =
+  match repr with
+  | Repr.List [ Repr.List visible; Repr.List blocks ] ->
+    Hashtbl.reset t.visible;
+    Hashtbl.reset t.blocks;
+    Hashtbl.reset t.dirty;
+    List.iter
+      (fun kv ->
+        let var, v = Ckpt.pair kv in
+        let var = Ckpt.str var in
+        Hashtbl.replace t.visible var v;
+        (* every restored variable starts dirty so an incremental view
+           rebuilds its projections from scratch *)
+        Hashtbl.replace t.dirty var ())
+      visible;
+    List.iter
+      (fun bl ->
+        match Ckpt.list bl with
+        | [ tid; published; buffered ] ->
+          let b = { buffered = Vec.create (); published = Ckpt.bool published } in
+          List.iter
+            (fun kv ->
+              let var, v = Ckpt.pair kv in
+              Vec.push b.buffered (Ckpt.str var, v))
+            (Ckpt.list buffered);
+          Hashtbl.replace t.blocks (Ckpt.int tid) b
+        | _ -> Ckpt.malformed "replay snapshot: bad block entry")
+      blocks
+  | v -> Ckpt.malformed "replay snapshot: %s" (Repr.to_string v)

@@ -14,6 +14,8 @@ module type S = sig
   val observe : state -> mid:string -> args:Repr.t list -> ret:Repr.t -> bool
   val view : state -> Repr.t
   val snapshot : state -> state
+  val save : state -> Repr.t option
+  val load : Repr.t -> state
 end
 
 type t = (module S)

@@ -45,6 +45,18 @@ module type S = sig
       The identity for persistent states; a deep copy for specs built from
       atomized imperative code (§4.4). *)
   val snapshot : state -> state
+
+  (** [save state] serializes the state for a checkpoint, or [None] when
+      this specification does not support checkpointing (then the whole
+      checker snapshot degrades to [None] and resume falls back to full
+      replay).  Must satisfy [load (save s) ≡ s] up to [view]/[apply]/
+      [observe] equivalence. *)
+  val save : state -> Repr.t option
+
+  (** [load repr] rebuilds a state serialized by [save].
+      @raise Invalid_argument when [repr] is not a value [save] produces —
+      resume treats that checkpoint as unusable and falls back. *)
+  val load : Repr.t -> state
 end
 
 type t = (module S)

@@ -26,6 +26,15 @@ let pair (speca : Spec.t) (specb : Spec.t) : Spec.t =
 
     let view (sa, sb) = Repr.Pair (A.view sa, B.view sb)
     let snapshot (sa, sb) = (A.snapshot sa, B.snapshot sb)
+
+    let save (sa, sb) =
+      match (A.save sa, B.save sb) with
+      | Some ra, Some rb -> Some (Repr.Pair (ra, rb))
+      | _ -> None
+
+    let load = function
+      | Repr.Pair (ra, rb) -> (A.load ra, B.load rb)
+      | v -> invalid_arg (name ^ ": bad saved state " ^ Repr.to_string v)
   end in
   (module P)
 

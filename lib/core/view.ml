@@ -56,3 +56,10 @@ let rec projections = function
   | Efull _ -> 0
   | Ekeyed e -> e.projections
   | Epair (a, b) -> projections a + projections b
+
+let rec reset = function
+  | Efull _ -> ()
+  | Ekeyed e -> Hashtbl.reset e.table
+  | Epair (a, b) ->
+    reset a;
+    reset b

@@ -39,3 +39,9 @@ val recompute : eval -> Replay.t -> Repr.t
 (** Number of key projections performed so far ([Keyed] components only) —
     exposed for the incremental-view ablation benchmark. *)
 val projections : eval -> int
+
+(** [reset eval] drops every cached [Keyed] projection table.  Used when a
+    checker restores from a checkpoint: with all replay variables marked
+    dirty, the next {!recompute} rebuilds the tables from the restored
+    replay instead of trusting stale entries. *)
+val reset : eval -> unit

@@ -291,5 +291,19 @@ let spec ~buffers : Spec.t =
         (IntMap.fold (fun b s acc -> (Repr.Int b, Repr.Str s) :: acc) st [])
 
     let snapshot st = st
+
+    let save st =
+      Some
+        (Repr.List
+           (IntMap.fold (fun b s acc -> Repr.Pair (Repr.Int b, Repr.Str s) :: acc) st []))
+
+    let load = function
+      | Repr.List kvs ->
+        List.fold_left
+          (fun st -> function
+            | Repr.Pair (Repr.Int b, Repr.Str s) -> IntMap.add b s st
+            | v -> invalid_arg ("string-buffer spec: bad saved entry " ^ Repr.to_string v))
+          IntMap.empty kvs
+      | v -> invalid_arg ("string-buffer spec: bad saved state " ^ Repr.to_string v)
   end in
   (module S)

@@ -286,6 +286,16 @@ module S = struct
 
   let view st = Repr.List (List.map (fun x -> Repr.Int x) st)
   let snapshot st = st
+  let save st = Some (view st)
+
+  let load = function
+    | Repr.List xs ->
+      List.map
+        (function
+          | Repr.Int x -> x
+          | v -> invalid_arg ("vector spec: bad saved element " ^ Repr.to_string v))
+        xs
+    | v -> invalid_arg ("vector spec: bad saved state " ^ Repr.to_string v)
 end
 
 let spec : Spec.t = (module S)

@@ -71,6 +71,20 @@ module S = struct
 
   let view = view_of_state
   let snapshot st = st
+
+  let save st =
+    Some
+      (Repr.List
+         (IntMap.fold (fun x n acc -> Repr.Pair (Repr.Int x, Repr.Int n) :: acc) st []))
+
+  let load = function
+    | Repr.List kvs ->
+      List.fold_left
+        (fun st -> function
+          | Repr.Pair (Repr.Int x, Repr.Int n) when n > 0 -> IntMap.add x n st
+          | v -> invalid_arg ("multiset spec: bad saved entry " ^ Repr.to_string v))
+        IntMap.empty kvs
+    | v -> invalid_arg ("multiset spec: bad saved state " ^ Repr.to_string v)
 end
 
 let spec : Spec.t = (module S)

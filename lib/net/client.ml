@@ -26,12 +26,28 @@ let transient = function
     true
   | _ -> false
 
-let dial ~retries ~backoff addr =
+(* Exponential backoff would reach multi-minute sleeps at soak-level retry
+   counts, and jitterless delays make every client of a recovering server
+   reconnect in lockstep.  Cap the exponential curve and spread each delay
+   by ±25% from a seeded Prng (deterministic given the seed, unlike
+   [Random] — reconnect schedules stay reproducible in tests and soaks). *)
+let dial ?(max_backoff = 2.0) ?jitter_seed ~retries ~backoff addr =
+  if max_backoff <= 0. then invalid_arg "Client.dial: max_backoff";
   let sockaddr = Wire.sockaddr_of_addr addr in
   let domain =
     match addr with
     | Wire.Unix_socket _ -> Unix.PF_UNIX
     | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let prng =
+    lazy
+      (Vyrd_sched.Prng.create
+         (match jitter_seed with Some s -> s | None -> Unix.getpid ()))
+  in
+  let delay i =
+    let base = Float.min max_backoff (backoff *. (2. ** float_of_int i)) in
+    let spread = float_of_int (Vyrd_sched.Prng.int (Lazy.force prng) 1001) /. 1000. in
+    base *. (0.75 +. (0.5 *. spread))
   in
   let rec attempt i =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
@@ -39,7 +55,7 @@ let dial ~retries ~backoff addr =
     | () -> fd
     | exception Unix.Unix_error (e, _, _) when transient e && i < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Unix.sleepf (backoff *. (2. ** float_of_int i));
+      Unix.sleepf (delay i);
       attempt (i + 1)
     | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -47,11 +63,11 @@ let dial ~retries ~backoff addr =
   in
   attempt 0
 
-let connect ?(retries = 0) ?(backoff = 0.05) ?(level = `View) ?(batch_events = 256)
-    ?(producer = "vyrd-client") addr =
+let connect ?(retries = 0) ?(backoff = 0.05) ?max_backoff ?jitter_seed
+    ?(level = `View) ?(batch_events = 256) ?(producer = "vyrd-client") addr =
   if batch_events <= 0 then invalid_arg "Client.connect: batch_events";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let fd = dial ~retries ~backoff addr in
+  let fd = dial ?max_backoff ?jitter_seed ~retries ~backoff addr in
   match
     Wire.send_client fd
       (Wire.Hello { h_version = Wire.version; h_level = level; h_producer = producer });
@@ -174,9 +190,11 @@ let finish t =
   in
   await ()
 
-let submit_log ?retries ?backoff ?batch_events ?producer addr log =
+let submit_log ?retries ?backoff ?max_backoff ?jitter_seed ?batch_events ?producer
+    addr log =
   let t =
-    connect ?retries ?backoff ~level:(Log.level log) ?batch_events ?producer addr
+    connect ?retries ?backoff ?max_backoff ?jitter_seed ~level:(Log.level log)
+      ?batch_events ?producer addr
   in
   Fun.protect
     ~finally:(fun () -> close t)

@@ -19,6 +19,13 @@ type t
       default 0.
     @param backoff first retry delay in seconds, doubled per attempt
       (default 0.05).
+    @param max_backoff cap on any single retry delay, in seconds (default
+      2.0) — the exponential curve flattens here instead of growing into
+      multi-minute sleeps at soak-level retry counts.
+    @param jitter_seed each delay is spread by ±25% from a
+      {!Vyrd_sched.Prng} seeded here (default: the process id), so the
+      clients of a recovering server do not reconnect in lockstep; pass a
+      seed for a reproducible schedule.
     @param level log level announced in the hello; the server builds its
       checker farm to match (default [`View]).
     @param batch_events events buffered per {!Wire.Batch} frame
@@ -29,6 +36,8 @@ type t
 val connect :
   ?retries:int ->
   ?backoff:float ->
+  ?max_backoff:float ->
+  ?jitter_seed:int ->
   ?level:Vyrd.Log.level ->
   ?batch_events:int ->
   ?producer:string ->
@@ -83,5 +92,5 @@ val close : t -> unit
 (** [submit_log addr log] is the one-shot convenience: connect at the log's
     level, stream every event, [finish]. *)
 val submit_log :
-  ?retries:int -> ?backoff:float -> ?batch_events:int -> ?producer:string ->
-  Wire.addr -> Vyrd.Log.t -> outcome
+  ?retries:int -> ?backoff:float -> ?max_backoff:float -> ?jitter_seed:int ->
+  ?batch_events:int -> ?producer:string -> Wire.addr -> Vyrd.Log.t -> outcome

@@ -3,6 +3,7 @@ module Farm = Vyrd_pipeline.Farm
 module Metrics = Vyrd_pipeline.Metrics
 module Segment = Vyrd_pipeline.Segment
 module Bincodec = Vyrd_pipeline.Bincodec
+module Resume = Vyrd_pipeline.Resume
 
 type config = {
   addr : Wire.addr;
@@ -12,16 +13,21 @@ type config = {
   max_sessions : int;
   spill_dir : string;
   idle_timeout : float;
+  recheck_spills : bool;
+  checkpoint_events : int;
   metrics : Metrics.t;
 }
 
 let config ?(capacity = 4096) ?(window = 8192) ?(max_sessions = 8) ?spill_dir
-    ?(idle_timeout = 30.) ?metrics ~addr shards =
+    ?(idle_timeout = 30.) ?(recheck_spills = false) ?(checkpoint_events = 50_000)
+    ?metrics ~addr shards =
+  if checkpoint_events <= 0 then invalid_arg "Server.config: checkpoint_events";
   let spill_dir =
     match spill_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
   in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
-  { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout; metrics }
+  { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout;
+    recheck_spills; checkpoint_events; metrics }
 
 type session = { s_id : int; s_fd : Unix.file_descr; mutable s_checking : bool }
 
@@ -50,6 +56,10 @@ type t = {
   m_verdicts : Metrics.counter;
   m_peak : Metrics.gauge;
   m_batch_events : Metrics.histogram;
+  m_rechecks : Metrics.counter;
+  m_recheck_replayed : Metrics.counter;
+  m_recheck_resumed : Metrics.counter;
+  m_recheck_violations : Metrics.counter;
 }
 
 let with_lock t f =
@@ -86,8 +96,28 @@ let min_fail_index (result : Farm.result) =
       | Some _, None -> acc)
     None result.Farm.shards
 
+(* Offline re-check of one spilled spool through the session farm template,
+   resuming from its latest usable checkpoint and leaving fresh checkpoint
+   frames behind so the *next* pass over the same spool is O(suffix). *)
+let recheck t ~path =
+  let outcome =
+    Resume.resume_farm ~capacity:t.cfg.capacity ~metrics:t.cfg.metrics
+      ~annotate_every:t.cfg.checkpoint_events ~shards:t.cfg.shards ~path ()
+  in
+  Metrics.incr t.m_rechecks;
+  Metrics.add t.m_recheck_replayed outcome.Resume.replayed;
+  (match outcome.Resume.resumed_at with
+  | Some _ -> Metrics.incr t.m_recheck_resumed
+  | None -> ());
+  (match outcome.Resume.report.Report.outcome with
+  | Report.Fail _ -> Metrics.incr t.m_recheck_violations
+  | Report.Pass -> ());
+  outcome
+
 (* Everything a single connection does, from hello to verdict.  Raises on
-   any protocol failure; the caller contains it. *)
+   any protocol failure; the caller contains it.  Returns the spool path
+   when the session was spilled and reached its verdict, so the caller can
+   re-check it offline. *)
 let serve_session t (s : session) =
   let fd = s.s_fd in
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
@@ -204,7 +234,8 @@ let serve_session t (s : session) =
       Wire.send_server fd (Wire.Verdict verdict);
       Metrics.incr t.m_verdicts;
       finished := true
-  done
+  done;
+  if checking then None else !spill_path
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -217,14 +248,42 @@ let session_thread t s =
   in
   (* the fd close and live/threads removal below must run on *every* exit,
      else the session pins a checking slot forever — hence the catch-all *)
-  (try serve_session t s with
-  | Bincodec.Corrupt msg -> failed msg
-  | Wire.Closed -> failed "connection closed mid-session"
-  | Wire.Timeout -> failed "session idle timeout"
-  | Unix.Unix_error (e, _, _) -> failed (Unix.error_message e)
-  | Sys_error msg -> failed msg
-  | e -> failed ("unexpected exception: " ^ Printexc.to_string e));
+  let spilled =
+    try serve_session t s with
+    | Bincodec.Corrupt msg -> failed msg; None
+    | Wire.Closed -> failed "connection closed mid-session"; None
+    | Wire.Timeout -> failed "session idle timeout"; None
+    | Unix.Unix_error (e, _, _) -> failed (Unix.error_message e); None
+    | Sys_error msg -> failed msg; None
+    | e -> failed ("unexpected exception: " ^ Printexc.to_string e); None
+  in
   close_quietly s.s_fd;
+  (* Opportunistic spill re-check: the client already has its Spilled
+     verdict, so this costs it nothing — but it must obey the same slot
+     accounting as live checking.  The session stays in [t.live] with
+     [s_checking] set while the farm runs, so concurrent hellos still count
+     it against [max_sessions]. *)
+  (match spilled with
+  | Some path when t.cfg.recheck_spills ->
+    let slot =
+      with_lock t (fun () ->
+          let busy =
+            Hashtbl.fold (fun _ s n -> if s.s_checking then n + 1 else n) t.live 0
+          in
+          if (not t.stopping) && busy < t.cfg.max_sessions then begin
+            s.s_checking <- true;
+            true
+          end
+          else false)
+    in
+    if slot then begin
+      (* best effort: the spool stays on disk for [vyrd-check check --resume]
+         whatever happens here *)
+      try ignore (recheck t ~path : Resume.outcome)
+      with Bincodec.Corrupt _ | Invalid_argument _ | Sys_error _
+         | Unix.Unix_error _ -> ()
+    end
+  | _ -> ());
   with_lock t (fun () ->
       Hashtbl.remove t.live s.s_id;
       Hashtbl.remove t.threads s.s_id)
@@ -319,6 +378,10 @@ let start cfg =
         m_verdicts = Metrics.counter m "net.verdicts";
         m_peak = Metrics.gauge m "net.sessions_peak";
         m_batch_events = Metrics.histogram m "net.batch_events";
+        m_rechecks = Metrics.counter m "net.spill_rechecks";
+        m_recheck_replayed = Metrics.counter m "net.spill_recheck_replayed";
+        m_recheck_resumed = Metrics.counter m "net.spill_recheck_resumed";
+        m_recheck_violations = Metrics.counter m "net.spill_recheck_violations";
       }
     in
     t.accept_thread <- Some (Thread.create accept_loop t);

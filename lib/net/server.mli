@@ -41,6 +41,14 @@ type config = {
   idle_timeout : float;
       (** seconds without a frame before a session is failed; heartbeats
           reset it (default 30) *)
+  recheck_spills : bool;
+      (** re-check each spilled spool offline once its session finishes and
+          a checking slot frees up, instead of leaving all spilled work to
+          an operator (default false) *)
+  checkpoint_events : int;
+      (** checkpoint-frame spacing (in events) that spill re-checks append
+          to the spool, so the next pass over it resumes instead of
+          replaying (default 50_000) *)
   metrics : Metrics.t;
 }
 
@@ -51,6 +59,8 @@ val config :
   ?max_sessions:int ->
   ?spill_dir:string ->
   ?idle_timeout:float ->
+  ?recheck_spills:bool ->
+  ?checkpoint_events:int ->
   ?metrics:Metrics.t ->
   addr:Wire.addr ->
   (Vyrd.Log.level -> Farm.shard list) ->
@@ -73,6 +83,15 @@ val sessions : t -> int
 
 (** Sessions currently open. *)
 val active : t -> int
+
+(** [recheck t ~path] checks the spilled spool at [path] through the
+    server's farm template, resuming from its latest usable checkpoint
+    frame ({!Vyrd_pipeline.Resume.resume_farm}) and appending fresh
+    checkpoints every [checkpoint_events].  This is the routine the
+    [recheck_spills] mode runs opportunistically after a spilled session's
+    verdict, under the same [max_sessions] slot accounting as live
+    checking; counted in the [net.spill_recheck*] metrics. *)
+val recheck : t -> path:string -> Vyrd_pipeline.Resume.outcome
 
 (** [stop t] shuts down gracefully: stop accepting, let every open session
     drain (serve it to its verdict) for up to [deadline] seconds (default

@@ -24,9 +24,17 @@ type shard_result = {
 
 type result = { merged : Report.t; shards : shard_result list; fed : int }
 
+(* Lane traffic: indexed events, plus checkpoint barriers.  A [Snap] token
+   travels the ring like any event, so when the lane answers it has
+   consumed exactly the events routed before the barrier. *)
+type msg =
+  | Ev of int * Event.t
+  | Snap of (int * Repr.t option) Squeue.t  (* reply: lane index, snapshot *)
+
 type lane = {
+  l_index : int;
   l_shard : shard;
-  l_ring : (int * Event.t) Ring.t;
+  l_ring : msg Ring.t;
   l_domain : (Report.t * int option * int) Domain.t;
 }
 
@@ -46,11 +54,7 @@ type t = {
 (* Batch granularity for the per-shard checking-latency histogram. *)
 let batch = 4096
 
-let consume (sh : shard) ring metrics =
-  let checker =
-    Checker.create ~mode:sh.sh_mode ?view:sh.sh_view ~invariants:sh.sh_invariants
-      sh.sh_spec
-  in
+let consume index (sh : shard) checker ring metrics =
   let hist = Metrics.histogram metrics ("farm.batch_ns." ^ sh.sh_name) in
   let checked = Metrics.counter metrics "farm.events_checked" in
   let fail = ref None in
@@ -58,7 +62,7 @@ let consume (sh : shard) ring metrics =
   let t0 = ref (Unix.gettimeofday ()) in
   let rec loop () =
     match Ring.pop ring with
-    | Some (idx, ev) ->
+    | Some (Ev (idx, ev)) ->
       incr count;
       (match Checker.feed checker ev with
       | Some _ when !fail = None -> fail := Some idx
@@ -70,11 +74,52 @@ let consume (sh : shard) ring metrics =
         t0 := t1
       end;
       loop ()
+    | Some (Snap reply) ->
+      Squeue.push reply (index, Checker.snapshot checker);
+      loop ()
     | None -> (Checker.report checker, !fail, !count)
   in
   loop ()
 
-let start ?(capacity = 4096) ?metrics ~level shards =
+let format_tag = "farm/1"
+
+(* A farm checkpoint is the router state plus every lane's checker
+   snapshot: [fed | current thread->lane routing | (name, state) lanes]. *)
+let parse_restore shards repr =
+  match Ckpt.list (Ckpt.untag format_tag repr) with
+  | [ fed; current; lane_states ] ->
+    let fed = Ckpt.int fed in
+    if fed < 0 then Ckpt.malformed "farm snapshot: negative event cursor";
+    let n = List.length shards in
+    let current =
+      List.map
+        (fun p ->
+          let tid, lane = Ckpt.pair p in
+          let lane = Ckpt.int lane in
+          if lane < 0 || lane >= n then
+            Ckpt.malformed "farm snapshot: routing entry to lane %d of %d" lane n;
+          (Ckpt.int tid, lane))
+        (Ckpt.list current)
+    in
+    let lane_states =
+      List.map
+        (fun p ->
+          let name, st = Ckpt.pair p in
+          (Ckpt.str name, st))
+        (Ckpt.list lane_states)
+    in
+    if List.length lane_states <> n then
+      Ckpt.malformed "farm snapshot: %d lane states for %d shards"
+        (List.length lane_states) n;
+    List.iter2
+      (fun sh (name, _) ->
+        if not (String.equal sh.sh_name name) then
+          Ckpt.malformed "farm snapshot: lane %S where shard %S runs" name sh.sh_name)
+      shards lane_states;
+    (fed, current, List.map snd lane_states)
+  | _ -> Ckpt.malformed "farm snapshot: bad payload shape"
+
+let start ?(capacity = 4096) ?metrics ?restore ~level shards =
   if shards = [] then invalid_arg "Farm.start: no shards";
   List.iter
     (fun sh ->
@@ -95,27 +140,48 @@ let start ?(capacity = 4096) ?metrics ~level shards =
         | `View | `Full -> ()))
     shards;
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let restore = Option.map (parse_restore shards) restore in
+  (* checkers are built (and restored) here in the caller, not in the
+     spawned domains, so a malformed checkpoint raises synchronously and
+     the caller can fall back before any domain exists *)
+  let checkers =
+    List.map
+      (fun sh ->
+        Checker.create ~mode:sh.sh_mode ?view:sh.sh_view
+          ~invariants:sh.sh_invariants sh.sh_spec)
+      shards
+  in
+  (match restore with
+  | Some (_, _, states) -> List.iter2 Checker.restore checkers states
+  | None -> ());
   let lanes =
     Array.of_list
-      (List.map
-         (fun sh ->
+      (List.mapi
+         (fun i (sh, checker) ->
            let ring = Ring.create ~capacity () in
-           let domain = Domain.spawn (fun () -> consume sh ring metrics) in
-           { l_shard = sh; l_ring = ring; l_domain = domain })
-         shards)
+           let domain = Domain.spawn (fun () -> consume i sh checker ring metrics) in
+           { l_index = i; l_shard = sh; l_ring = ring; l_domain = domain })
+         (List.combine shards checkers))
   in
-  {
-    lanes;
-    owners = Hashtbl.create 64;
-    current = Hashtbl.create 16;
-    fed = 0;
-    metrics;
-    m_events = Metrics.counter metrics "farm.events_fed";
-    m_commits = Metrics.counter metrics "farm.commits";
-    m_skipped = Metrics.counter metrics "farm.events_skipped";
-    logs = [];
-    finished = None;
-  }
+  let t =
+    {
+      lanes;
+      owners = Hashtbl.create 64;
+      current = Hashtbl.create 16;
+      fed = (match restore with Some (fed, _, _) -> fed | None -> 0);
+      metrics;
+      m_events = Metrics.counter metrics "farm.events_fed";
+      m_commits = Metrics.counter metrics "farm.commits";
+      m_skipped = Metrics.counter metrics "farm.events_skipped";
+      logs = [];
+      finished = None;
+    }
+  in
+  (match restore with
+  | Some (_, current, _) ->
+    List.iter (fun (tid, lane) -> Hashtbl.replace t.current tid lane) current
+  | None -> ());
+  t
 
 (* Which lane's specification knows [mid]?  First match wins, exactly like
    Spec_compose routing; memoized because [kind] probes cost an exception
@@ -138,7 +204,7 @@ let owner t mid =
     Hashtbl.replace t.owners mid i;
     i
 
-let push t i idx ev = Ring.push t.lanes.(i).l_ring (idx, ev)
+let push t i idx ev = Ring.push t.lanes.(i).l_ring (Ev (idx, ev))
 
 let broadcast t idx ev =
   for i = 0 to Array.length t.lanes - 1 do
@@ -188,6 +254,45 @@ let attach t log =
 
 let events_fed t = t.fed
 
+(* Barrier checkpoint: a [Snap] token goes down every ring, so each lane
+   answers only after consuming everything routed before it — together the
+   lane snapshots cover exactly the first [t.fed] events of the stream.
+   Call from the feeding thread (or a log listener), like {!feed}. *)
+let checkpoint t =
+  if t.finished <> None then None
+  else begin
+    let reply = Squeue.create () in
+    Array.iter (fun l -> Ring.push l.l_ring (Snap reply)) t.lanes;
+    let n = Array.length t.lanes in
+    let states = Array.make n None in
+    for _ = 1 to n do
+      let i, st = Squeue.pop reply in
+      states.(i) <- Option.map (fun s -> `Saved s) st
+    done;
+    if Array.exists (fun s -> s = None) states then None
+      (* some lane cannot snapshot (violation found, or the spec declines) *)
+    else begin
+      let current =
+        Hashtbl.fold (fun tid lane acc -> (tid, lane) :: acc) t.current []
+        |> List.sort compare
+        |> List.map (fun (tid, lane) -> Repr.Pair (Repr.Int tid, Repr.Int lane))
+      in
+      let lane_states =
+        Array.to_list
+          (Array.mapi
+             (fun i s ->
+               match s with
+               | Some (`Saved st) ->
+                 Repr.Pair (Repr.Str t.lanes.(i).l_shard.sh_name, st)
+               | None -> assert false)
+             states)
+      in
+      Some
+        (Ckpt.tagged format_tag
+           (Repr.List [ Repr.Int t.fed; Repr.List current; Repr.List lane_states ]))
+    end
+  end
+
 (* Deterministic merge: the violation whose triggering event has the lowest
    global index wins, ties broken by shard order — independent of how the
    checker domains were scheduled. *)
@@ -235,6 +340,14 @@ let merge lanes_results fed =
   in
   ignore fed;
   { Report.outcome; stats }
+
+let min_fail_index (r : result) =
+  List.fold_left
+    (fun acc sr ->
+      match (acc, sr.sr_fail_index) with
+      | Some a, Some b -> Some (min a b)
+      | None, x | x, None -> x)
+    None r.shards
 
 let finish t =
   match t.finished with

@@ -47,10 +47,32 @@ type t
     @param metrics registry fed by the router and the checker domains.
     @param level the level of the log about to be streamed — [`View]-mode
       shards reject sub-[`View] levels up front, like {!Vyrd.Checker.check}.
+    @param restore a farm checkpoint produced by {!checkpoint} with the
+      {e same} shard list: the router's event cursor and thread routing and
+      every lane's checker state resume where the checkpoint was taken, so
+      only the event suffix needs to be fed.  Lane checkers are restored in
+      the calling thread, before any domain spawns.
     @raise Invalid_argument on an empty shard list, a [`View] shard without
-      a view, or a [`View] shard with a sub-[`View] level. *)
+      a view, or a [`View] shard with a sub-[`View] level.
+    @raise Vyrd.Ckpt.Malformed when [restore] is not a farm checkpoint for
+      this shard list (wrong tag, lane names, counts, or lane payloads) —
+      no domains have been spawned when it raises, so the caller can fall
+      back to an older checkpoint or a plain {!start}. *)
 val start :
-  ?capacity:int -> ?metrics:Metrics.t -> level:Vyrd.Log.level -> shard list -> t
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  ?restore:Vyrd.Repr.t ->
+  level:Vyrd.Log.level ->
+  shard list ->
+  t
+
+(** [checkpoint t] pushes a barrier token down every lane and collects the
+    lane snapshots it answers with: the result covers exactly the
+    [events_fed t] events routed so far.  [None] when any lane cannot
+    snapshot (its checker found a violation, or its specification does not
+    checkpoint) or the farm is already finished.  Call from the feeding
+    thread (or a log listener), like {!feed}. *)
+val checkpoint : t -> Vyrd.Repr.t option
 
 (** [feed t ev] routes one event.  Single producer: call from one thread, or
     from a {!Vyrd.Log} listener (the log lock already serializes those). *)
@@ -83,3 +105,6 @@ type result = {
 
 (** Close every ring, join every domain, merge.  Idempotent. *)
 val finish : t -> result
+
+(** Lowest global fail index across the shards, when any failed. *)
+val min_fail_index : result -> int option

@@ -14,11 +14,18 @@ type t = { lock : Mutex.t; entries : (string, entry) Hashtbl.t }
 
 let create () = { lock = Mutex.create (); entries = Hashtbl.create 32 }
 
+(* Exception-safe, like [Ring.locked]: a kind-mismatched registration
+   raises [Invalid_argument] from inside [f], and the registry must stay
+   usable for every other domain and session thread. *)
 let with_lock t f =
   Mutex.lock t.lock;
-  let r = f () in
-  Mutex.unlock t.lock;
-  r
+  match f () with
+  | r ->
+    Mutex.unlock t.lock;
+    r
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let counter t name =
   with_lock t (fun () ->
@@ -141,6 +148,29 @@ let pp ppf t =
           (hist_count h) (quantile h 0.5) (quantile h 0.99) (hist_max h)
       | _ -> ())
 
+(* OCaml's [String.escaped] emits [\ddd] decimal escapes — invalid JSON.
+   Escape per RFC 8259: the two mandatory characters, the common C escapes,
+   and [\u00XX] for every other byte outside printable ASCII (non-ASCII
+   bytes included, which keeps the output parseable whatever encoding a
+   metric name arrived in). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when c < ' ' || c > '~' ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 let to_json t =
   let b = Buffer.create 1024 in
   let entries = sorted t in
@@ -149,7 +179,7 @@ let to_json t =
     List.iteri
       (fun i (name, e) ->
         if i > 0 then Buffer.add_char b ',';
-        Buffer.add_string b (Printf.sprintf "\"%s\":" (String.escaped name));
+        Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape name));
         pr e)
       rows
   in

@@ -55,3 +55,9 @@ val quantile : histogram -> float -> int
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> string
+
+(** RFC 8259 string escaping used for every key {!to_json} emits: quote,
+    backslash and all bytes outside printable ASCII become JSON escapes
+    (control characters and non-ASCII bytes as [\u00XX]) — unlike OCaml's
+    [String.escaped], whose [\ddd] forms no JSON parser accepts. *)
+val json_escape : string -> string

@@ -1,0 +1,214 @@
+open Vyrd
+
+type outcome = {
+  report : Report.t;
+  fail_index : int option;
+  total : int;
+  replayed : int;
+  resumed_at : int option;
+  truncated : bool;
+  checkpoints : int;
+}
+
+let require_every every who = if every <= 0 then invalid_arg (who ^ ": every")
+
+(* ------------------------------------------------- checkpoint producers *)
+
+let check_to_spool ?mode ?view ?invariants ?segment_bytes ?rotate_bytes ~every
+    ~path log spec =
+  require_every every "Resume.check_to_spool";
+  (match mode with
+  | Some `View -> Checker.require_view_level ~who:"Resume.check_to_spool" log
+  | _ -> ());
+  let t = Checker.create ?mode ?view ?invariants spec in
+  let w = Segment.create_writer ?segment_bytes ?rotate_bytes ~level:(Log.level log) path in
+  let fail = ref None in
+  let count = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Segment.close w)
+    (fun () ->
+      Log.iter
+        (fun ev ->
+          let idx = !count in
+          incr count;
+          Segment.append w ev;
+          (match Checker.feed t ev with
+          | Some _ when !fail = None -> fail := Some idx
+          | _ -> ());
+          if !count mod every = 0 then
+            match Checker.snapshot t with
+            | Some st -> Segment.append_checkpoint w st
+            | None -> ())
+        log);
+  {
+    report = Checker.report t;
+    fail_index = !fail;
+    total = !count;
+    replayed = !count;
+    resumed_at = None;
+    truncated = false;
+    checkpoints = Segment.writer_checkpoints w;
+  }
+
+let annotate ?mode ?view ?invariants ~every ~path spec =
+  require_every every "Resume.annotate";
+  let r = Segment.read_prefix path in
+  let log = r.Segment.log in
+  (match mode with
+  | Some `View -> Checker.require_view_level ~who:"Resume.annotate" log
+  | _ -> ());
+  let t = Checker.create ?mode ?view ?invariants spec in
+  let fail = ref None in
+  let count = ref 0 in
+  let checkpoints = ref 0 in
+  (* appending after a torn tail would bury the frames behind the
+     corruption the reader stops at, so a truncated spool is only checked,
+     not annotated *)
+  let can_annotate = not r.Segment.truncated in
+  Log.iter
+    (fun ev ->
+      let idx = !count in
+      incr count;
+      (match Checker.feed t ev with
+      | Some _ when !fail = None -> fail := Some idx
+      | _ -> ());
+      if can_annotate && !count mod every = 0 then
+        match Checker.snapshot t with
+        | Some st ->
+          Segment.append_checkpoint_file path ~events:!count st;
+          incr checkpoints
+        | None -> ())
+    log;
+  {
+    report = Checker.report t;
+    fail_index = !fail;
+    total = !count;
+    replayed = !count;
+    resumed_at = None;
+    truncated = r.Segment.truncated;
+    checkpoints = !checkpoints;
+  }
+
+(* --------------------------------------------------------------- resume *)
+
+let resume_recovered ?mode ?view ?invariants ?at (rz : Segment.resumable) spec =
+  let log = rz.Segment.r_recovered.Segment.log in
+  (match mode with
+  | Some `View -> Checker.require_view_level ~who:"Resume.resume" log
+  | _ -> ());
+  let events = Log.snapshot log in
+  let total = Array.length events in
+  let limit = match at with Some n -> min n total | None -> total in
+  let run ~from ~resumed_at restore_state =
+    let t = Checker.create ?mode ?view ?invariants spec in
+    Option.iter (Checker.restore t) restore_state;
+    let fail = ref None in
+    for i = from to total - 1 do
+      match Checker.feed t events.(i) with
+      | Some _ when !fail = None -> fail := Some i
+      | _ -> ()
+    done;
+    {
+      report = Checker.report t;
+      fail_index = !fail;
+      total;
+      replayed = total - from;
+      resumed_at;
+      truncated = rz.Segment.r_recovered.Segment.truncated;
+      checkpoints = List.length rz.Segment.r_checkpoints;
+    }
+  in
+  (* newest usable checkpoint first; a checkpoint that fails to restore
+     falls back to the next older one, then to a full replay — the verdict
+     can only cost replay work, never change *)
+  let candidates =
+    List.filter (fun c -> c.Segment.ck_events <= limit) rz.Segment.r_checkpoints
+    |> List.rev
+  in
+  let rec attempt = function
+    | [] -> run ~from:0 ~resumed_at:None None
+    | (ck : Segment.checkpoint) :: rest -> (
+      match
+        run ~from:ck.Segment.ck_events ~resumed_at:(Some ck.Segment.ck_events)
+          (Some ck.Segment.ck_state)
+      with
+      | outcome -> outcome
+      | exception (Ckpt.Malformed _ | Invalid_argument _) -> attempt rest)
+  in
+  attempt candidates
+
+let resume ?mode ?view ?invariants ?at ~path spec =
+  resume_recovered ?mode ?view ?invariants ?at (Segment.read_from_checkpoint path) spec
+
+(* ---------------------------------------------------------- farm resume *)
+
+let resume_farm ?capacity ?metrics ?at ?annotate_every ~shards ~path () =
+  (match annotate_every with
+  | Some n when n <= 0 -> invalid_arg "Resume.resume_farm: annotate_every"
+  | _ -> ());
+  let rz = Segment.read_from_checkpoint path in
+  let log = rz.Segment.r_recovered.Segment.log in
+  let level = Log.level log in
+  let shards = shards level in
+  let events = Log.snapshot log in
+  let total = Array.length events in
+  let limit = match at with Some n -> min n total | None -> total in
+  let truncated = rz.Segment.r_recovered.Segment.truncated in
+  let can_annotate = annotate_every <> None && not truncated in
+  let run ~from ~resumed_at restore_state =
+    let farm = Farm.start ?capacity ?metrics ?restore:restore_state ~level shards in
+    let annotations = ref [] in
+    let next_annotation =
+      ref
+        (match annotate_every with
+        | Some n -> from + n
+        | None -> max_int)
+    in
+    for i = from to total - 1 do
+      Farm.feed farm events.(i);
+      if i + 1 >= !next_annotation then begin
+        (match Farm.checkpoint farm with
+        | Some st -> annotations := (i + 1, st) :: !annotations
+        | None -> ());
+        next_annotation :=
+          !next_annotation + Option.value ~default:max_int annotate_every
+      end
+    done;
+    (* a final checkpoint covering the whole spool makes the next re-check
+       O(1) in replay work; must be taken before [finish] closes the lanes *)
+    if can_annotate && total > from then
+      (match Farm.checkpoint farm with
+      | Some st when (match !annotations with (n, _) :: _ -> n < total | [] -> true)
+        ->
+        annotations := (total, st) :: !annotations
+      | _ -> ());
+    let result = Farm.finish farm in
+    if can_annotate then
+      List.iter
+        (fun (n, st) -> Segment.append_checkpoint_file path ~events:n st)
+        (List.rev !annotations);
+    {
+      report = result.Farm.merged;
+      fail_index = Farm.min_fail_index result;
+      total;
+      replayed = total - from;
+      resumed_at;
+      truncated;
+      checkpoints = List.length rz.Segment.r_checkpoints;
+    }
+  in
+  let candidates =
+    List.filter (fun c -> c.Segment.ck_events <= limit) rz.Segment.r_checkpoints
+    |> List.rev
+  in
+  let rec attempt = function
+    | [] -> run ~from:0 ~resumed_at:None None
+    | (ck : Segment.checkpoint) :: rest -> (
+      match
+        run ~from:ck.Segment.ck_events ~resumed_at:(Some ck.Segment.ck_events)
+          (Some ck.Segment.ck_state)
+      with
+      | outcome -> outcome
+      | exception (Ckpt.Malformed _ | Invalid_argument _) -> attempt rest)
+  in
+  attempt candidates

@@ -1,0 +1,100 @@
+(** Checkpointed checking and O(suffix) re-checking of binary spools.
+
+    VYRD's two-phase design re-checks logs after the fact — spilled vyrdd
+    sessions, crash-recovered segments, plain [vyrd_check] reruns — and
+    every such re-check used to replay the specification and the shadow
+    replay from event zero.  This module threads {!Vyrd.Checker.snapshot}
+    through {!Segment} checkpoint frames so a re-check restores the latest
+    usable checkpoint and feeds only the event suffix.
+
+    {b Resume protocol.}  {!resume} recovers the spool (clean CRC prefix,
+    as always), collects its checkpoint frames, and tries them newest
+    first: restore into a fresh checker, feed the suffix.  A checkpoint
+    that fails to restore — wrong format tag, version skew, spec [load]
+    rejection — falls back to the next older one and finally to a full
+    replay of the recovered events.  Fallback changes how much is
+    replayed, never the verdict: for every checkpoint position,
+    resume-verdict = offline-verdict with the same fail index. *)
+
+type outcome = {
+  report : Vyrd.Report.t;
+  fail_index : int option;
+      (** global stream index of the violating event, as in {!Farm} *)
+  total : int;  (** events recovered from the spool (or fed, for producers) *)
+  replayed : int;  (** events actually fed through a checker *)
+  resumed_at : int option;
+      (** event index of the checkpoint used; [None] = full replay *)
+  truncated : bool;  (** the spool had a torn or corrupt tail *)
+  checkpoints : int;  (** valid checkpoint frames seen (or written) *)
+}
+
+(** [check_to_spool ~every ~path log spec] spools [log] to a fresh binary
+    segment file at [path] while checking it, interleaving a checkpoint
+    frame every [every] events (when the checker can snapshot). *)
+val check_to_spool :
+  ?mode:Vyrd.Checker.mode ->
+  ?view:Vyrd.View.t ->
+  ?invariants:Vyrd.Checker.invariant list ->
+  ?segment_bytes:int ->
+  ?rotate_bytes:int ->
+  every:int ->
+  path:string ->
+  Vyrd.Log.t ->
+  Vyrd.Spec.t ->
+  outcome
+
+(** [annotate ~every ~path spec] re-checks an existing binary spool and
+    appends checkpoint frames to it every [every] events, so the {e next}
+    re-check resumes instead of replaying.  A truncated spool is checked
+    but not annotated (frames after a torn tail would be unreachable). *)
+val annotate :
+  ?mode:Vyrd.Checker.mode ->
+  ?view:Vyrd.View.t ->
+  ?invariants:Vyrd.Checker.invariant list ->
+  every:int ->
+  path:string ->
+  Vyrd.Spec.t ->
+  outcome
+
+(** [resume ~path spec] checks the spool at [path] from its latest usable
+    checkpoint (see the resume protocol above).
+    @param at only use checkpoints covering at most [at] events — the
+      knob the equality tests and the resume benchmark turn to pick a
+      resume position; the whole suffix is always checked. *)
+val resume :
+  ?mode:Vyrd.Checker.mode ->
+  ?view:Vyrd.View.t ->
+  ?invariants:Vyrd.Checker.invariant list ->
+  ?at:int ->
+  path:string ->
+  Vyrd.Spec.t ->
+  outcome
+
+(** {!resume} over an already-recovered {!Segment.resumable} — lets a
+    benchmark separate disk recovery from checking time. *)
+val resume_recovered :
+  ?mode:Vyrd.Checker.mode ->
+  ?view:Vyrd.View.t ->
+  ?invariants:Vyrd.Checker.invariant list ->
+  ?at:int ->
+  Segment.resumable ->
+  Vyrd.Spec.t ->
+  outcome
+
+(** [resume_farm ~shards ~path ()] is {!resume} for multi-structure spools
+    checked by a {!Farm}: the farm restores router and lane state from the
+    latest usable farm checkpoint and feeds only the suffix.  [shards] maps
+    the spool's recorded level to the shard list (a [Server.config] shape).
+    @param annotate_every additionally append fresh farm checkpoints to the
+      spool every so many events, plus one covering the full spool — so a
+      spilled session's {e next} re-check is O(1) in replay work.  Skipped
+      on truncated spools. *)
+val resume_farm :
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  ?at:int ->
+  ?annotate_every:int ->
+  shards:(Vyrd.Log.level -> Farm.shard list) ->
+  path:string ->
+  unit ->
+  outcome

@@ -14,6 +14,13 @@ let level_of_code = function
 let frame_header_bytes = 12
 let file_header_bytes = String.length magic + 1
 
+(* Checkpoint frames reuse the event framing but set bit 31 of the count
+   word (an event segment never holds 2^31 events).  Readers that predate
+   checkpoints treat such a frame like any other: its CRC still guards the
+   clean-prefix recovery; readers from this version on skip the payload
+   unless asked to collect it. *)
+let checkpoint_flag = 0x80000000
+
 (* --------------------------------------------------------------- writer *)
 
 type writer = {
@@ -30,6 +37,7 @@ type writer = {
   mutable w_bytes : int;
   mutable w_segments : int;
   mutable w_events : int;
+  mutable w_checkpoints : int;
   mutable w_closed : bool;
 }
 
@@ -52,6 +60,7 @@ let create_writer ?(segment_bytes = 65536) ?rotate_bytes ~level path =
     w_bytes = 0;
     w_segments = 0;
     w_events = 0;
+    w_checkpoints = 0;
     w_closed = false;
   }
 
@@ -85,27 +94,47 @@ let close_current_file w =
 let put_u32 bytes off n =
   Bytes.set_int32_le bytes off (Int32.of_int (n land 0xffffffff))
 
+let frame_bytes payload count =
+  let head = Bytes.create frame_header_bytes in
+  put_u32 head 0 (String.length payload);
+  put_u32 head 4 (Bincodec.crc32 payload);
+  put_u32 head 8 count;
+  head
+
+let write_frame w payload count =
+  let oc = ensure_open w in
+  output_bytes oc (frame_bytes payload count);
+  output_string oc payload;
+  flush oc;
+  let n = frame_header_bytes + String.length payload in
+  w.w_file_bytes <- w.w_file_bytes + n;
+  w.w_bytes <- w.w_bytes + n;
+  match w.w_rotate with
+  | Some limit when w.w_file_bytes >= limit -> close_current_file w
+  | _ -> ()
+
 let seal w =
   if w.w_buf_events > 0 then begin
-    let oc = ensure_open w in
     let payload = Buffer.contents w.w_buf in
-    let head = Bytes.create frame_header_bytes in
-    put_u32 head 0 (String.length payload);
-    put_u32 head 4 (Bincodec.crc32 payload);
-    put_u32 head 8 w.w_buf_events;
-    output_bytes oc head;
-    output_string oc payload;
-    flush oc;
-    let n = frame_header_bytes + String.length payload in
-    w.w_file_bytes <- w.w_file_bytes + n;
-    w.w_bytes <- w.w_bytes + n;
-    w.w_segments <- w.w_segments + 1;
+    let count = w.w_buf_events in
     Buffer.clear w.w_buf;
     w.w_buf_events <- 0;
-    match w.w_rotate with
-    | Some limit when w.w_file_bytes >= limit -> close_current_file w
-    | _ -> ()
+    w.w_segments <- w.w_segments + 1;
+    write_frame w payload count
   end
+
+let checkpoint_payload ~events state =
+  let b = Buffer.create 256 in
+  Bincodec.put_uvarint b events;
+  Bincodec.put_repr b state;
+  Buffer.contents b
+
+let append_checkpoint w state =
+  if w.w_closed then invalid_arg "Segment.append_checkpoint: writer is closed";
+  (* seal first: the frame's event index covers everything appended so far *)
+  seal w;
+  w.w_checkpoints <- w.w_checkpoints + 1;
+  write_frame w (checkpoint_payload ~events:w.w_events state) checkpoint_flag
 
 let append w ev =
   if w.w_closed then invalid_arg "Segment.append: writer is closed";
@@ -135,6 +164,7 @@ let writer_files w = List.rev w.w_files
 let writer_bytes w = w.w_bytes
 let writer_segments w = w.w_segments
 let writer_events w = w.w_events
+let writer_checkpoints w = w.w_checkpoints
 
 let write_file ?segment_bytes path log =
   let w = create_writer ?segment_bytes ~level:(Log.level log) path in
@@ -184,11 +214,21 @@ let decode_payload log payload count =
       (Bincodec.Corrupt
          (Printf.sprintf "segment declared %d events but contained %d" count !n))
 
+let decode_checkpoint payload =
+  let events, pos = Bincodec.get_uvarint payload 0 in
+  let state, pos = Bincodec.get_repr payload pos in
+  if pos <> String.length payload then
+    raise (Bincodec.Corrupt "checkpoint frame has trailing bytes");
+  (events, state)
+
 (* Read every whole, CRC-valid segment of [ic]; [false] when a torn payload
    or a checksum mismatch ended the stream (a torn 12-byte frame header
    shows up as a clean [End_of_file] here and is caught by the caller's
-   consumed-bytes-vs-file-size comparison). *)
-let read_segments log ic acc_segments acc_bytes =
+   consumed-bytes-vs-file-size comparison).  Checkpoint frames never reach
+   the event log: they are handed to [on_checkpoint] when they decode, and
+   skipped otherwise (a CRC-valid but undecodable checkpoint is version
+   skew, not a torn tail — losing it costs replay work, never events). *)
+let read_segments ?(on_checkpoint = fun _ _ -> ()) log ic acc_segments acc_bytes =
   let clean = ref true in
   let stop = ref false in
   while not !stop do
@@ -208,8 +248,14 @@ let read_segments log ic acc_segments acc_bytes =
           stop := true
         end
         else begin
-          decode_payload log payload count;
-          incr acc_segments;
+          if count land checkpoint_flag <> 0 then (
+            match decode_checkpoint payload with
+            | events, state -> on_checkpoint events state
+            | exception Bincodec.Corrupt _ -> ())
+          else begin
+            decode_payload log payload count;
+            incr acc_segments
+          end;
           acc_bytes := !acc_bytes + frame_header_bytes + len
         end)
   done;
@@ -226,7 +272,7 @@ let read_header ic =
       | Some lvl -> Ok lvl
       | None -> Error `Bad_magic)
 
-let read_files paths =
+let read_files_collecting ?on_checkpoint paths =
   let log = ref None in
   let segments = ref 0 in
   let bytes = ref 0 in
@@ -254,7 +300,11 @@ let read_files paths =
               l
           in
           bytes := !bytes + file_header_bytes;
-          if not (read_segments l ic segments bytes) then truncated := true;
+          let on_checkpoint =
+            Option.map (fun f events state -> f l events state) on_checkpoint
+          in
+          if not (read_segments ?on_checkpoint l ic segments bytes) then
+            truncated := true;
           (* bytes we validated falling short of the file size means the
              tail was torn inside a frame header *)
           if !bytes - before < size then truncated := true)
@@ -269,10 +319,12 @@ let read_files paths =
     files = paths;
   }
 
+let read_files paths = read_files_collecting paths
 let read_file path = read_files [ path ]
 
-let read_prefix path =
-  if Sys.file_exists path then read_file path
+(* [path] itself when it exists, otherwise the sorted rotation set. *)
+let resolve_prefix path =
+  if Sys.file_exists path then [ path ]
   else begin
     let dir = Filename.dirname path in
     let base = Filename.basename path ^ "." in
@@ -284,5 +336,46 @@ let read_prefix path =
     in
     if entries = [] then
       raise (Bincodec.Corrupt (path ^ ": no such segment file or rotation set"));
-    read_files entries
+    entries
   end
+
+let read_prefix path = read_files (resolve_prefix path)
+
+(* ---------------------------------------------------------- checkpoints *)
+
+type checkpoint = { ck_events : int; ck_state : Vyrd.Repr.t }
+
+type resumable = { r_recovered : recovered; r_checkpoints : checkpoint list }
+
+let read_from_checkpoint path =
+  let cks = ref [] in
+  let on_checkpoint log events state =
+    (* a checkpoint cannot cover more events than precede it in the
+       stream; anything else is a forged or misplaced frame — drop it *)
+    if events >= 0 && events <= Log.length log then
+      cks := { ck_events = events; ck_state = state } :: !cks
+  in
+  let r = read_files_collecting ~on_checkpoint (resolve_prefix path) in
+  { r_recovered = r; r_checkpoints = List.rev !cks }
+
+let latest_checkpoint ?at resumable =
+  let limit =
+    match at with Some n -> n | None -> Log.length resumable.r_recovered.log
+  in
+  List.fold_left
+    (fun acc ck -> if ck.ck_events <= limit then Some ck else acc)
+    None resumable.r_checkpoints
+
+let append_checkpoint_file path ~events state =
+  let target =
+    match List.rev (resolve_prefix path) with
+    | last :: _ -> last
+    | [] -> raise (Bincodec.Corrupt (path ^ ": no such segment file or rotation set"))
+  in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 target in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let payload = checkpoint_payload ~events state in
+      output_bytes oc (frame_bytes payload checkpoint_flag);
+      output_string oc payload)

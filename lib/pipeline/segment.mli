@@ -63,6 +63,18 @@ val writer_bytes : writer -> int
 val writer_segments : writer -> int
 val writer_events : writer -> int
 
+(** Checkpoint frames written so far. *)
+val writer_checkpoints : writer -> int
+
+(** [append_checkpoint w state] seals any buffered events, then writes a
+    {e checkpoint frame}: same [len|crc|count] framing, but with bit 31 of
+    the count word set and a payload of [events-so-far (uvarint) | state
+    ({!Bincodec.put_repr})].  The frame means "after the first
+    [writer_events w] events of this stream, the checker state was
+    [state]".  Readers that are only after the events skip these frames;
+    {!read_from_checkpoint} collects them. *)
+val append_checkpoint : writer -> Vyrd.Repr.t -> unit
+
 (** [write_file path log] spools a whole in-memory log to a single binary
     file. *)
 val write_file : ?segment_bytes:int -> string -> Vyrd.Log.t -> unit
@@ -88,3 +100,41 @@ val read_files : string list -> recovered
 (** [read_prefix path] reads [path] itself when it exists, otherwise the
     sorted rotation set [path.00000], [path.00001], ... *)
 val read_prefix : string -> recovered
+
+(** {1 Checkpoints}
+
+    A checkpoint frame carries an opaque checker state together with the
+    number of stream events it covers.  Corruption handling follows the
+    segment rules: a torn or CRC-invalid checkpoint frame ends the clean
+    prefix exactly like a torn event segment (everything before it is
+    recovered); a CRC-valid frame whose payload does not decode is skipped
+    — either way resume falls back to an earlier checkpoint or a full
+    replay of the recovered events, never to a different verdict. *)
+
+type checkpoint = {
+  ck_events : int;  (** stream events preceding (covered by) this frame *)
+  ck_state : Vyrd.Repr.t;  (** opaque checker snapshot *)
+}
+
+type resumable = {
+  r_recovered : recovered;
+  r_checkpoints : checkpoint list;
+      (** valid checkpoints in stream order; a frame claiming to cover more
+          events than precede it is dropped here *)
+}
+
+(** [read_from_checkpoint path] reads like {!read_prefix} but also collects
+    every valid checkpoint frame. *)
+val read_from_checkpoint : string -> resumable
+
+(** Latest checkpoint covering at most [at] events (default: all recovered
+    events). *)
+val latest_checkpoint : ?at:int -> resumable -> checkpoint option
+
+(** [append_checkpoint_file path ~events state] appends one checkpoint
+    frame to an existing spool ([path] or the last file of its rotation
+    set) without rewriting any events — how a re-check annotates a spool it
+    just verified.  [events] is the number of events the state covers;
+    frames claiming more events than the spool holds are ignored by
+    readers. *)
+val append_checkpoint_file : string -> events:int -> Vyrd.Repr.t -> unit

@@ -453,6 +453,20 @@ module S = struct
       (SMap.fold (fun n c acc -> (Repr.Str n, Repr.Str c) :: acc) st [])
 
   let snapshot st = st
+
+  let save st =
+    Some
+      (Repr.List
+         (SMap.fold (fun n c acc -> Repr.Pair (Repr.Str n, Repr.Str c) :: acc) st []))
+
+  let load = function
+    | Repr.List kvs ->
+      List.fold_left
+        (fun st -> function
+          | Repr.Pair (Repr.Str n, Repr.Str c) -> SMap.add n c st
+          | v -> invalid_arg ("scanfs spec: bad saved entry " ^ Repr.to_string v))
+        SMap.empty kvs
+    | v -> invalid_arg ("scanfs spec: bad saved state " ^ Repr.to_string v)
 end
 
 let spec : Spec.t = (module S)

@@ -1,0 +1,479 @@
+(* Checkpointed resumable verification: checkpoint frames round trip
+   through the segment writer and are invisible to plain event readers;
+   checker snapshot/restore is equivalent to checking straight through; at
+   every checkpoint position on both a correct and the checked-in buggy
+   log, resume-verdict = offline-verdict with the same fail index and
+   stats; a corrupted checkpoint frame can only cost replay work, never
+   change a verdict; the farm-level checkpoint/restore and the
+   annotate-then-resume spool protocol agree with a fresh farm; and the
+   metrics-registry regressions (mutex leaked on a kind mismatch, invalid
+   \ddd JSON escapes) stay fixed. *)
+
+open Vyrd
+open Vyrd_harness
+open Vyrd_pipeline
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* cwd is _build/default/test under [dune runtest], the repo root under
+   [dune exec] *)
+let examples_dir () =
+  List.find Sys.file_exists [ "examples/logs"; "../../../examples/logs" ]
+
+let with_spool f =
+  let path = Filename.temp_file "vyrd_ckpt" ".seg" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* --- checkpoint frames in the segment format ----------------------------- *)
+
+let checkpoint_frame_roundtrip =
+  qcheck
+    (QCheck2.Test.make ~name:"checkpoint frame round trip" ~count:60
+       QCheck2.Gen.(
+         triple
+           (list_size (int_range 0 30) Test_log.event_gen)
+           (list_size (int_range 0 30) Test_log.event_gen)
+           Test_core.repr_gen)
+       (fun (before, after, state) ->
+         with_spool @@ fun path ->
+         let w = Segment.create_writer ~level:`Full path in
+         List.iter (Segment.append w) before;
+         Segment.append_checkpoint w state;
+         List.iter (Segment.append w) after;
+         Segment.close w;
+         (* a checkpoint-blind reader sees exactly the events *)
+         let plain = Segment.read_prefix path in
+         (* the resuming reader additionally collects the frame *)
+         let rz = Segment.read_from_checkpoint path in
+         Log.events plain.Segment.log = before @ after
+         && (not plain.Segment.truncated)
+         && Log.events rz.Segment.r_recovered.Segment.log = before @ after
+         && Segment.writer_checkpoints w = 1
+         &&
+         match rz.Segment.r_checkpoints with
+         | [ ck ] ->
+           ck.Segment.ck_events = List.length before && ck.Segment.ck_state = state
+         | _ -> false))
+
+(* --- checker snapshot/restore -------------------------------------------- *)
+
+let subject = Subjects.multiset_vector
+
+let buggy_log () =
+  Log.of_file (Filename.concat (examples_dir ()) "multiset_vector_buggy.log")
+
+let correct_log () =
+  Harness.run
+    { Harness.default with threads = 4; ops_per_thread = 25; log_level = `View }
+    (subject.Subjects.build ~bug:false)
+
+let offline log =
+  let r =
+    Checker.check ~mode:`View ~view:subject.Subjects.view log
+      subject.Subjects.spec
+  in
+  let fail =
+    match r.Report.outcome with
+    | Report.Pass -> None
+    | Report.Fail _ -> Some (r.Report.stats.Report.events_processed - 1)
+  in
+  (r, fail)
+
+let check_stats name (a : Report.stats) (b : Report.stats) =
+  Alcotest.(check int) (name ^ ": events processed") a.Report.events_processed
+    b.Report.events_processed;
+  Alcotest.(check int) (name ^ ": methods checked") a.Report.methods_checked
+    b.Report.methods_checked;
+  Alcotest.(check int) (name ^ ": commits resolved") a.Report.commits_resolved
+    b.Report.commits_resolved;
+  Alcotest.(check (list (pair string int))) (name ^ ": per-method counts")
+    a.Report.per_method b.Report.per_method
+
+let test_snapshot_restore_roundtrip () =
+  let log = correct_log () in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let straight, _ = offline log in
+  List.iter
+    (fun quarter ->
+      let cut = n * quarter / 4 in
+      let a =
+        Checker.create ~mode:`View ~view:subject.Subjects.view
+          subject.Subjects.spec
+      in
+      for i = 0 to cut - 1 do
+        ignore (Checker.feed a events.(i))
+      done;
+      match Checker.snapshot a with
+      | None -> Alcotest.fail "snapshot refused on a violation-free prefix"
+      | Some st ->
+        let b =
+          Checker.create ~mode:`View ~view:subject.Subjects.view
+            subject.Subjects.spec
+        in
+        Checker.restore b st;
+        for i = cut to n - 1 do
+          ignore (Checker.feed b events.(i))
+        done;
+        let rb = Checker.report b in
+        let name = Printf.sprintf "cut at %d/%d" cut n in
+        Alcotest.(check string) (name ^ ": verdict") (Report.tag straight)
+          (Report.tag rb);
+        check_stats name straight.Report.stats rb.Report.stats)
+    [ 1; 2; 3 ]
+
+(* --- resume = offline at every checkpoint position ------------------------ *)
+
+let resume_equals_offline_everywhere ~every name log =
+  with_spool @@ fun path ->
+  let off, off_fail = offline log in
+  let spool =
+    Resume.check_to_spool ~mode:`View ~view:subject.Subjects.view ~every ~path
+      log subject.Subjects.spec
+  in
+  Alcotest.(check string) (name ^ ": spooled check = offline") (Report.tag off)
+    (Report.tag spool.Resume.report);
+  Alcotest.(check (option int)) (name ^ ": spooled fail index") off_fail
+    spool.Resume.fail_index;
+  let rz = Segment.read_from_checkpoint path in
+  Alcotest.(check bool) (name ^ ": spool carries checkpoints") true
+    (rz.Segment.r_checkpoints <> []);
+  List.iter
+    (fun (ck : Segment.checkpoint) ->
+      let at = ck.Segment.ck_events in
+      let o =
+        Resume.resume_recovered ~mode:`View ~view:subject.Subjects.view ~at rz
+          subject.Subjects.spec
+      in
+      let pos = Printf.sprintf "%s, checkpoint at %d" name at in
+      Alcotest.(check (option int)) (pos ^ ": resumed there") (Some at)
+        o.Resume.resumed_at;
+      Alcotest.(check int) (pos ^ ": replayed the suffix only")
+        (Log.length log - at) o.Resume.replayed;
+      Alcotest.(check string) (pos ^ ": verdict") (Report.tag off)
+        (Report.tag o.Resume.report);
+      Alcotest.(check (option int)) (pos ^ ": fail index") off_fail
+        o.Resume.fail_index;
+      check_stats pos off.Report.stats o.Resume.report.Report.stats)
+    rz.Segment.r_checkpoints
+
+let test_resume_equals_offline_correct () =
+  resume_equals_offline_everywhere ~every:50 "correct run" (correct_log ())
+
+let test_resume_equals_offline_buggy () =
+  let log = buggy_log () in
+  let off, _ = offline log in
+  Alcotest.(check bool) "example log is convicting" false (Report.is_pass off);
+  (* the example log convicts early (event ~18), so checkpoint densely:
+     every position before the violation, including ones with windows still
+     open across the checkpoint, must resume to the identical verdict *)
+  resume_equals_offline_everywhere ~every:5 "buggy run" log
+
+(* --- corruption can cost replay work, never a verdict --------------------- *)
+
+let le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+(* walk [magic + level | len crc count | payload]* and return the extent of
+   the first frame whose count word carries the checkpoint flag (bit 31) *)
+let find_checkpoint_frame bytes =
+  let file_header = 7 and frame_header = 12 in
+  let rec go pos =
+    if pos + frame_header > String.length bytes then
+      Alcotest.fail "no checkpoint frame in the spool"
+    else
+      let len = le32 bytes pos in
+      if le32 bytes (pos + 8) land 0x80000000 <> 0 then (pos, frame_header + len)
+      else go (pos + frame_header + len)
+  in
+  go file_header
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_corrupt_checkpoint_never_changes_verdict () =
+  let log = correct_log () in
+  with_spool @@ fun path ->
+  ignore
+    (Resume.check_to_spool ~mode:`View ~view:subject.Subjects.view ~every:200
+       ~path log subject.Subjects.spec
+      : Resume.outcome);
+  let original = read_file path in
+  let frame_off, frame_len = find_checkpoint_frame original in
+  let stride = max 1 (frame_len / 128) in
+  let p = ref frame_off in
+  while !p < frame_off + frame_len do
+    let flipped = Bytes.of_string original in
+    Bytes.set flipped !p (Char.chr (Char.code original.[!p] lxor 0xff));
+    write_file path (Bytes.to_string flipped);
+    (match
+       Resume.resume ~mode:`View ~view:subject.Subjects.view ~path
+         subject.Subjects.spec
+     with
+    | outcome ->
+      (* whatever prefix the damaged spool still cleanly recovers, the
+         resumed verdict must be the offline verdict of that prefix *)
+      let r = Segment.read_prefix path in
+      let off, off_fail = offline r.Segment.log in
+      let pos = Printf.sprintf "flip at byte %d" !p in
+      Alcotest.(check string) (pos ^ ": verdict") (Report.tag off)
+        (Report.tag outcome.Resume.report);
+      Alcotest.(check (option int)) (pos ^ ": fail index") off_fail
+        outcome.Resume.fail_index
+    | exception Bincodec.Corrupt _ ->
+      (* refusing to produce any verdict is always safe *)
+      ());
+    p := !p + stride
+  done
+
+(* --- farm checkpoint/restore --------------------------------------------- *)
+
+let pipeline_subjects =
+  [ Subjects.multiset_vector; Subjects.jvector; Subjects.string_buffer ]
+
+let farm_shards () =
+  List.map
+    (fun (s : Subjects.t) ->
+      Farm.shard ~mode:`View ~view:s.Subjects.view s.Subjects.name
+        s.Subjects.spec)
+    pipeline_subjects
+
+let multi_log () =
+  let log = Log.create ~level:`View () in
+  Harness.run_into ~log
+    { Harness.default with threads = 6; ops_per_thread = 60; key_pool = 10;
+      key_range = 16; seed = 3 }
+    (List.map (fun (s : Subjects.t) -> s.Subjects.build ~bug:false) pipeline_subjects);
+  log
+
+let test_farm_checkpoint_restore_equivalence () =
+  let events = Log.snapshot (multi_log ()) in
+  let n = Array.length events in
+  let run_farm ?restore ~from () =
+    let farm = Farm.start ?restore ~capacity:1024 ~level:`View (farm_shards ()) in
+    let mid = ref None in
+    for i = from to n - 1 do
+      Farm.feed farm events.(i);
+      if i = (n / 2) - 1 && from = 0 then mid := Farm.checkpoint farm
+    done;
+    (Farm.finish farm, !mid)
+  in
+  let full, mid = run_farm ~from:0 () in
+  let state =
+    match mid with
+    | Some st -> st
+    | None -> Alcotest.fail "mid-stream farm checkpoint refused"
+  in
+  let resumed, _ = run_farm ~restore:state ~from:(n / 2) () in
+  Alcotest.(check string) "merged verdict" (Report.tag full.Farm.merged)
+    (Report.tag resumed.Farm.merged);
+  Alcotest.(check (option int)) "fail index" (Farm.min_fail_index full)
+    (Farm.min_fail_index resumed);
+  Alcotest.(check int) "events fed counts the restored prefix" full.Farm.fed
+    resumed.Farm.fed;
+  check_stats "farm restore" full.Farm.merged.Report.stats
+    resumed.Farm.merged.Report.stats
+
+let test_resume_farm_annotates_then_resumes () =
+  let log = multi_log () in
+  with_spool @@ fun path ->
+  let w = Segment.create_writer ~level:`View path in
+  Log.iter (Segment.append w) log;
+  Segment.close w;
+  let shards _level = farm_shards () in
+  (* first pass: nothing to resume from; annotates as it replays *)
+  let o1 = Resume.resume_farm ~annotate_every:200 ~shards ~path () in
+  Alcotest.(check (option int)) "first pass replays from zero" None
+    o1.Resume.resumed_at;
+  Alcotest.(check int) "first pass replays everything" (Log.length log)
+    o1.Resume.replayed;
+  (* second pass: the final annotation covers the whole spool *)
+  let o2 = Resume.resume_farm ~shards ~path () in
+  Alcotest.(check (option int)) "second pass resumes at the end"
+    (Some (Log.length log)) o2.Resume.resumed_at;
+  Alcotest.(check int) "second pass replays nothing" 0 o2.Resume.replayed;
+  Alcotest.(check string) "verdicts agree" (Report.tag o1.Resume.report)
+    (Report.tag o2.Resume.report);
+  Alcotest.(check (option int)) "fail indices agree" o1.Resume.fail_index
+    o2.Resume.fail_index
+
+(* --- metrics-registry regressions ----------------------------------------- *)
+
+let test_metrics_lock_released_on_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x" : Metrics.counter);
+  (match Metrics.gauge m "x" with
+  | _ -> Alcotest.fail "kind mismatch accepted"
+  | exception Invalid_argument _ -> ());
+  (* before the fix the raise left the registry mutex locked, so any later
+     registration — here from another thread, with a timeout so a
+     regression fails instead of hanging the suite — deadlocked *)
+  let ok = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        (match Metrics.histogram m "x" with
+        | _ -> ()
+        | exception Invalid_argument _ -> ());
+        ignore (Metrics.counter m "y" : Metrics.counter);
+        ignore (Metrics.to_json m : string);
+        Atomic.set ok true)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not (Atomic.get ok)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "registry usable after a raise inside the lock" true
+    (Atomic.get ok);
+  if Atomic.get ok then Thread.join th
+
+(* A strict parser for the JSON subset Metrics.to_json emits — objects,
+   strings and numbers — that rejects raw control characters and unknown
+   escapes, and decodes \uXXXX; returns every string key it saw. *)
+let json_string_keys s =
+  let pos = ref 0 in
+  let fail msg = Alcotest.fail (Printf.sprintf "invalid JSON at %d: %s" !pos msg) in
+  let peek () = if !pos < String.length s then Some s.[!pos] else None in
+  let next () =
+    match peek () with
+    | Some c ->
+      incr pos;
+      c
+    | None -> fail "unexpected end"
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected %c" c) in
+  let keys = ref [] in
+  let parse_string () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (match next () with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' -> (
+          let hex = String.init 4 (fun _ -> next ()) in
+          match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 256 -> Buffer.add_char b (Char.chr code)
+          | Some _ -> fail "non-latin1 \\u escape"
+          | None -> fail ("bad \\u escape " ^ hex))
+        | c -> fail (Printf.sprintf "unknown escape \\%c" c));
+        go ()
+      | c when Char.code c < 32 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let started = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '.' | 'e' | 'E' | '+') ->
+        started := true;
+        incr pos;
+        go ()
+      | _ -> if not !started then fail "expected a number"
+    in
+    go ()
+  in
+  let rec parse_value () =
+    match peek () with
+    | Some '{' -> parse_object ()
+    | Some '"' ->
+      expect '"';
+      ignore (parse_string () : string)
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end"
+  and parse_object () =
+    expect '{';
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        expect '"';
+        keys := parse_string () :: !keys;
+        expect ':';
+        parse_value ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> fail "expected , or }"
+      in
+      members ()
+  in
+  parse_value ();
+  (match peek () with
+  | Some '\n' | None -> ()
+  | Some _ -> fail "trailing garbage");
+  List.rev !keys
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_to_json_escapes_hostile_names () =
+  let m = Metrics.create () in
+  let hostile = "evil\"name\\with\nnew\tline\x01\x7f\xc3end" in
+  Metrics.add (Metrics.counter m hostile) 3;
+  Metrics.record (Metrics.gauge m "plain.gauge") 7;
+  Metrics.observe (Metrics.histogram m "plain.hist") 9;
+  let json = Metrics.to_json m in
+  let keys = json_string_keys json in
+  Alcotest.(check bool) "hostile name round trips through the escaper" true
+    (List.mem hostile keys);
+  Alcotest.(check bool) "plain names survive" true
+    (List.mem "plain.gauge" keys && List.mem "plain.hist" keys);
+  (* the old String.escaped path emitted \001 — decimal escapes no JSON
+     parser accepts *)
+  Alcotest.(check bool) "no \\ddd decimal escapes" false
+    (contains ~affix:"\\001" json)
+
+let suite =
+  [
+    checkpoint_frame_roundtrip;
+    ("checker snapshot/restore round trip", `Quick, test_snapshot_restore_roundtrip);
+    ( "resume = offline at every checkpoint (correct)",
+      `Quick,
+      test_resume_equals_offline_correct );
+    ( "resume = offline at every checkpoint (buggy)",
+      `Quick,
+      test_resume_equals_offline_buggy );
+    ( "corrupt checkpoint never changes the verdict",
+      `Quick,
+      test_corrupt_checkpoint_never_changes_verdict );
+    ( "farm checkpoint/restore = straight through",
+      `Quick,
+      test_farm_checkpoint_restore_equivalence );
+    ( "resume_farm annotates, then resumes O(1)",
+      `Quick,
+      test_resume_farm_annotates_then_resumes );
+    ( "metrics: lock released on kind mismatch",
+      `Quick,
+      test_metrics_lock_released_on_kind_mismatch );
+    ( "metrics: to_json escapes hostile names",
+      `Quick,
+      test_to_json_escapes_hostile_names );
+  ]

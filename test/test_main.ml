@@ -20,5 +20,6 @@ let () =
       ("log", Test_log.suite);
       ("faults", Test_faults.suite);
       ("pipeline", Test_pipeline.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("net", Test_net.suite);
     ]

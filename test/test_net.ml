@@ -316,6 +316,24 @@ let test_no_retry_fails_fast () =
   | _ -> Alcotest.fail "connected to nothing"
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+let test_backoff_is_capped_and_jittered () =
+  let sock = Filename.temp_file "vyrd_capped" ".sock" in
+  Sys.remove sock;
+  (* 4 retries at base 1.0s would sleep ~15s on the uncapped exponential
+     curve; with the 0.02s cap (±25% jitter from the seeded Prng) the whole
+     dial has to fail in a fraction of a second *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Client.connect ~retries:4 ~backoff:1.0 ~max_backoff:0.02 ~jitter_seed:42
+       (Wire.Unix_socket sock)
+   with
+  | _ -> Alcotest.fail "connected to nothing"
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 capped retries took %.3fs, not seconds" dt)
+    true (dt < 1.0)
+
 let test_heartbeat_survives_idle_timeout () =
   let log = correct_log () in
   with_server ~idle_timeout:0.4 (fun srv ->
@@ -544,6 +562,7 @@ let suite =
       `Quick,
       test_connect_retries_until_server_appears );
     ("no-retry connect fails fast", `Quick, test_no_retry_fails_fast);
+    ("retry backoff is capped", `Quick, test_backoff_is_capped_and_jittered);
     ("heartbeat survives the idle timeout", `Quick, test_heartbeat_survives_idle_timeout);
     ( "idle timeout fails the session cleanly",
       `Quick,
