@@ -832,6 +832,249 @@ let net_bench ?(json_out = Some "BENCH_net.json") () =
         ("offline_events_per_sec", jnum (evs offline_dt));
       ]
 
+(* ------------------------------------------------------- hot-path bench *)
+
+(* Pull one numeric field back out of a flat sidecar written by
+   [write_json]; [nan] when the file or the key is missing. *)
+let read_json_field file key =
+  match open_in file with
+  | exception Sys_error _ -> nan
+  | ic ->
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let pat = Printf.sprintf "%S:" key in
+    let rec find i =
+      if i + String.length pat > String.length s then nan
+      else if String.sub s i (String.length pat) = pat then begin
+        let j = i + String.length pat in
+        let k = ref j in
+        while
+          !k < String.length s
+          && (match s.[!k] with '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true | _ -> false)
+        do
+          incr k
+        done;
+        match float_of_string_opt (String.sub s j (!k - j)) with
+        | Some f -> f
+        | None -> nan
+      end
+      else find (i + 1)
+    in
+    find 0
+
+(* The flattened feed path end to end: batched ring hand-off, slice-draining
+   lanes, flat spec transitions.  Gates (any failure exits 1):
+
+   - verdict + first-violation index identical to the indexed reference
+     oracle in io mode on the full workload, and on a fault-seeded
+     single-structure view workload across offline, farm, and reference;
+   - farm snapshot/restore still round-trips mid-drain on the big workload;
+   - best-of-N farm io-mode drain throughput >= --min-evps (default 1M);
+   - when --baseline BENCH_hotpath.json is given, farm io-mode drain not
+     more than --max-regress percent below the committed number. *)
+let hotpath ?(json_out = Some "BENCH_hotpath.json") ~baseline ~max_regress
+    ~min_evps ~ops () =
+  let module Faults = Vyrd_faults.Faults in
+  Fmt.pr "@.Hot path: flattened batched feed path (gate: farm io drain >= %.2fM ev/s)@.@."
+    (min_evps /. 1e6);
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops ~seed:11 ~level in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let spec, view = composed () in
+  Fmt.pr "%d events at `View level (8 threads x %d ops x %d subjects)@.@." n ops
+    (List.length pipeline_subjects);
+  let failures = ref [] in
+  let gate name ok =
+    Fmt.pr "gate: %-52s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  (* -- correctness: offline io vs the indexed reference oracle ------------ *)
+  let io_report, io_idx = Checker.check_indexed ~mode:`Io log spec in
+  gate "offline io verdict+index = indexed reference"
+    (match Reference.check_indexed log spec with
+    | Ok () -> Report.is_pass io_report && io_idx = None
+    | Error f ->
+      (not (Report.is_pass io_report))
+      && io_idx = Some f.Reference.f_index
+      && Report.tag io_report = f.Reference.f_kind);
+  let view_report = Checker.check ~mode:`View ~view log spec in
+  let io_shards () =
+    List.map (fun (s : Subjects.t) -> Farm.shard s.name s.spec) pipeline_subjects
+  in
+  let drain shards =
+    let farm = Farm.start ~capacity:8192 ~level shards in
+    Array.iter (Farm.feed farm) events;
+    Farm.finish farm
+  in
+  let farm_io = drain (io_shards ()) in
+  gate "farm io verdict = offline io verdict"
+    (Report.is_pass farm_io.Farm.merged = Report.is_pass io_report
+    && (not (Report.is_pass io_report)) = (Farm.min_fail_index farm_io <> None));
+  let farm_view = drain (farm_shards ()) in
+  gate "farm view verdict = offline view verdict"
+    (Report.is_pass farm_view.Farm.merged = Report.is_pass view_report);
+  (* -- correctness: fault-seeded single-structure run, exact index -------- *)
+  let msubj = Subjects.multiset_vector in
+  let mutant_log =
+    let run seed =
+      Faults.with_armed Instrument.fault_dropped_block (fun () ->
+          Harness.run
+            { Harness.threads = 4; ops_per_thread = 60; key_pool = 12;
+              key_range = 16; seed; log_level = `View }
+            (msubj.Subjects.build ~bug:false))
+    in
+    let rec find seed =
+      if seed > 50 then None
+      else
+        let l = run seed in
+        if Report.is_pass (Checker.check ~mode:`View ~view:msubj.Subjects.view l msubj.Subjects.spec)
+        then find (seed + 1)
+        else Some l
+    in
+    find 0
+  in
+  gate "fault-seeded index: offline = farm = reference"
+    (match mutant_log with
+    | None -> false
+    | Some mlog -> (
+      let mr, midx =
+        Checker.check_indexed ~mode:`View ~view:msubj.Subjects.view mlog
+          msubj.Subjects.spec
+      in
+      let farm =
+        Farm.start ~level:`View
+          [ Farm.shard ~mode:`View ~view:msubj.Subjects.view msubj.Subjects.name
+              msubj.Subjects.spec ]
+      in
+      Log.iter (Farm.feed farm) mlog;
+      let fr = Farm.finish farm in
+      match Reference.check_indexed ~view:msubj.Subjects.view mlog msubj.Subjects.spec with
+      | Ok () -> false
+      | Error f ->
+        (not (Report.is_pass mr))
+        && midx = Some f.Reference.f_index
+        && Report.tag mr = f.Reference.f_kind
+        && Farm.min_fail_index fr = midx
+        && Report.tag fr.Farm.merged = Report.tag mr));
+  (* -- correctness: farm snapshot/restore round-trips mid-drain ----------- *)
+  gate "farm checkpoint mid-drain round-trips"
+    (let farm = Farm.start ~capacity:8192 ~level (farm_shards ()) in
+     let snap = ref None in
+     Array.iteri
+       (fun i ev ->
+         Farm.feed farm ev;
+         if i = n / 2 then snap := Farm.checkpoint farm)
+       events;
+     let straight = Farm.finish farm in
+     match !snap with
+     | None -> false
+     | Some st ->
+       let f2 = Farm.start ~restore:st ~capacity:8192 ~level (farm_shards ()) in
+       for i = (n / 2) + 1 to n - 1 do
+         Farm.feed f2 events.(i)
+       done;
+       let resumed = Farm.finish f2 in
+       Report.tag straight.Farm.merged = Report.tag resumed.Farm.merged
+       && Farm.min_fail_index straight = Farm.min_fail_index resumed
+       && straight.Farm.merged.Report.stats.Report.events_processed
+          = resumed.Farm.merged.Report.stats.Report.events_processed);
+  (* -- throughput: best of N trials, wall clock --------------------------- *)
+  let trials = 3 in
+  Fmt.pr "@.%-30s %10s %12s   (best of %d)@." "configuration" "wall ms" "events/s"
+    trials;
+  Fmt.pr "%s@." (line 60);
+  let best label f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Fmt.pr "%-30s %10.2f %12s@." label
+      (!best *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int n /. !best /. 1e6));
+    !best
+  in
+  let offline_io_dt =
+    best "offline io, in-process" (fun () ->
+        ignore (Checker.check ~mode:`Io log spec : Report.t))
+  in
+  let offline_view_dt =
+    best "offline view, in-process" (fun () ->
+        ignore (Checker.check ~mode:`View ~view log spec : Report.t))
+  in
+  let farm_io_dt =
+    best "farm io drain" (fun () -> ignore (drain (io_shards ()) : Farm.result))
+  in
+  let farm_view_dt =
+    best "farm view drain" (fun () -> ignore (drain (farm_shards ()) : Farm.result))
+  in
+  let loopback_dt, loopback_tag =
+    let sock = Filename.temp_file "vyrdd-hotpath" ".sock" in
+    let server =
+      Server.start
+        (Server.config ~capacity:8192 ~addr:(Wire.Unix_socket sock)
+           (fun _level -> farm_shards ()))
+    in
+    let t0 = Unix.gettimeofday () in
+    let client = Client.connect ~level ~batch_events:256 (Server.addr server) in
+    Array.iter (Client.send client) events;
+    let outcome = Client.finish client in
+    let dt = Unix.gettimeofday () -. t0 in
+    Server.stop server;
+    Fmt.pr "%-30s %10.2f %12s@." "farm view, loopback socket" (dt *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int n /. dt /. 1e6));
+    ( dt,
+      match outcome with
+      | Client.Checked { report; _ } -> Report.tag report
+      | Client.Spilled _ -> "spilled" )
+  in
+  gate "loopback verdict = farm view verdict"
+    (String.equal loopback_tag (Report.tag farm_view.Farm.merged));
+  let farm_io_evps = float_of_int n /. farm_io_dt in
+  gate
+    (Printf.sprintf "farm io drain %.2fM ev/s >= %.2fM" (farm_io_evps /. 1e6)
+       (min_evps /. 1e6))
+    (farm_io_evps >= min_evps);
+  (match baseline with
+  | None -> ()
+  | Some file ->
+    let old = read_json_field file "farm_io_events_per_sec" in
+    if Float.is_nan old then
+      Fmt.pr "gate: baseline %s unreadable — skipping the regression gate@." file
+    else
+      let floor = old *. (1. -. (max_regress /. 100.)) in
+      gate
+        (Printf.sprintf "farm io drain %.2fM >= %.2fM (baseline %.2fM - %.0f%%)"
+           (farm_io_evps /. 1e6) (floor /. 1e6) (old /. 1e6) max_regress)
+        (farm_io_evps >= floor));
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"hotpath\"");
+        ("events", string_of_int n);
+        ("trials", string_of_int trials);
+        ("farm_io_events_per_sec", jnum farm_io_evps);
+        ("farm_view_events_per_sec", jnum (float_of_int n /. farm_view_dt));
+        ("offline_io_events_per_sec", jnum (float_of_int n /. offline_io_dt));
+        ("offline_view_events_per_sec", jnum (float_of_int n /. offline_view_dt));
+        ("loopback_events_per_sec", jnum (float_of_int n /. loopback_dt));
+        ("min_evps_gate", jnum min_evps);
+      ]);
+  if !failures <> [] then begin
+    Fmt.epr "@.hotpath gates failed:@.";
+    List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev !failures);
+    exit 1
+  end;
+  Fmt.pr "@.all hotpath gates passed@."
+
 (* ---------------------------------------------- checkpoint/resume bench *)
 
 (* The replay work the checkpoint frames save: spool a ~1M-event composed
@@ -929,6 +1172,7 @@ let all () =
   pipeline ();
   net_bench ();
   checkpoint_bench ();
+  hotpath ~baseline:None ~max_regress:20. ~min_evps:1e6 ~ops:20_000 ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -969,6 +1213,36 @@ let () =
            resuming from the 90% checkpoint frame, with verdict-equality \
            and speedup gates (writes BENCH_checkpoint.json)."
           (fun () -> checkpoint_bench ());
+        Cmd.v
+          (Cmd.info "hotpath"
+             ~doc:
+               "Flattened feed path: differential correctness gates (indexed \
+                reference oracle, farm index equality, checkpoint round-trip) \
+                plus best-of-3 throughput with a >= 1M ev/s farm io-drain \
+                gate and an optional baseline regression gate (writes \
+                BENCH_hotpath.json).")
+          Term.(
+            const (fun baseline max_regress min_evps ops ->
+                hotpath ~baseline ~max_regress ~min_evps ~ops ())
+            $ Arg.(
+                value
+                & opt (some string) None
+                & info [ "baseline" ] ~docv:"FILE"
+                    ~doc:
+                      "Committed BENCH_hotpath.json to gate against: fail if \
+                       farm io drain drops more than $(b,--max-regress) \
+                       percent below it.")
+            $ Arg.(
+                value & opt float 20.
+                & info [ "max-regress" ] ~docv:"PCT"
+                    ~doc:"Allowed regression vs the baseline, in percent.")
+            $ Arg.(
+                value & opt float 1e6
+                & info [ "min-evps" ] ~docv:"EV_PER_S"
+                    ~doc:"Absolute farm io-drain floor in events/second.")
+            $ Arg.(
+                value & opt int 20_000
+                & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

@@ -126,10 +126,7 @@ let create ?(mode = `Io) ?view ?(invariants = []) (spec : Spec.t) : t =
     in
     let drop = lowest - !state_base in
     if drop > 1024 then begin
-      let keep = Vec.length state_window - drop in
-      let kept = Vec.sub_list state_window ~pos:drop ~len:keep in
-      Vec.clear state_window;
-      List.iter (Vec.push state_window) kept;
+      Vec.drop_prefix state_window drop;
       state_base := lowest
     end
   in
@@ -525,3 +522,19 @@ let check ?mode ?view ?invariants log spec =
   let t = create ?mode ?view ?invariants spec in
   Log.iter (fun ev -> ignore (feed t ev)) log;
   report t
+
+let check_indexed ?mode ?view ?invariants log spec =
+  (match mode with
+  | Some `View -> require_view_level ~who:"Checker.check_indexed" log
+  | _ -> ());
+  let t = create ?mode ?view ?invariants spec in
+  let idx = ref 0 in
+  let fail_at = ref None in
+  Log.iter
+    (fun ev ->
+      (match feed t ev with
+      | Some _ when !fail_at = None -> fail_at := Some !idx
+      | _ -> ());
+      incr idx)
+    log;
+  (report t, !fail_at)

@@ -90,3 +90,15 @@ val restore : t -> Repr.t -> unit
     level [`View] — view refinement cannot be checked on such a log. *)
 val check :
   ?mode:mode -> ?view:View.t -> ?invariants:invariant list -> Log.t -> Spec.t -> Report.t
+
+(** [check_indexed] is {!check} plus the log index of the event at which the
+    violation (if any) was detected — the same index a {!Farm} lane records
+    in [sr_fail_index], and the quantity the differential harness compares
+    against {!Reference.check_indexed}. *)
+val check_indexed :
+  ?mode:mode ->
+  ?view:View.t ->
+  ?invariants:invariant list ->
+  Log.t ->
+  Spec.t ->
+  Report.t * int option

@@ -1,0 +1,20 @@
+(* The only timer primitive the stdlib offers without extra packages is
+   [Unix.gettimeofday], a wall clock: an NTP step can move it backwards,
+   which turned up as negative producer-stall readings in {!Ring}.  We
+   monotonize it with a process-wide high-water mark: [now_ns] never
+   returns a value smaller than any value it has already returned, in any
+   domain.  Wall-clock steps forward still show up as (bounded) jumps —
+   fine for cumulative stall accounting — but elapsed times can no longer
+   be negative. *)
+
+let last = Atomic.make 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()

@@ -1,0 +1,9 @@
+(** Monotonicized wall clock.
+
+    [Unix.gettimeofday] is the only timer the environment provides, and it
+    can step backwards (NTP).  [now_ns] clamps it against a process-wide
+    high-water mark, so for any two calls [a] then [b] (in any domains),
+    [b - a >= 0].  Suitable for cumulative elapsed-time accounting such as
+    {!Ring.stall_ns}; not a calendar clock. *)
+
+val now_ns : unit -> int

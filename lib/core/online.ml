@@ -13,12 +13,20 @@ let start ?(capacity = 32768) ?mode ?view log spec =
   let domain =
     Domain.spawn (fun () ->
         let checker = Checker.create ?mode ?view spec in
+        (* drain in slices: one ring lock per batch instead of per event *)
+        let scratch = Array.make 256 None in
         let rec loop () =
-          match Ring.pop ring with
-          | Some ev ->
-            ignore (Checker.feed checker ev);
+          let n = Ring.pop_batch ring scratch in
+          if n = 0 then Checker.report checker
+          else begin
+            for k = 0 to n - 1 do
+              (match scratch.(k) with
+              | Some ev -> ignore (Checker.feed checker ev)
+              | None -> ());
+              scratch.(k) <- None
+            done;
             loop ()
-          | None -> Checker.report checker
+          end
         in
         loop ())
   in

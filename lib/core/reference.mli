@@ -25,3 +25,24 @@ val check : ?view:View.t -> Log.t -> Spec.t -> (unit, string) result
 (** Convenience: agreement on the pass/fail verdict with a {!Checker} run
     in the same mode. *)
 val agrees_with_checker : ?view:View.t -> Log.t -> Spec.t -> bool
+
+(** A predicted first detection: the log index at which the incremental
+    checker first reports, a kind string matching {!Report.tag} (["io"],
+    ["view"], ["observer"] or ["ill-formed"]), and a human-readable
+    description. *)
+type failure = { f_index : int; f_kind : string; f_detail : string }
+
+(** [check_indexed ?view log spec] predicts the incremental checker's exact
+    first detection point from first principles: commit ordinal [k]'s
+    transition resolves at the running-max return position [r_k] of commits
+    [1..k], an all-rejecting observer window [lo..hi] fails at
+    [max ret_at r_hi] provided commit [hi] resolves successfully, and
+    structural errors stop the scan at their own index.  Ties within one
+    event resolve by commit ordinal, commits before observers.  The index
+    agrees with {!Checker.check_indexed} (and with a single-shard
+    {!Farm}'s [sr_fail_index]); invariant checking is not modelled. *)
+val check_indexed : ?view:View.t -> Log.t -> Spec.t -> (unit, failure) result
+
+(** Full agreement — verdict, detection index, and violation kind — with a
+    {!Checker.check_indexed} run in the same mode. *)
+val agrees_with_checker_indexed : ?view:View.t -> Log.t -> Spec.t -> bool

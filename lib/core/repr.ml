@@ -6,8 +6,11 @@ type t =
   | Pair of t * t
   | List of t list
 
-let equal = ( = )
-let compare = Stdlib.compare
+(* The checker compares a viewI against a viewS at every commit; shortcut
+   on physical equality first so shared subtrees (persistent spec states,
+   interned strings) don't pay a full structural walk. *)
+let equal a b = a == b || a = b
+let compare a b = if a == b then 0 else Stdlib.compare a b
 
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"
@@ -19,8 +22,15 @@ let rec pp ppf = function
 
 let to_string v = Fmt.str "%a" pp v
 let unit = Unit
-let bool b = Bool b
-let int i = Int i
+
+(* Leaves are interned so the hot path (views rebuilt at every commit)
+   reuses shared nodes instead of boxing the same small scalars millions of
+   times; [equal]'s physical-equality shortcut then skips them for free. *)
+let true_ = Bool true
+let false_ = Bool false
+let bool b = if b then true_ else false_
+let interned_ints = Array.init 256 (fun i -> Int i)
+let int i = if i >= 0 && i < 256 then Array.unsafe_get interned_ints i else Int i
 let str s = Str s
 let pair a b = Pair (a, b)
 let list vs = List vs

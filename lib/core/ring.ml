@@ -47,20 +47,62 @@ let enqueue t x =
   if t.size > t.high then t.high <- t.size;
   Condition.signal t.not_empty
 
+(* Blocks (holding [lock] released inside [Condition.wait]) until at least
+   one slot is free or the ring closes; charges the wait to [stall].  The
+   clock is monotonicized ({!Mclock}) so a wall-clock step can never make
+   the cumulative stall negative. *)
+let await_room t =
+  if t.size = Array.length t.buf then begin
+    let t0 = Mclock.now_ns () in
+    while t.size = Array.length t.buf && not t.is_closed do
+      Condition.wait t.not_full t.lock
+    done;
+    t.stall <- t.stall + (Mclock.now_ns () - t0)
+  end
+
 let push t x =
   locked t (fun () ->
       if t.is_closed then t.dropped <- t.dropped + 1
       else begin
-        if t.size = Array.length t.buf then begin
-          let t0 = Unix.gettimeofday () in
-          while t.size = Array.length t.buf && not t.is_closed do
-            Condition.wait t.not_full t.lock
-          done;
-          t.stall <-
-            t.stall + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
-        end;
+        await_room t;
         if t.is_closed then t.dropped <- t.dropped + 1 else enqueue t x
       end)
+
+let push_batch t ?(pos = 0) ?len src =
+  let len = match len with Some l -> l | None -> Array.length src - pos in
+  if pos < 0 || len < 0 || pos + len > Array.length src then
+    invalid_arg "Ring.push_batch: slice out of bounds";
+  let i = ref pos in
+  let remaining = ref len in
+  while !remaining > 0 do
+    locked t (fun () ->
+        if t.is_closed then begin
+          t.dropped <- t.dropped + !remaining;
+          remaining := 0
+        end
+        else begin
+          await_room t;
+          if t.is_closed then begin
+            t.dropped <- t.dropped + !remaining;
+            remaining := 0
+          end
+          else begin
+            (* one lock acquisition moves as many elements as fit *)
+            let cap = Array.length t.buf in
+            let n = min (cap - t.size) !remaining in
+            for _ = 1 to n do
+              t.buf.(t.tail) <- Some src.(!i);
+              t.tail <- (t.tail + 1) mod cap;
+              incr i
+            done;
+            t.size <- t.size + n;
+            if t.size > t.high then t.high <- t.size;
+            remaining := !remaining - n;
+            if n = 1 then Condition.signal t.not_empty
+            else Condition.broadcast t.not_empty
+          end
+        end)
+  done
 
 let try_push t x =
   locked t (fun () ->
@@ -84,6 +126,25 @@ let pop t =
         Condition.signal t.not_full;
         x
       end)
+
+let pop_batch t dest =
+  let max_n = Array.length dest in
+  if max_n = 0 then invalid_arg "Ring.pop_batch: empty destination";
+  locked t (fun () ->
+      while t.size = 0 && not t.is_closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      let cap = Array.length t.buf in
+      let n = min t.size max_n in
+      for k = 0 to n - 1 do
+        dest.(k) <- t.buf.(t.head);
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod cap
+      done;
+      t.size <- t.size - n;
+      if n = 1 then Condition.signal t.not_full
+      else if n > 1 then Condition.broadcast t.not_full;
+      n)
 
 let close t =
   locked t (fun () ->

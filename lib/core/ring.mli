@@ -28,9 +28,27 @@ val push : 'a t -> 'a -> unit
 (** [try_push t x] never blocks; [false] when the ring was full or closed. *)
 val try_push : 'a t -> 'a -> bool
 
+(** [push_batch t src ~pos ~len] enqueues [src.(pos .. pos+len-1)] in order,
+    amortizing one lock acquisition over every run of elements that fits in
+    the free space — the per-event mutex handshake of {!push} collapses to
+    roughly one per [capacity] elements under a keeping-up consumer.  Blocks
+    like {!push} while the ring is full; after {!close}, the rest of the
+    slice is dropped and counted in {!rejected}.  [pos] defaults to [0],
+    [len] to the rest of the array.
+    @raise Invalid_argument when the slice is out of bounds. *)
+val push_batch : 'a t -> ?pos:int -> ?len:int -> 'a array -> unit
+
 (** [pop t] dequeues, blocking while the ring is empty; [None] once the ring
     is closed {e and} drained. *)
 val pop : 'a t -> 'a option
+
+(** [pop_batch t dest] dequeues up to [Array.length dest] elements in one
+    lock acquisition, filling [dest.(0 .. n-1)] with [Some x] slots (the
+    consumer-side mirror of {!push_batch}).  Blocks while the ring is empty;
+    returns [0] only once the ring is closed {e and} drained.  [dest] slots
+    beyond [n-1] are left untouched.
+    @raise Invalid_argument when [dest] is empty. *)
+val pop_batch : 'a t -> 'a option array -> int
 
 (** [close t] ends the stream: blocked producers give up, and consumers see
     [None] after draining the remaining elements.  Idempotent. *)
@@ -44,7 +62,9 @@ val length : 'a t -> int
 (** Highest occupancy ever observed — never exceeds [capacity]. *)
 val high_water : 'a t -> int
 
-(** Cumulative nanoseconds producers spent blocked in {!push}. *)
+(** Cumulative nanoseconds producers spent blocked in {!push} /
+    {!push_batch}, measured with the monotonicized clock ({!Mclock}) —
+    never negative, even across wall-clock steps. *)
 val stall_ns : 'a t -> int
 
 (** Pushes dropped because the ring was already closed. *)

@@ -50,7 +50,17 @@ let rec recompute_dirty eval replay dirty =
     let vb = recompute_dirty b replay dirty in
     Repr.Pair (va, vb)
 
-let recompute eval replay = recompute_dirty eval replay (Replay.take_dirty replay)
+let rec needs_dirty = function
+  | Efull _ -> false
+  | Ekeyed _ -> true
+  | Epair (a, b) -> needs_dirty a || needs_dirty b
+
+let recompute eval replay =
+  (* only [Keyed] components consume the dirty set; for an all-[Full] tree,
+     skip the per-commit drain (fold + reset + list) — the set stays bounded
+     by the number of distinct variable names either way *)
+  let dirty = if needs_dirty eval then Replay.take_dirty replay else [] in
+  recompute_dirty eval replay dirty
 
 let rec projections = function
   | Efull _ -> 0

@@ -185,21 +185,27 @@ let unsafe_contents p b =
   String.init (Cell.peek d.len) (fun j -> Cell.peek d.chars.(j))
 
 let viewdef ~buffers ~buf_capacity : View.t =
+  (* precomputed var names: the closure runs at every commit, and a sprintf
+     per character per commit dominates the checker's view path *)
+  let len_vars = Array.init buffers len_var in
+  let char_vars =
+    Array.init buffers (fun b -> Array.init buf_capacity (char_var b))
+  in
   View.Full
     (fun lookup ->
       let contents b =
         let l =
-          match lookup (len_var b) with Some (Repr.Int l) -> min l buf_capacity | _ -> 0
+          match lookup len_vars.(b) with Some (Repr.Int l) -> min l buf_capacity | _ -> 0
         in
         let ch j =
-          match lookup (char_var b j) with
+          match lookup char_vars.(b).(j) with
           | Some (Repr.Str s) when String.length s = 1 -> s.[0]
           | _ -> '\000'
         in
         Repr.Str (String.init l ch)
       in
       View.canonical_of_assoc
-        (List.init buffers (fun b -> (Repr.Int b, contents b))))
+        (List.init buffers (fun b -> (Repr.int b, contents b))))
 
 (* Specification: a map from buffer id to contents. ---------------------- *)
 
@@ -288,7 +294,7 @@ let spec ~buffers : Spec.t =
 
     let view st =
       View.canonical_of_assoc
-        (IntMap.fold (fun b s acc -> (Repr.Int b, Repr.Str s) :: acc) st [])
+        (IntMap.fold (fun b s acc -> (Repr.int b, Repr.Str s) :: acc) st [])
 
     let snapshot st = st
 

@@ -191,11 +191,14 @@ let last_index_of t x =
   | _ -> raise Index_out_of_bounds
 
 let viewdef ~capacity : View.t =
+  (* precomputed var names: the closure runs at every commit, and a sprintf
+     per element per commit dominates the checker's view path *)
+  let elem_vars = Array.init capacity elem_var in
   View.Full
     (fun lookup ->
       let c = match lookup count_var with Some (Repr.Int c) -> c | _ -> 0 in
       let elt i =
-        match lookup (elem_var i) with Some (Repr.Int x) -> Repr.Int x | _ -> Repr.Int 0
+        match lookup elem_vars.(i) with Some (Repr.Int x) -> Repr.int x | _ -> Repr.int 0
       in
       Repr.List (List.init (min c capacity) elt))
 
@@ -284,7 +287,7 @@ module S = struct
     | "set", [ Repr.Int i; _ ], Repr.Bool false -> i < 0 || i >= len
     | _ -> false
 
-  let view st = Repr.List (List.map (fun x -> Repr.Int x) st)
+  let view st = Repr.List (List.map Repr.int st)
   let snapshot st = st
   let save st = Some (view st)
 

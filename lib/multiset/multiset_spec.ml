@@ -20,7 +20,7 @@ let remove st x =
 
 let view_of_state st =
   View.canonical_of_assoc
-    (IntMap.fold (fun x n acc -> (Repr.Int x, Repr.Int n) :: acc) st [])
+    (IntMap.fold (fun x n acc -> (Repr.int x, Repr.int n) :: acc) st [])
 
 let bad fmt = Printf.ksprintf (fun m -> Error m) fmt
 

@@ -260,18 +260,23 @@ let count t x =
   | _ -> assert false
 
 let viewdef ~capacity : View.t =
+  (* var names are precomputed once: the closure below runs at every commit
+     of the run, and a sprintf per slot per commit dominates the checker's
+     view path *)
+  let valid_vars = Array.init capacity valid_var in
+  let elt_vars = Array.init capacity elt_var in
   View.Full
     (fun lookup ->
       let counts = Hashtbl.create 16 in
       for i = 0 to capacity - 1 do
-        match (lookup (valid_var i), lookup (elt_var i)) with
+        match (lookup valid_vars.(i), lookup elt_vars.(i)) with
         | Some (Repr.Bool true), Some (Repr.Int x) ->
           Hashtbl.replace counts x
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
         | _ -> ()
       done;
       View.canonical_of_assoc
-        (Hashtbl.fold (fun x n acc -> (Repr.Int x, Repr.Int n) :: acc) counts []))
+        (Hashtbl.fold (fun x n acc -> (Repr.int x, Repr.int n) :: acc) counts []))
 
 let unsafe_contents t =
   Array.to_list t.slots

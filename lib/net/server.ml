@@ -194,7 +194,7 @@ let serve_session t (s : session) =
     | Wire.Batch evs ->
       let n = Array.length evs in
       (match !farm with
-      | Some f -> Array.iter (Farm.feed f) evs
+      | Some f -> Farm.feed_batch f evs
       | None ->
         let w = Option.get !writer in
         Array.iter (Segment.append w) evs);

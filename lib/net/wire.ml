@@ -233,14 +233,8 @@ let decode_client s =
     | '\001' ->
       let n, pos = Bincodec.get_uvarint s 1 in
       if n > max_frame_bytes then corrupt "batch of %d events" n;
-      let pos = ref pos in
-      let evs =
-        Array.init n (fun _ ->
-            let ev, p = Bincodec.get_event s !pos in
-            pos := p;
-            ev)
-      in
-      (Batch evs, !pos)
+      let evs, pos = Bincodec.get_events s ~pos ~count:n in
+      (Batch evs, pos)
     | '\002' -> (Heartbeat, 1)
     | '\003' -> (Finish, 1)
     | c -> corrupt "unknown client message tag 0x%02x" (Char.code c))

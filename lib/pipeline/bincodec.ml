@@ -212,6 +212,45 @@ let event_bytes ev =
   put_event b ev;
   Buffer.length b
 
+(* ------------------------------------------------------- batch decoding *)
+
+let iter_events ?(pos = 0) ?len s f =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Bincodec.iter_events: slice out of bounds";
+  let stop = pos + len in
+  let p = ref pos in
+  let n = ref 0 in
+  while !p < stop do
+    let ev, p' = get_event s !p in
+    if p' > stop then corrupt "event runs past the end of its slice";
+    f ev;
+    incr n;
+    p := p'
+  done;
+  !n
+
+let get_events s ~pos ~count =
+  if count < 0 then invalid_arg "Bincodec.get_events: negative count";
+  if count = 0 then ([||], pos)
+  else begin
+    let p = ref pos in
+    let evs =
+      Array.init count (fun _ ->
+          let ev, p' = get_event s !p in
+          p := p';
+          ev)
+    in
+    (evs, !p)
+  end
+
+let iter_events_bytes buf ~pos ~len f =
+  (* Zero-copy entry for network/file read buffers: [Bytes.unsafe_to_string]
+     aliases the bytes without copying, and every event is materialized
+     before this call returns, so the aliasing is safe as long as the caller
+     does not mutate [buf] concurrently — the contract stated in the mli. *)
+  iter_events ~pos ~len (Bytes.unsafe_to_string buf) f
+
 (* ------------------------------------------------------------ checksum *)
 
 let crc_table =

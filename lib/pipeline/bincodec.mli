@@ -53,6 +53,29 @@ val get_event : string -> int -> Vyrd.Event.t * int
 (** [event_bytes ev] is the encoded size of [ev] (convenience for sizing). *)
 val event_bytes : Vyrd.Event.t -> int
 
+(** {1 Batch decoding}
+
+    The hot-path entries: decode a run of consecutive events in one tight
+    loop, without per-event closures or intermediate per-event strings. *)
+
+(** [iter_events ?pos ?len s f] decodes consecutive events from the slice
+    and hands each to [f]; returns how many were decoded.  The slice must
+    end exactly at an event boundary.
+    @raise Corrupt on malformed input or an event crossing the slice end.
+    @raise Invalid_argument when the slice is out of bounds. *)
+val iter_events : ?pos:int -> ?len:int -> string -> (Vyrd.Event.t -> unit) -> int
+
+(** [get_events s ~pos ~count] decodes exactly [count] events starting at
+    [pos]; returns them with the first position after the run.
+    @raise Corrupt on malformed input. *)
+val get_events : string -> pos:int -> count:int -> Vyrd.Event.t array * int
+
+(** [iter_events_bytes buf ~pos ~len f] is {!iter_events} directly over a
+    read buffer, {e zero-copy}: the bytes are aliased, not copied.  The
+    caller must not mutate [buf] until the call returns (every event is
+    materialized before then). *)
+val iter_events_bytes : Bytes.t -> pos:int -> len:int -> (Vyrd.Event.t -> unit) -> int
+
 (** {1 Checksums} *)
 
 (** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a substring; guards

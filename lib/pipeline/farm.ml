@@ -35,6 +35,11 @@ type lane = {
   l_index : int;
   l_shard : shard;
   l_ring : msg Ring.t;
+  (* Router-side pending slice: events accumulate here and enter the ring
+     through one [Ring.push_batch] per [route_batch] events, instead of one
+     mutex handshake each.  Only the routing thread touches it. *)
+  l_buf : msg array;
+  mutable l_pending : int;
   l_domain : (Report.t * int option * int) Domain.t;
 }
 
@@ -43,6 +48,7 @@ type t = {
   owners : (string, int) Hashtbl.t;  (* method -> lane, memoized kind probes *)
   current : (Tid.t, int) Hashtbl.t;  (* thread -> lane of its open call *)
   mutable fed : int;
+  mutable fed_unsynced : int;  (* events not yet folded into [m_events] *)
   metrics : Metrics.t;
   m_events : Metrics.counter;
   m_commits : Metrics.counter;
@@ -54,30 +60,47 @@ type t = {
 (* Batch granularity for the per-shard checking-latency histogram. *)
 let batch = 4096
 
+(* Router-side pending-slice size.  Big enough to amortize the ring mutex
+   to noise, small enough that the extra in-flight buffering per lane stays
+   negligible next to the ring capacity. *)
+let route_batch = 256
+
 let consume index (sh : shard) checker ring metrics =
   let hist = Metrics.histogram metrics ("farm.batch_ns." ^ sh.sh_name) in
   let checked = Metrics.counter metrics "farm.events_checked" in
   let fail = ref None in
   let count = ref 0 in
-  let t0 = ref (Unix.gettimeofday ()) in
+  let since = ref 0 in
+  let t0 = ref (Mclock.now_ns ()) in
+  (* one lock acquisition drains a whole slice of the ring *)
+  let scratch : msg option array = Array.make route_batch None in
   let rec loop () =
-    match Ring.pop ring with
-    | Some (Ev (idx, ev)) ->
-      incr count;
-      (match Checker.feed checker ev with
-      | Some _ when !fail = None -> fail := Some idx
-      | _ -> ());
-      Metrics.incr checked;
-      if !count mod batch = 0 then begin
-        let t1 = Unix.gettimeofday () in
-        Metrics.observe hist (int_of_float ((t1 -. !t0) *. 1e9));
-        t0 := t1
+    let n = Ring.pop_batch ring scratch in
+    if n = 0 then (Checker.report checker, !fail, !count)
+    else begin
+      let evs = ref 0 in
+      for k = 0 to n - 1 do
+        (match scratch.(k) with
+        | Some (Ev (idx, ev)) ->
+          incr evs;
+          (match Checker.feed checker ev with
+          | Some _ when !fail = None -> fail := Some idx
+          | _ -> ())
+        | Some (Snap reply) -> Squeue.push reply (index, Checker.snapshot checker)
+        | None -> ());
+        scratch.(k) <- None
+      done;
+      count := !count + !evs;
+      Metrics.add checked !evs;
+      since := !since + !evs;
+      if !since >= batch then begin
+        let t1 = Mclock.now_ns () in
+        Metrics.observe hist (t1 - !t0);
+        t0 := t1;
+        since := 0
       end;
       loop ()
-    | Some (Snap reply) ->
-      Squeue.push reply (index, Checker.snapshot checker);
-      loop ()
-    | None -> (Checker.report checker, !fail, !count)
+    end
   in
   loop ()
 
@@ -154,13 +177,16 @@ let start ?(capacity = 4096) ?metrics ?restore ~level shards =
   (match restore with
   | Some (_, _, states) -> List.iter2 Checker.restore checkers states
   | None -> ());
+  let dummy = Ev (-1, Event.Commit { tid = -1 }) in
   let lanes =
     Array.of_list
       (List.mapi
          (fun i (sh, checker) ->
            let ring = Ring.create ~capacity () in
            let domain = Domain.spawn (fun () -> consume i sh checker ring metrics) in
-           { l_index = i; l_shard = sh; l_ring = ring; l_domain = domain })
+           { l_index = i; l_shard = sh; l_ring = ring;
+             l_buf = Array.make route_batch dummy; l_pending = 0;
+             l_domain = domain })
          (List.combine shards checkers))
   in
   let t =
@@ -169,6 +195,7 @@ let start ?(capacity = 4096) ?metrics ?restore ~level shards =
       owners = Hashtbl.create 64;
       current = Hashtbl.create 16;
       fed = (match restore with Some (fed, _, _) -> fed | None -> 0);
+      fed_unsynced = 0;
       metrics;
       m_events = Metrics.counter metrics "farm.events_fed";
       m_commits = Metrics.counter metrics "farm.commits";
@@ -204,7 +231,24 @@ let owner t mid =
     Hashtbl.replace t.owners mid i;
     i
 
-let push t i idx ev = Ring.push t.lanes.(i).l_ring (Ev (idx, ev))
+let flush_lane l =
+  if l.l_pending > 0 then begin
+    Ring.push_batch l.l_ring ~len:l.l_pending l.l_buf;
+    l.l_pending <- 0
+  end
+
+let flush t =
+  Array.iter flush_lane t.lanes;
+  if t.fed_unsynced > 0 then begin
+    Metrics.add t.m_events t.fed_unsynced;
+    t.fed_unsynced <- 0
+  end
+
+let push t i idx ev =
+  let l = t.lanes.(i) in
+  l.l_buf.(l.l_pending) <- Ev (idx, ev);
+  l.l_pending <- l.l_pending + 1;
+  if l.l_pending = Array.length l.l_buf then flush_lane l
 
 let broadcast t idx ev =
   for i = 0 to Array.length t.lanes - 1 do
@@ -215,7 +259,12 @@ let feed t ev =
   if t.finished <> None then invalid_arg "Farm.feed: farm already finished";
   let idx = t.fed in
   t.fed <- idx + 1;
-  Metrics.incr t.m_events;
+  (* the events-fed counter is synced in slices, like the rings *)
+  t.fed_unsynced <- t.fed_unsynced + 1;
+  if t.fed_unsynced >= route_batch then begin
+    Metrics.add t.m_events t.fed_unsynced;
+    t.fed_unsynced <- 0
+  end;
   match ev with
   | Event.Call { tid; mid; _ } ->
     let i = owner t mid in
@@ -248,6 +297,11 @@ let feed t ev =
     (* consumed by no refinement checker (only by offline analyses) *)
     Metrics.incr t.m_skipped
 
+let feed_batch t evs =
+  (* same routing decisions as event-by-event [feed]; the per-lane pending
+     slices turn the whole array into a handful of [Ring.push_batch]es *)
+  Array.iter (feed t) evs
+
 let attach t log =
   t.logs <- log :: t.logs;
   Log.subscribe log (feed t)
@@ -261,6 +315,10 @@ let events_fed t = t.fed
 let checkpoint t =
   if t.finished <> None then None
   else begin
+    (* pending slices must reach the rings first, so the barrier token sits
+       after every event routed before it — mid-batch and batch-boundary
+       checkpoints are indistinguishable *)
+    flush t;
     let reply = Squeue.create () in
     Array.iter (fun l -> Ring.push l.l_ring (Snap reply)) t.lanes;
     let n = Array.length t.lanes in
@@ -353,6 +411,7 @@ let finish t =
   match t.finished with
   | Some r -> r
   | None ->
+    flush t;
     Array.iter (fun l -> Ring.close l.l_ring) t.lanes;
     let results =
       Array.to_list

@@ -75,8 +75,25 @@ val start :
 val checkpoint : t -> Vyrd.Repr.t option
 
 (** [feed t ev] routes one event.  Single producer: call from one thread, or
-    from a {!Vyrd.Log} listener (the log lock already serializes those). *)
+    from a {!Vyrd.Log} listener (the log lock already serializes those).
+
+    Routed events accumulate in a small per-lane pending slice and enter the
+    lane ring through one {!Vyrd.Ring.push_batch} per slice, so the per-event
+    mutex handshake of the unbatched design is amortized away.  The slices
+    are flushed automatically by {!checkpoint} and {!finish} (and by
+    {!flush}); they only ever hold a bounded tail of the stream. *)
 val feed : t -> Vyrd.Event.t -> unit
+
+(** [feed_batch t evs] routes a whole array, in order — equivalent to
+    [Array.iter (feed t) evs], the entry point the network server uses so a
+    wire batch flows to the lane rings in slices end-to-end. *)
+val feed_batch : t -> Vyrd.Event.t array -> unit
+
+(** [flush t] pushes every lane's pending slice into its ring.  Only needed
+    when the feeder wants previously routed events to become visible to the
+    checker domains {e now} (e.g. before polling for an early verdict) —
+    {!checkpoint} and {!finish} flush on their own. *)
+val flush : t -> unit
 
 (** [attach t log] subscribes {!feed} to every subsequently appended
     event. *)

@@ -200,15 +200,7 @@ let get_u32 s off =
    checksum, so a decode failure here means an encoder bug, not a torn
    write: raise rather than silently truncate. *)
 let decode_payload log payload count =
-  let len = String.length payload in
-  let n = ref 0 in
-  let pos = ref 0 in
-  while !pos < len do
-    let ev, pos' = Bincodec.get_event payload !pos in
-    Log.append log ev;
-    incr n;
-    pos := pos'
-  done;
+  let n = ref (Bincodec.iter_events payload (Log.append log)) in
   if !n <> count then
     raise
       (Bincodec.Corrupt

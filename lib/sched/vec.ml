@@ -68,3 +68,12 @@ let clear v = v.len <- 0
 let sub_list v ~pos ~len =
   if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Vec.sub_list";
   List.init len (fun i -> v.data.(pos + i))
+
+let drop_prefix v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.drop_prefix";
+  if n > 0 then begin
+    Array.blit v.data n v.data 0 (v.len - n);
+    v.len <- v.len - n
+    (* slots past [len] keep stale elements, same as [pop]/[clear]; they
+       are unobservable and overwritten by the next pushes *)
+  end

@@ -29,3 +29,8 @@ val clear : 'a t -> unit
 
 (** [sub v ~pos ~len] copies a slice into a fresh list. *)
 val sub_list : 'a t -> pos:int -> len:int -> 'a list
+
+(** [drop_prefix v n] removes the first [n] elements in place (one blit, no
+    allocation), shifting the rest down.
+    @raise Invalid_argument when [n] is out of bounds. *)
+val drop_prefix : 'a t -> int -> unit

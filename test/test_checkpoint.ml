@@ -287,6 +287,60 @@ let test_farm_checkpoint_restore_equivalence () =
   check_stats "farm restore" full.Farm.merged.Report.stats
     resumed.Farm.merged.Report.stats
 
+(* The batched router buffers routed events in per-lane pending slices; a
+   checkpoint taken mid-batch (cursor not on a slice boundary) must flush
+   them through the snap-token barrier and produce exactly the snapshot an
+   explicit batch-boundary flush would, and resuming from it must agree
+   with the straight-through run. *)
+let test_farm_checkpoint_mid_batch () =
+  let events = Log.snapshot (multi_log ()) in
+  let n = Array.length events in
+  let feed_range farm i0 i1 =
+    for i = i0 to i1 - 1 do
+      Farm.feed farm events.(i)
+    done
+  in
+  let full =
+    let farm = Farm.start ~capacity:1024 ~level:`View (farm_shards ()) in
+    feed_range farm 0 n;
+    Farm.finish farm
+  in
+  List.iter
+    (fun cut ->
+      let name = Printf.sprintf "cut at %d/%d" cut n in
+      (* checkpoint with slices in flight: [feed] alone never flushes the
+         final partial slice, so at an off-boundary cut the lanes have not
+         seen every routed event yet *)
+      let f1 = Farm.start ~capacity:1024 ~level:`View (farm_shards ()) in
+      feed_range f1 0 cut;
+      let s1 = Farm.checkpoint f1 in
+      ignore (Farm.finish f1 : Farm.result);
+      (* same prefix, but force the batch boundary first *)
+      let f2 = Farm.start ~capacity:1024 ~level:`View (farm_shards ()) in
+      feed_range f2 0 cut;
+      Farm.flush f2;
+      let s2 = Farm.checkpoint f2 in
+      ignore (Farm.finish f2 : Farm.result);
+      match (s1, s2) with
+      | Some a, Some b ->
+        Alcotest.(check bool)
+          (name ^ ": mid-batch snapshot = batch-boundary snapshot")
+          true (Repr.equal a b);
+        let f3 = Farm.start ~restore:a ~capacity:1024 ~level:`View (farm_shards ()) in
+        feed_range f3 cut n;
+        let resumed = Farm.finish f3 in
+        Alcotest.(check string) (name ^ ": resumed verdict")
+          (Report.tag full.Farm.merged)
+          (Report.tag resumed.Farm.merged);
+        Alcotest.(check (option int)) (name ^ ": resumed fail index")
+          (Farm.min_fail_index full) (Farm.min_fail_index resumed);
+        Alcotest.(check int) (name ^ ": fed counts the restored prefix")
+          full.Farm.fed resumed.Farm.fed;
+        check_stats (name ^ ": resumed stats") full.Farm.merged.Report.stats
+          resumed.Farm.merged.Report.stats
+      | _ -> Alcotest.fail (name ^ ": farm checkpoint refused"))
+    [ 7; (n / 2) + 13; n - 3 ]
+
 let test_resume_farm_annotates_then_resumes () =
   let log = multi_log () in
   with_spool @@ fun path ->
@@ -467,6 +521,9 @@ let suite =
     ( "farm checkpoint/restore = straight through",
       `Quick,
       test_farm_checkpoint_restore_equivalence );
+    ( "farm checkpoint mid-batch = batch boundary",
+      `Quick,
+      test_farm_checkpoint_mid_batch );
     ( "resume_farm annotates, then resumes O(1)",
       `Quick,
       test_resume_farm_annotates_then_resumes );

@@ -1,0 +1,281 @@
+(* Differential oracle testing for the flattened checker hot path.
+
+   The fast checker's verdict AND first-detection index must match
+   [Reference.check_indexed] — an independent, whole-phase prediction of
+   where the incremental checker first reports — on randomly generated
+   well-formed annotated logs (multiple structures, mixed commit orders,
+   open executions at the tail) and on mutant-seeded runs: dropped /
+   duplicated events, flipped returns, stray commits and stray commit
+   blocks, and the [lib/faults] dropped-block instrumentation fault. *)
+
+open Vyrd
+open Vyrd_sched
+open Vyrd_multiset
+module Faults = Vyrd_faults.Faults
+module Farm = Vyrd_pipeline.Farm
+
+let qcheck = QCheck_alcotest.to_alcotest
+let mspec = Multiset_spec.spec
+let vspec = Vyrd_jlib.Vector.spec
+let cspec = Spec_compose.pair mspec vspec
+let view = Multiset_vector.viewdef ~capacity:16
+
+(* --- random well-formed annotated logs ---------------------------------- *)
+
+(* One method execution: call, optional commit, return.  Returns are drawn
+   from plausible shapes with biased validity, so generated logs mix
+   passing runs, refinement violations at varied depths, and rich observer
+   windows. *)
+type op = { op_mid : string; op_args : Repr.t list; op_ret : Repr.t; op_commit : bool }
+
+let gen_op ~sides =
+  let open QCheck2.Gen in
+  let x = int_range 0 5 in
+  let rbool = map Repr.bool bool in
+  let sf = frequency [ (4, return Repr.success); (1, return Repr.failure) ] in
+  let commit = frequency [ (4, return true); (1, return false) ] in
+  let multiset_ops =
+    [
+      map3
+        (fun v r c -> { op_mid = "insert"; op_args = [ Repr.int v ]; op_ret = r; op_commit = c })
+        x sf commit;
+      map
+        (fun (v, w, r, c) ->
+          { op_mid = "insert_pair"; op_args = [ Repr.int v; Repr.int w ]; op_ret = r;
+            op_commit = c })
+        (quad x x sf commit);
+      map3
+        (fun v r c -> { op_mid = "delete"; op_args = [ Repr.int v ]; op_ret = r; op_commit = c })
+        x rbool commit;
+      map
+        (fun c -> { op_mid = "compress"; op_args = []; op_ret = Repr.Unit; op_commit = c })
+        commit;
+      map2
+        (fun v r -> { op_mid = "lookup"; op_args = [ Repr.int v ]; op_ret = r; op_commit = false })
+        x rbool;
+      map2
+        (fun v n -> { op_mid = "count"; op_args = [ Repr.int v ]; op_ret = Repr.int n;
+                      op_commit = false })
+        x (int_range 0 3);
+    ]
+  in
+  let vector_ops =
+    [
+      map3
+        (fun v r c -> { op_mid = "add"; op_args = [ Repr.int v ]; op_ret = r; op_commit = c })
+        x sf commit;
+      map2
+        (fun r c -> { op_mid = "remove_last"; op_args = []; op_ret = r; op_commit = c })
+        rbool commit;
+      map
+        (fun (i, v, r, c) ->
+          { op_mid = "set"; op_args = [ Repr.int i; Repr.int v ]; op_ret = r; op_commit = c })
+        (quad (int_range 0 3) x rbool commit);
+      map
+        (fun c -> { op_mid = "clear"; op_args = []; op_ret = Repr.Unit; op_commit = c })
+        commit;
+      map2
+        (fun n r -> { op_mid = "size"; op_args = []; op_ret = (if r then Repr.int n else Repr.Bool r);
+                      op_commit = false })
+        (int_range 0 4) bool;
+      map
+        (fun r -> { op_mid = "is_empty"; op_args = []; op_ret = r; op_commit = false })
+        rbool;
+      map2
+        (fun v r -> { op_mid = "contains"; op_args = [ Repr.int v ]; op_ret = r;
+                      op_commit = false })
+        x rbool;
+    ]
+  in
+  oneof (match sides with
+    | `Multiset -> multiset_ops
+    | `Mixed -> multiset_ops @ vector_ops)
+
+(* Expand thread scripts into per-thread event queues and interleave them
+   with a seeded scheduler; optionally truncate the tail (leaving open
+   executions and unreturned commits) and seed one structural mutation. *)
+let build_events ~mutate scripts seed =
+  let expand tid ops =
+    List.concat_map
+      (fun o ->
+        (Event.Call { tid; mid = o.op_mid; args = o.op_args }
+         :: (if o.op_commit then [ Event.Commit { tid } ] else []))
+        @ [ Event.Return { tid; mid = o.op_mid; value = o.op_ret } ])
+      ops
+  in
+  let rng = Prng.create seed in
+  let queues = Array.of_list (List.mapi (fun i ops -> ref (expand (i + 1) ops)) scripts) in
+  let out = ref [] in
+  let remaining () =
+    Array.to_list queues |> List.filter (fun q -> !q <> []) |> Array.of_list
+  in
+  let rec drain () =
+    let live = remaining () in
+    if Array.length live > 0 then begin
+      let q = live.(Prng.int rng (Array.length live)) in
+      out := List.hd !q :: !out;
+      q := List.tl !q;
+      drain ()
+    end
+  in
+  drain ();
+  let evs = Array.of_list (List.rev !out) in
+  let evs =
+    if Array.length evs > 0 && Prng.int rng 5 = 0 then
+      Array.sub evs 0 (Prng.int rng (Array.length evs + 1))
+    else evs
+  in
+  let n = Array.length evs in
+  if (not mutate) || n = 0 || Prng.int rng 5 < 3 then Array.to_list evs
+  else
+    let i = Prng.int rng n in
+    let l = Array.to_list evs in
+    match Prng.int rng 5 with
+    | 0 -> List.filteri (fun j _ -> j <> i) l (* drop one event *)
+    | 1 -> List.concat (List.mapi (fun j e -> if j = i then [ e; e ] else [ e ]) l)
+    | 2 ->
+      List.mapi
+        (fun j e ->
+          if j <> i then e
+          else
+            match e with
+            | Event.Return { tid; mid; value = Repr.Bool b } ->
+              Event.Return { tid; mid; value = Repr.Bool (not b) }
+            | Event.Return { tid; mid; value } when Repr.equal value Repr.success ->
+              Event.Return { tid; mid; value = Repr.failure }
+            | e -> e)
+        l
+    | 3 ->
+      List.concat
+        (List.mapi
+           (fun j e ->
+             if j = i then [ Event.Commit { tid = 1 + Prng.int rng 4 }; e ] else [ e ])
+           l)
+    | _ ->
+      let b =
+        if Prng.int rng 2 = 0 then Event.Block_begin { tid = 1 + Prng.int rng 4 }
+        else Event.Block_end { tid = 1 + Prng.int rng 4 }
+      in
+      List.concat (List.mapi (fun j e -> if j = i then [ b; e ] else [ e ]) l)
+
+let gen_case ~sides =
+  let open QCheck2.Gen in
+  pair (list_size (int_range 2 4) (list_size (int_range 1 6) (gen_op ~sides))) nat
+
+let print_case (scripts, seed) =
+  let evs = build_events ~mutate:true scripts seed in
+  Format.asprintf "seed %d:@.%a" seed
+    (Format.pp_print_list Event.pp)
+    evs
+
+(* 1000+ random cases: the fast checker's (verdict, kind, index) must equal
+   the indexed reference prediction, on clean and mutant-seeded logs. *)
+let differential_random_logs =
+  qcheck
+    (QCheck2.Test.make ~name:"checker == indexed reference on random logs" ~count:1000
+       ~print:print_case (gen_case ~sides:`Mixed)
+       (fun (scripts, seed) ->
+         let log = Log.of_events (build_events ~mutate:true scripts seed) in
+         Reference.agrees_with_checker_indexed log cspec))
+
+(* Single-structure logs through a one-shard farm: the merged verdict and
+   global fail index must equal the offline checker's (and hence the
+   reference's — covered above). *)
+let differential_farm_single =
+  qcheck
+    (QCheck2.Test.make ~name:"single-shard farm == offline checker (verdict+index)"
+       ~count:60 ~print:print_case (gen_case ~sides:`Multiset)
+       (fun (scripts, seed) ->
+         let evs = build_events ~mutate:false scripts seed in
+         let log = Log.of_events evs in
+         let report, idx = Checker.check_indexed ~mode:`Io log mspec in
+         let farm = Farm.start ~level:(Log.level log) [ Farm.shard "multiset" mspec ] in
+         Log.iter (Farm.feed farm) log;
+         let res = Farm.finish farm in
+         Report.is_pass res.Farm.merged = Report.is_pass report
+         && Farm.min_fail_index res = idx))
+
+(* Mixed logs through a two-shard farm: per-shard detection indices are
+   shard-local, so only the verdict must agree with the composed spec. *)
+let differential_farm_mixed =
+  qcheck
+    (QCheck2.Test.make ~name:"two-shard farm verdict == composed offline verdict"
+       ~count:40 ~print:print_case (gen_case ~sides:`Mixed)
+       (fun (scripts, seed) ->
+         let evs = build_events ~mutate:false scripts seed in
+         let log = Log.of_events evs in
+         let offline = Checker.check ~mode:`Io log cspec in
+         let farm =
+           Farm.start ~level:(Log.level log)
+             [ Farm.shard "multiset" mspec; Farm.shard "vector" vspec ]
+         in
+         Log.iter (Farm.feed farm) log;
+         let res = Farm.finish farm in
+         Report.is_pass res.Farm.merged = Report.is_pass offline))
+
+(* --- view-mode agreement on instrumented runs --------------------------- *)
+
+let run_multiset ?(bugs = []) ~seed () =
+  let log = Log.create ~level:`View () in
+  Coop.run ~seed (fun s ->
+      let ctx = Instrument.make s log in
+      let ms = Multiset_vector.create ~bugs ~capacity:16 ctx in
+      for t = 1 to 4 do
+        s.spawn (fun () ->
+            let rng = Prng.create (seed + (23 * t)) in
+            for _ = 1 to 15 do
+              let x = Prng.int rng 6 in
+              match Prng.int rng 5 with
+              | 0 | 1 -> ignore (Multiset_vector.insert ms x)
+              | 2 -> ignore (Multiset_vector.insert_pair ms x (x + 1))
+              | 3 -> ignore (Multiset_vector.delete ms x)
+              | _ -> ignore (Multiset_vector.lookup ms x)
+            done)
+      done);
+  log
+
+let check_indexed_agreement ~what ~seed log =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s io seed %d" what seed)
+    true
+    (Reference.agrees_with_checker_indexed log mspec);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s view seed %d" what seed)
+    true
+    (Reference.agrees_with_checker_indexed ~view log mspec)
+
+let test_indexed_correct_runs () =
+  for seed = 0 to 29 do
+    check_indexed_agreement ~what:"correct" ~seed (run_multiset ~seed ())
+  done
+
+let test_indexed_buggy_runs () =
+  for seed = 0 to 29 do
+    check_indexed_agreement ~what:"racy"
+      ~seed
+      (run_multiset ~bugs:[ Multiset_vector.Racy_find_slot ] ~seed ())
+  done
+
+let test_indexed_dropped_block_runs () =
+  (* the instrumentation fault drops commit-block brackets entirely: the
+     log stays structurally well-formed but viewI diverges *)
+  let saw_fail = ref false in
+  for seed = 0 to 19 do
+    let log =
+      Faults.with_armed Instrument.fault_dropped_block (fun () -> run_multiset ~seed ())
+    in
+    check_indexed_agreement ~what:"dropped-block" ~seed log;
+    if not (Report.is_pass (Checker.check ~mode:`View ~view log mspec)) then
+      saw_fail := true
+  done;
+  Alcotest.(check bool) "dropped blocks surface as violations" true !saw_fail
+
+let suite =
+  [
+    differential_random_logs;
+    differential_farm_single;
+    differential_farm_mixed;
+    ("indexed oracle on correct runs", `Quick, test_indexed_correct_runs);
+    ("indexed oracle on racy runs", `Quick, test_indexed_buggy_runs);
+    ("indexed oracle on dropped-block runs", `Quick, test_indexed_dropped_block_runs);
+  ]

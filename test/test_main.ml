@@ -13,6 +13,8 @@ let () =
       ("analysis", Test_analysis.suite);
       ("fuzz", Test_fuzz.suite);
       ("oracle", Test_oracle.suite);
+      ("hotpath", Test_hotpath.suite);
+      ("ring-model", Test_ring_model.suite);
       ("native-stress", Test_native_stress.suite);
       ("explore", Test_explore.suite);
       ("compose", Test_compose.suite);

@@ -532,17 +532,22 @@ let test_corrupt_reader_does_not_leak_fds () =
 
 let test_loopback_sessions_do_not_leak_fds () =
   with_server (fun srv ->
+      (* session threads tear down asynchronously after the verdict, so both
+         fd counts must be sampled with the server quiescent *)
+      let quiesce () =
+        let deadline = Unix.gettimeofday () +. 5. in
+        while Server.active srv > 0 && Unix.gettimeofday () < deadline do
+          Thread.delay 0.02
+        done
+      in
       let log = correct_log () in
       ignore (Client.submit_log (Server.addr srv) log : Client.outcome);
+      quiesce ();
       let before = count_fds () in
       for _ = 1 to 5 do
         ignore (Client.submit_log (Server.addr srv) log : Client.outcome)
       done;
-      (* session threads tear down asynchronously after the verdict *)
-      let deadline = Unix.gettimeofday () +. 5. in
-      while Server.active srv > 0 && Unix.gettimeofday () < deadline do
-        Thread.delay 0.02
-      done;
+      quiesce ();
       Alcotest.(check int) "no fd leaked across 5 sessions" before (count_fds ()))
 
 let suite =
