@@ -469,8 +469,9 @@ let baseline_atomizer () =
 
 (* Offline analyses are meant to run off the critical path over very large
    logs, so their unit of merit is events/second of log consumed.  Compares
-   the three passes of `vyrd-check analyze`: FastTrack happens-before race
-   detection, the log-discipline linter, and lockset+reduction. *)
+   the passes of `vyrd-check analyze`: FastTrack happens-before race
+   detection, the log-discipline linter, the deadlock-potential lock-order
+   graph, and lockset+reduction. *)
 let analyze_perf () =
   Fmt.pr "@.Analyzer throughput on generated `Full-level logs@.@.";
   let subjects =
@@ -504,6 +505,8 @@ let analyze_perf () =
       row "hb-race (FastTrack)" (fun () ->
           ignore (Vyrd_analysis.Racedetect.analyze log));
       row "log lint" (fun () -> ignore (Vyrd_analysis.Lint.check log));
+      row "lock-order graph" (fun () ->
+          ignore (Vyrd_analysis.Lockgraph.analyze log));
       row "lockset+reduction" (fun () ->
           ignore (Vyrd_baselines.Reduction.analyze log)))
     subjects;
@@ -1158,6 +1161,161 @@ let checkpoint_bench ?(json_out = Some "BENCH_checkpoint.json") ?(ops = 20_000) 
         ("replayed", string_of_int resumed.Resume.replayed);
       ]
 
+(* --------------------------------------------- in-service analysis bench *)
+
+(* What `--analyze` costs on the hot path: the same ~1.1M-event composed
+   `View workload as the hotpath bench, drained through the farm with and
+   without the level's analysis passes (lint + lockgraph at `View) on the
+   dedicated analysis lane.  Gates (any failure exits 1):
+
+   - refinement verdict identical with and without passes attached;
+   - every pass saw the whole stream and came back clean on the correct
+     workload;
+   - passes-attached drain within --max-overhead percent of the plain
+     drain (default 15, the in-service budget);
+   - when --baseline BENCH_analyze.json is given, the passes-attached
+     drain not more than --max-regress percent below the committed number.
+
+   Also reports standalone Lockgraph.analyze throughput over a `Full-level
+   log — the lock-order graph needs Acquire/Release events, which `View
+   traces do not carry. *)
+let analyze_bench ?(json_out = Some "BENCH_analyze.json") ~baseline
+    ~max_regress ~max_overhead ~ops () =
+  Fmt.pr
+    "@.In-service analysis: farm drain with vs without --analyze passes \
+     (gate: <= %.0f%% overhead)@.@."
+    max_overhead;
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops ~seed:11 ~level in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let passes () = Vyrd_analysis.Pass.for_level level in
+  Fmt.pr "%d events at `View level; passes: %s@.@." n
+    (String.concat ", "
+       (List.map (fun (p : Vyrd_analysis.Pass.t) -> p.Vyrd_analysis.Pass.name)
+          (passes ())));
+  let failures = ref [] in
+  let gate name ok =
+    Fmt.pr "gate: %-52s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  let drain ?passes () =
+    let farm = Farm.start ~capacity:8192 ?passes ~level (farm_shards ()) in
+    Array.iter (Farm.feed farm) events;
+    Farm.finish farm
+  in
+  (* -- correctness: the analysis lane must not perturb the verdict -------- *)
+  let plain = drain () in
+  let analyzed = drain ~passes:(passes ()) () in
+  gate "verdict identical with and without passes"
+    (String.equal (Report.tag plain.Farm.merged) (Report.tag analyzed.Farm.merged)
+    && Farm.min_fail_index plain = Farm.min_fail_index analyzed);
+  gate "every pass saw the whole stream"
+    (analyzed.Farm.analysis <> []
+    && List.for_all
+         (fun (s : Vyrd_analysis.Pass.summary) ->
+           s.Vyrd_analysis.Pass.events = n)
+         analyzed.Farm.analysis);
+  gate "passes clean on the correct workload"
+    (List.for_all Vyrd_analysis.Pass.clean analyzed.Farm.analysis);
+  (* -- throughput: best of N trials, wall clock --------------------------- *)
+  let trials = 3 in
+  Fmt.pr "@.%-30s %10s %12s   (best of %d)@." "configuration" "wall ms"
+    "events/s" trials;
+  Fmt.pr "%s@." (line 60);
+  let best label count f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Fmt.pr "%-30s %10.2f %12s@." label
+      (!best *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int count /. !best /. 1e6));
+    !best
+  in
+  (* Paired trials: each trial times the plain and the --analyze drain
+     back-to-back.  The overhead gate takes the best of the per-pair
+     ratios and the ratio of the per-side minima — on a loaded
+     single-core CI box a scheduling spike can hit either side of any
+     pair, and both statistics discard a different kind of spike, so
+     together they approach the true steady-state overhead from above. *)
+  let pairs = 5 in
+  let plain_dt = ref infinity and passes_dt = ref infinity in
+  let pair_ratio = ref infinity in
+  for _ = 1 to pairs do
+    let t0 = Unix.gettimeofday () in
+    ignore (drain () : Farm.result);
+    let p = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    ignore (drain ~passes:(passes ()) () : Farm.result);
+    let a = Unix.gettimeofday () -. t0 in
+    if p < !plain_dt then plain_dt := p;
+    if a < !passes_dt then passes_dt := a;
+    if a /. p < !pair_ratio then pair_ratio := a /. p
+  done;
+  let ratio = ref (Float.min !pair_ratio (!passes_dt /. !plain_dt)) in
+  let row label dt =
+    Fmt.pr "%-30s %10.2f %12s@." label (dt *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int n /. dt /. 1e6))
+  in
+  row "farm view drain, no passes" !plain_dt;
+  row "farm view drain, --analyze" !passes_dt;
+  let plain_dt = !plain_dt and passes_dt = !passes_dt in
+  let full_log =
+    multi_log ~threads:8 ~ops:(max 1 (ops / 10)) ~seed:3 ~level:`Full
+  in
+  let fn = Log.length full_log in
+  let lock_dt =
+    best (Fmt.str "lockgraph alone, %d ev `Full" fn) fn (fun () ->
+        ignore (Vyrd_analysis.Lockgraph.analyze full_log
+                 : Vyrd_analysis.Lockgraph.result))
+  in
+  let overhead_pct = (!ratio -. 1.) *. 100. in
+  gate
+    (Printf.sprintf "--analyze overhead %.1f%% <= %.0f%% (best of %d pairs)"
+       overhead_pct max_overhead pairs)
+    (!ratio <= 1. +. (max_overhead /. 100.));
+  let passes_evps = float_of_int n /. passes_dt in
+  (match baseline with
+  | None -> ()
+  | Some file ->
+    let old = read_json_field file "farm_passes_events_per_sec" in
+    if Float.is_nan old then
+      Fmt.pr "gate: baseline %s unreadable — skipping the regression gate@."
+        file
+    else
+      let floor = old *. (1. -. (max_regress /. 100.)) in
+      gate
+        (Printf.sprintf
+           "--analyze drain %.2fM >= %.2fM (baseline %.2fM - %.0f%%)"
+           (passes_evps /. 1e6) (floor /. 1e6) (old /. 1e6) max_regress)
+        (passes_evps >= floor));
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"analyze\"");
+        ("events", string_of_int n);
+        ("trials", string_of_int trials);
+        ("pairs", string_of_int pairs);
+        ("farm_plain_events_per_sec", jnum (float_of_int n /. plain_dt));
+        ("farm_passes_events_per_sec", jnum passes_evps);
+        ("overhead_pct", jnum overhead_pct);
+        ("lockgraph_events", string_of_int fn);
+        ("lockgraph_events_per_sec", jnum (float_of_int fn /. lock_dt));
+        ("max_overhead_pct_gate", jnum max_overhead);
+      ]);
+  if !failures <> [] then begin
+    Fmt.epr "@.analyze gates failed:@.";
+    List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev !failures);
+    exit 1
+  end;
+  Fmt.pr "@.all analyze gates passed@."
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -1173,6 +1331,7 @@ let all () =
   net_bench ();
   checkpoint_bench ();
   hotpath ~baseline:None ~max_regress:20. ~min_evps:1e6 ~ops:20_000 ();
+  analyze_bench ~baseline:None ~max_regress:25. ~max_overhead:15. ~ops:20_000 ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -1196,7 +1355,7 @@ let () =
           explore_bounds;
         cmd "analyze-perf"
           "Offline-analyzer throughput (events/sec): happens-before race \
-           detection, log lint, lockset+reduction."
+           detection, log lint, lock-order graph, lockset+reduction."
           analyze_perf;
         cmd "pipeline"
           "Streaming pipeline: binary-vs-text codec throughput, 1-vs-N \
@@ -1240,6 +1399,39 @@ let () =
                 value & opt float 1e6
                 & info [ "min-evps" ] ~docv:"EV_PER_S"
                     ~doc:"Absolute farm io-drain floor in events/second.")
+            $ Arg.(
+                value & opt int 20_000
+                & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));
+        Cmd.v
+          (Cmd.info "analyze"
+             ~doc:
+               "In-service analysis overhead: farm view drain with vs \
+                without the level's analysis passes (lint + lock-order \
+                graph) on the hotpath workload, gated at --max-overhead \
+                percent, plus standalone lock-order-graph throughput and an \
+                optional baseline regression gate (writes \
+                BENCH_analyze.json).")
+          Term.(
+            const (fun baseline max_regress max_overhead ops ->
+                analyze_bench ~baseline ~max_regress ~max_overhead ~ops ())
+            $ Arg.(
+                value
+                & opt (some string) None
+                & info [ "baseline" ] ~docv:"FILE"
+                    ~doc:
+                      "Committed BENCH_analyze.json to gate against: fail if \
+                       the passes-attached drain drops more than \
+                       $(b,--max-regress) percent below it.")
+            $ Arg.(
+                value & opt float 25.
+                & info [ "max-regress" ] ~docv:"PCT"
+                    ~doc:"Allowed regression vs the baseline, in percent.")
+            $ Arg.(
+                value & opt float 15.
+                & info [ "max-overhead" ] ~docv:"PCT"
+                    ~doc:
+                      "Allowed analysis-lane overhead over the plain drain, \
+                       in percent.")
             $ Arg.(
                 value & opt int 20_000
                 & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));

@@ -297,6 +297,7 @@ let timeline_cmd =
 
 module Racedetect = Vyrd_analysis.Racedetect
 module Lint = Vyrd_analysis.Lint
+module Lockgraph = Vyrd_analysis.Lockgraph
 module Reduction = Vyrd_baselines.Reduction
 
 let json_escape s =
@@ -353,6 +354,35 @@ let races_json (r : Racedetect.result) =
               (access_json race.current))
           r.races))
     r.events r.variables
+
+let lockgraph_witness_json (w : Lockgraph.witness) =
+  Printf.sprintf "{\"index\":%d,\"tid\":%d,\"held\":%s,\"method\":%s}" w.index
+    w.tid
+    (json_list (List.map json_str (List.sort compare w.held)))
+    (match w.meth with
+    | Some m ->
+      Printf.sprintf "{\"mid\":%s,\"call_index\":%d}" (json_str m.mid)
+        m.call_index
+    | None -> "null")
+
+let lockgraph_json (r : Lockgraph.result) =
+  Printf.sprintf
+    "{\"cycles\":%s,\"locks\":%d,\"edges\":%d,\"acquires\":%d,\
+     \"suppressed_gated\":%d,\"suppressed_single_thread\":%d}"
+    (json_list
+       (List.map
+          (fun (c : Lockgraph.cycle) ->
+            Printf.sprintf "{\"locks\":%s,\"witnesses\":%s}"
+              (json_list (List.map json_str c.locks))
+              (json_list
+                 (List.map2
+                    (fun (e : Lockgraph.edge) w ->
+                      Printf.sprintf "{\"from\":%s,\"to\":%s,\"witness\":%s}"
+                        (json_str e.src) (json_str e.dst)
+                        (lockgraph_witness_json w))
+                    c.edges c.chosen)))
+          r.cycles))
+    r.locks r.edges r.acquires r.suppressed_gated r.suppressed_single_thread
 
 let reduction_json (r : Reduction.result) =
   Printf.sprintf "{\"racy_vars\":%s,\"methods\":%s}"
@@ -412,8 +442,8 @@ let analyze_cmd =
       value & flag
       & info [ "lint-only" ]
           ~doc:
-            "Run only the log-discipline linter (works on logs of any \
-             level); skip race detection and reduction.")
+            "Run only the level-tolerant analyses (the log-discipline linter \
+             and the lock-order graph); skip race detection and reduction.")
   in
   let run json lint_only files =
     let findings = ref false in
@@ -421,6 +451,10 @@ let analyze_cmd =
       let log = load_log file in
       let lint = Lint.check log in
       if not (Lint.ok lint) then findings := true;
+      (* level-tolerant like the linter: a sub-`Full log has no lock events,
+         so the graph is empty and the verdict trivially clean *)
+      let lockgraph = Lockgraph.analyze log in
+      if not (Lockgraph.ok lockgraph) then findings := true;
       let deep =
         if lint_only then None
         else
@@ -435,8 +469,9 @@ let analyze_cmd =
       in
       if json then
         Printf.printf
-          "    {\"log\":%s,\"events\":%d,\"lint\":%s%s}"
+          "    {\"log\":%s,\"events\":%d,\"lint\":%s,\"lockgraph\":%s%s}"
           (json_str file) (Log.length log) (lint_json lint)
+          (lockgraph_json lockgraph)
           (match deep with
           | None -> ""
           | Some (hb, red, cmp) ->
@@ -445,6 +480,7 @@ let analyze_cmd =
       else begin
         Fmt.pr "== %s (%d events) ==@." file (Log.length log);
         Fmt.pr "lint: %a@." Lint.pp lint;
+        Fmt.pr "lock order: %a@." Lockgraph.pp lockgraph;
         match deep with
         | None -> ()
         | Some (hb, red, cmp) ->
@@ -472,9 +508,10 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Static analyses over a recorded log: happens-before race detection \
-          (FastTrack), the log-discipline linter, and a side-by-side \
-          comparison with Lipton-reduction atomicity (the §8 false-alarm \
-          gap).  Requires a log recorded at level full unless --lint-only.")
+          (FastTrack), the log-discipline linter, the deadlock-potential \
+          lock-order graph (Goodlock), and a side-by-side comparison with \
+          Lipton-reduction atomicity (the §8 false-alarm gap).  Requires a \
+          log recorded at level full unless --lint-only.")
     Term.(const run $ json $ lint_only $ files)
 
 (* ------------------------------------------------------------ pipeline *)
@@ -556,8 +593,17 @@ let pipeline_cmd =
           ~doc:"Run the workload under system threads instead of the \
                 deterministic engine.")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Attach the incremental analysis passes (lint, lock-order graph, \
+             and at level full the race detector) to a dedicated farm lane \
+             and report their diagnostics with the verdict.")
+  in
   let run names seed threads ops bug level capacity invariants segments rotate
-      checkpoint_events metrics_json native =
+      checkpoint_events metrics_json native analyze =
     let subjects = List.map resolve names in
     let cfg =
       { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
@@ -576,8 +622,11 @@ let pipeline_cmd =
           | `Io | `None -> Farm.shard ~mode:`Io s.name s.spec)
         subjects
     in
+    let passes =
+      if analyze then Vyrd_analysis.Pass.for_level level else []
+    in
     let farm =
-      match Farm.start ~capacity ~metrics ~level shards with
+      match Farm.start ~capacity ~metrics ~passes ~level shards with
       | farm -> farm
       | exception Invalid_argument msg ->
         Fmt.epr "configuration error: %s@." msg;
@@ -639,6 +688,9 @@ let pipeline_cmd =
           (float_of_int sr.Farm.sr_stall_ns /. 1e6))
       result.Farm.shards;
     Fmt.pr "merged: %a@." Report.pp result.Farm.merged;
+    List.iter
+      (fun s -> Fmt.pr "analysis %a@." Vyrd_analysis.Pass.pp_summary s)
+      result.Farm.analysis;
     (match writer with
     | Some w ->
       Fmt.pr "segments: %d file(s), %d segments, %d bytes@."
@@ -655,7 +707,11 @@ let pipeline_cmd =
       output_char oc '\n';
       close_out oc
     | None -> ());
-    if Report.is_pass result.Farm.merged then exit 0 else exit 1
+    let analysis_clean =
+      List.for_all Vyrd_analysis.Pass.clean result.Farm.analysis
+    in
+    if Report.is_pass result.Farm.merged && analysis_clean then exit 0
+    else exit 1
   in
   Cmd.v
     (Cmd.info "pipeline"
@@ -666,7 +722,7 @@ let pipeline_cmd =
     Term.(
       const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
       $ invariants $ segments $ rotate $ checkpoint_events $ metrics_json
-      $ native)
+      $ native $ analyze)
 
 (* ----------------------------------------------------------- serve/submit *)
 
@@ -775,13 +831,22 @@ let serve_cmd =
       & info [ "metrics-json" ] ~docv:"FILE"
           ~doc:"Write the metrics registry as JSON to $(docv) on shutdown.")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Attach fresh incremental analysis passes (lint, lock-order \
+             graph, and at level full the race detector) to every session's \
+             farm; diagnostic counts surface in the analysis.* metrics.")
+  in
   let run addr names capacity window max_sessions spill_dir idle_timeout
-      invariants recheck_spills checkpoint_events metrics_json =
+      invariants recheck_spills checkpoint_events metrics_json analyze =
     let subjects = List.map resolve names in
     let metrics = Metrics.create () in
     let cfg =
       Server.config ~capacity ~window ~max_sessions ?spill_dir ~idle_timeout
-        ~recheck_spills ~checkpoint_events ~metrics ~addr
+        ~recheck_spills ~checkpoint_events ~analyze ~metrics ~addr
         (shards_for subjects invariants)
     in
     let server =
@@ -820,7 +885,7 @@ let serve_cmd =
     Term.(
       const run $ addr_arg $ subjects_arg $ capacity $ window $ max_sessions
       $ spill_dir $ idle_timeout $ invariants $ recheck_spills
-      $ checkpoint_events $ metrics_json)
+      $ checkpoint_events $ metrics_json $ analyze)
 
 let submit_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in

@@ -39,104 +39,134 @@ type tstate = {
   mutable exec : exec option;
   mutable blocks : int list;  (* open Block_begin positions, innermost first *)
   mutable held : (string * (int * int)) list;  (* lock -> count, acquire pos *)
+  mutable pending : (int * diag) list;
+      (* outside-method diags held back (rev, with creation seq) until the
+         thread's first Call proves it is not a daemon thread *)
 }
 
-let check log =
-  (* Threads that never record a Call are initialization / daemon threads:
-     their writes and commits are §6.2 coarse-grained logging, not method
-     actions, so the outside-a-method checks do not apply to them. *)
-  let calling = Hashtbl.create 16 in
-  Log.iter
-    (fun ev ->
-      match ev with
-      | Event.Call { tid; _ } -> Hashtbl.replace calling tid ()
-      | _ -> ())
-    log;
-  let calling tid = Hashtbl.mem calling tid in
-  let threads : (Tid.t, tstate) Hashtbl.t = Hashtbl.create 16 in
-  let state tid =
-    match Hashtbl.find_opt threads tid with
-    | Some s -> s
-    | None ->
-      let s = { exec = None; blocks = []; held = [] } in
-      Hashtbl.replace threads tid s;
-      s
+type t = {
+  threads : (Tid.t, tstate) Hashtbl.t;
+  calling : (Tid.t, unit) Hashtbl.t;
+  mutable diags_rev : (int * diag) list;  (* creation seq * diag *)
+  mutable seq : int;
+  mutable index : int;
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 16;
+    calling = Hashtbl.create 16;
+    diags_rev = [];
+    seq = 0;
+    index = 0;
+  }
+
+let state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some s -> s
+  | None ->
+    let s = { exec = None; blocks = []; held = []; pending = [] } in
+    Hashtbl.replace t.threads tid s;
+    s
+
+let mk_diag t position tid kind =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  (seq, { position; tid; severity = severity_of kind; kind })
+
+let emit t position tid kind = t.diags_rev <- mk_diag t position tid kind :: t.diags_rev
+
+(* Threads that never record a Call are initialization / daemon threads:
+   their writes and commits are §6.2 coarse-grained logging, not method
+   actions, so the outside-a-method checks do not apply to them.  Streaming,
+   we cannot know yet whether a thread will ever call — so the diagnostic is
+   buffered and only released by the thread's first [Call]; threads still
+   call-free at [finish] drop their buffer.  Creation-order sequence numbers
+   put released diagnostics back in log order. *)
+let emit_if_calling t position tid kind =
+  if Hashtbl.mem t.calling tid then emit t position tid kind
+  else
+    let s = state t tid in
+    s.pending <- mk_diag t position tid kind :: s.pending
+
+let close_exec t position tid (e : exec) =
+  if e.first_commit = None && e.writes > 0 then
+    emit t position tid (Uncommitted_mutation { mid = e.mid; writes = e.writes })
+
+let feed t ev =
+  let i = t.index in
+  t.index <- i + 1;
+  match ev with
+  | Event.Call { tid; mid; _ } ->
+    if not (Hashtbl.mem t.calling tid) then begin
+      Hashtbl.replace t.calling tid ();
+      let s = state t tid in
+      t.diags_rev <- s.pending @ t.diags_rev;
+      s.pending <- []
+    end;
+    let s = state t tid in
+    (match s.exec with
+    | Some outer -> emit t i tid (Nested_call { outer = outer.mid })
+    | None -> ());
+    s.exec <- Some { mid; call_index = i; first_commit = None; writes = 0 }
+  | Event.Return { tid; mid; _ } -> (
+    let s = state t tid in
+    match s.exec with
+    | None -> emit t i tid (Return_without_call { mid })
+    | Some e ->
+      if e.mid <> mid then
+        emit t i tid (Return_mismatch { expected = e.mid; got = mid });
+      (* blocks opened inside this execution must have closed *)
+      List.iter
+        (fun opened ->
+          if opened > e.call_index then emit t i tid (Unclosed_block { opened }))
+        s.blocks;
+      s.blocks <- List.filter (fun opened -> opened <= e.call_index) s.blocks;
+      close_exec t i tid e;
+      s.exec <- None)
+  | Event.Commit { tid } -> (
+    let s = state t tid in
+    match s.exec with
+    | Some e -> (
+      match e.first_commit with
+      | None -> e.first_commit <- Some i
+      | Some first -> emit t i tid (Duplicate_commit { mid = e.mid; first }))
+    | None -> emit_if_calling t i tid Commit_outside_method)
+  | Event.Write { tid; var; _ } -> (
+    let s = state t tid in
+    match s.exec with
+    | Some e -> e.writes <- e.writes + 1
+    | None -> emit_if_calling t i tid (Write_outside_method { var }))
+  | Event.Block_begin { tid } ->
+    let s = state t tid in
+    if s.exec = None then emit_if_calling t i tid Block_outside_method;
+    s.blocks <- i :: s.blocks
+  | Event.Block_end { tid } -> (
+    let s = state t tid in
+    match s.blocks with
+    | _ :: rest -> s.blocks <- rest
+    | [] -> emit t i tid Unbalanced_block_end)
+  | Event.Read _ -> ()
+  | Event.Acquire { tid; lock } ->
+    let s = state t tid in
+    s.held <-
+      (match List.assoc_opt lock s.held with
+      | Some (n, first) -> (lock, (n + 1, first)) :: List.remove_assoc lock s.held
+      | None -> (lock, (1, i)) :: s.held)
+  | Event.Release { tid; lock } -> (
+    let s = state t tid in
+    match List.assoc_opt lock s.held with
+    | Some (n, first) ->
+      s.held <-
+        (if n > 1 then (lock, (n - 1, first)) :: List.remove_assoc lock s.held
+         else List.remove_assoc lock s.held)
+    | None -> emit t i tid (Release_without_acquire { lock }))
+
+let finish t =
+  let events = t.index in
+  let stream =
+    List.sort compare t.diags_rev |> List.map snd
   in
-  let diags = ref [] in
-  let emit position tid kind =
-    diags := { position; tid; severity = severity_of kind; kind } :: !diags
-  in
-  let close_exec position tid (e : exec) =
-    if e.first_commit = None && e.writes > 0 then
-      emit position tid (Uncommitted_mutation { mid = e.mid; writes = e.writes })
-  in
-  let index = ref 0 in
-  Log.iter
-    (fun ev ->
-      let i = !index in
-      incr index;
-      match ev with
-      | Event.Call { tid; mid; _ } ->
-        let s = state tid in
-        (match s.exec with
-        | Some outer -> emit i tid (Nested_call { outer = outer.mid })
-        | None -> ());
-        s.exec <- Some { mid; call_index = i; first_commit = None; writes = 0 }
-      | Event.Return { tid; mid; _ } -> (
-        let s = state tid in
-        match s.exec with
-        | None -> emit i tid (Return_without_call { mid })
-        | Some e ->
-          if e.mid <> mid then
-            emit i tid (Return_mismatch { expected = e.mid; got = mid });
-          (* blocks opened inside this execution must have closed *)
-          List.iter
-            (fun opened ->
-              if opened > e.call_index then
-                emit i tid (Unclosed_block { opened }))
-            s.blocks;
-          s.blocks <- List.filter (fun opened -> opened <= e.call_index) s.blocks;
-          close_exec i tid e;
-          s.exec <- None)
-      | Event.Commit { tid } -> (
-        let s = state tid in
-        match s.exec with
-        | Some e -> (
-          match e.first_commit with
-          | None -> e.first_commit <- Some i
-          | Some first -> emit i tid (Duplicate_commit { mid = e.mid; first }))
-        | None -> if calling tid then emit i tid Commit_outside_method)
-      | Event.Write { tid; var; _ } -> (
-        let s = state tid in
-        match s.exec with
-        | Some e -> e.writes <- e.writes + 1
-        | None -> if calling tid then emit i tid (Write_outside_method { var }))
-      | Event.Block_begin { tid } ->
-        let s = state tid in
-        if s.exec = None && calling tid then emit i tid Block_outside_method;
-        s.blocks <- i :: s.blocks
-      | Event.Block_end { tid } -> (
-        let s = state tid in
-        match s.blocks with
-        | _ :: rest -> s.blocks <- rest
-        | [] -> emit i tid Unbalanced_block_end)
-      | Event.Read _ -> ()
-      | Event.Acquire { tid; lock } ->
-        let s = state tid in
-        s.held <-
-          (match List.assoc_opt lock s.held with
-          | Some (n, first) -> (lock, (n + 1, first)) :: List.remove_assoc lock s.held
-          | None -> (lock, (1, i)) :: s.held)
-      | Event.Release { tid; lock } -> (
-        let s = state tid in
-        match List.assoc_opt lock s.held with
-        | Some (n, first) ->
-          s.held <-
-            (if n > 1 then (lock, (n - 1, first)) :: List.remove_assoc lock s.held
-             else List.remove_assoc lock s.held)
-        | None -> emit i tid (Release_without_acquire { lock })))
-    log;
-  let events = !index in
   (* End-of-log findings, sorted for determinism: a log may legitimately be
      truncated mid-execution (a checker stopping at the violation), so open
      calls are not flagged — but open blocks and held locks are. *)
@@ -151,17 +181,24 @@ let check log =
         (fun (lock, (_, acquired)) ->
           tail := (acquired, tid, Unreleased_lock { lock; acquired }) :: !tail)
         s.held)
-    threads;
-  List.iter
-    (fun (pos, tid, kind) -> emit pos tid kind)
-    (List.sort compare !tail);
-  let diags = List.rev !diags in
+    t.threads;
+  let tail =
+    List.sort compare !tail
+    |> List.map (fun (position, tid, kind) ->
+           { position; tid; severity = severity_of kind; kind })
+  in
+  let diags = stream @ tail in
   {
     diags;
     errors = List.length (List.filter (fun d -> d.severity = Error) diags);
     warnings = List.length (List.filter (fun d -> d.severity = Warning) diags);
     events;
   }
+
+let check log =
+  let t = create () in
+  Log.iter (feed t) log;
+  finish t
 
 let ok r = r.errors = 0
 

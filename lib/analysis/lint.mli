@@ -65,6 +65,25 @@ type result = {
   events : int;
 }
 
+(** {1 Streaming interface} *)
+
+type t
+
+val create : unit -> t
+
+(** [feed t ev] advances the linter by one event (log order; positions are
+    tracked internally).  Outside-method diagnostics for a thread are held
+    back until that thread's first [Call] proves it is not a daemon thread;
+    {!finish} restores log order and drops the buffers of threads that never
+    called. *)
+val feed : t -> Vyrd.Event.t -> unit
+
+(** End-of-log findings (open blocks, held locks) plus everything streamed so
+    far.  [check log] is [create]/[feed]/[finish] and the two agree exactly. *)
+val finish : t -> result
+
+(** {1 Whole-log analysis} *)
+
 val check : Vyrd.Log.t -> result
 
 (** No errors (warnings allowed). *)

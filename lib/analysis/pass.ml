@@ -1,0 +1,149 @@
+open Vyrd
+module Tid = Vyrd_sched.Tid
+
+type severity = [ `Error | `Warning ]
+
+type diag = {
+  pass : string;
+  id : string;
+  severity : severity;
+  position : int;
+  tid : Tid.t option;
+  text : string;
+}
+
+type summary = {
+  pass : string;
+  events : int;
+  errors : int;
+  warnings : int;
+  diags : diag list;
+  dropped : int;
+}
+
+type t = { name : string; feed : Event.t -> unit; finish : unit -> summary }
+
+(* In-service summaries must stay bounded no matter how broken the stream
+   is; counts above the cap are exact, the diagnostics themselves are not. *)
+let max_diags = 64
+
+let summarize ~pass ~events diags =
+  let errors =
+    List.length (List.filter (fun d -> d.severity = `Error) diags)
+  in
+  let warnings =
+    List.length (List.filter (fun d -> d.severity = `Warning) diags)
+  in
+  let n = List.length diags in
+  let diags =
+    if n <= max_diags then diags
+    else List.filteri (fun i _ -> i < max_diags) diags
+  in
+  { pass; events; errors; warnings; diags; dropped = max 0 (n - max_diags) }
+
+let racedetect () =
+  let name = "race" in
+  let d = Racedetect.create () in
+  {
+    name;
+    feed = Racedetect.feed d;
+    finish =
+      (fun () ->
+        let r = Racedetect.result d in
+        let diags =
+          List.map
+            (fun (race : Racedetect.race) ->
+              {
+                pass = name;
+                id = "data-race";
+                severity = `Error;
+                position = race.Racedetect.current.Racedetect.index;
+                tid = Some race.Racedetect.current.Racedetect.tid;
+                text = Fmt.str "%a" Racedetect.pp_race race;
+              })
+            r.Racedetect.races
+        in
+        summarize ~pass:name ~events:r.Racedetect.events diags);
+  }
+
+let lint () =
+  let name = "lint" in
+  let l = Lint.create () in
+  {
+    name;
+    feed = Lint.feed l;
+    finish =
+      (fun () ->
+        let r = Lint.finish l in
+        let diags =
+          List.map
+            (fun (d : Lint.diag) ->
+              {
+                pass = name;
+                id = Lint.kind_id d.Lint.kind;
+                severity =
+                  (match d.Lint.severity with
+                  | Lint.Error -> `Error
+                  | Lint.Warning -> `Warning);
+                position = d.Lint.position;
+                tid = Some d.Lint.tid;
+                text = Lint.message d.Lint.kind;
+              })
+            r.Lint.diags
+        in
+        summarize ~pass:name ~events:r.Lint.events diags);
+  }
+
+let lockgraph () =
+  let name = "lockgraph" in
+  let g = Lockgraph.create () in
+  {
+    name;
+    feed = Lockgraph.feed g;
+    finish =
+      (fun () ->
+        let r = Lockgraph.result g in
+        let diags =
+          List.map
+            (fun (c : Lockgraph.cycle) ->
+              let w0 = List.hd c.Lockgraph.chosen in
+              {
+                pass = name;
+                id = "lock-order-cycle";
+                severity = `Error;
+                position = w0.Lockgraph.index;
+                tid = None;
+                text = Fmt.str "@[<h>%a@]" Lockgraph.pp_cycle c;
+              })
+            r.Lockgraph.cycles
+        in
+        summarize ~pass:name ~events:r.Lockgraph.events diags);
+  }
+
+(* Which passes are meaningful at a given log level: the linter and the lock
+   graph degrade gracefully on sparser logs (fewer event classes, never a
+   wrong verdict), but happens-before race detection without lock events
+   would call every write pair racy — it only runs at [`Full]. *)
+let for_level (level : Log.level) =
+  match level with
+  | `Full -> [ lint (); lockgraph (); racedetect () ]
+  | `None | `Io | `View -> [ lint (); lockgraph () ]
+
+let all () = for_level `Full
+
+let clean s = s.errors = 0
+
+let pp_diag ppf (d : diag) =
+  Fmt.pf ppf "[%s/%s] @%d%a: %s" d.pass d.id d.position
+    Fmt.(option (fun ppf t -> pf ppf " %s" (Tid.to_string t)))
+    d.tid d.text
+
+let pp_summary ppf s =
+  if s.diags = [] && s.dropped = 0 then
+    Fmt.pf ppf "%s: clean (%d events)" s.pass s.events
+  else
+    Fmt.pf ppf "@[<v>%s: %d error(s), %d warning(s) in %d events%s:@ %a@]"
+      s.pass s.errors s.warnings s.events
+      (if s.dropped > 0 then Fmt.str " (%d diag(s) dropped)" s.dropped else "")
+      Fmt.(list ~sep:cut pp_diag)
+      s.diags

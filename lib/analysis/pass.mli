@@ -1,0 +1,57 @@
+(** Unified incremental interface over the static analyses, so they can run
+    {e in-service} — attached to a checker farm lane or a vyrdd session —
+    instead of only offline via [vyrd_check analyze].
+
+    A pass consumes one event at a time ([feed], log order) and produces a
+    bounded {!summary} of typed diagnostics at [finish].  The three analyses
+    behind it are {!Lint} (instrumentation contract), {!Lockgraph}
+    (deadlock-potential lock-order cycles) and {!Racedetect} (happens-before
+    data races); {!for_level} picks the subset that is meaningful for a log
+    level — race detection needs [`Full] lock events, the other two degrade
+    gracefully on sparser logs. *)
+
+type severity = [ `Error | `Warning ]
+
+type diag = {
+  pass : string;  (** the pass that produced it, e.g. ["lockgraph"] *)
+  id : string;  (** stable kebab-case kind, e.g. ["lock-order-cycle"] *)
+  severity : severity;
+  position : int;  (** log index the diagnostic anchors to *)
+  tid : Vyrd_sched.Tid.t option;
+  text : string;  (** rendered, single line *)
+}
+
+type summary = {
+  pass : string;
+  events : int;
+  errors : int;  (** exact, even when [diags] is truncated *)
+  warnings : int;  (** exact, even when [diags] is truncated *)
+  diags : diag list;  (** at most {!max_diags} *)
+  dropped : int;  (** diagnostics beyond the cap, counted not kept *)
+}
+
+type t = {
+  name : string;
+  feed : Vyrd.Event.t -> unit;
+  finish : unit -> summary;  (** call once, after the last [feed] *)
+}
+
+(** Diagnostics kept per summary; counts stay exact beyond it. *)
+val max_diags : int
+
+val racedetect : unit -> t
+val lint : unit -> t
+val lockgraph : unit -> t
+
+(** The passes meaningful at [level]: lint + lockgraph always, racedetect
+    only at [`Full]. *)
+val for_level : Vyrd.Log.level -> t list
+
+(** All three passes ([for_level `Full]). *)
+val all : unit -> t list
+
+(** No errors (warnings allowed). *)
+val clean : summary -> bool
+
+val pp_diag : Format.formatter -> diag -> unit
+val pp_summary : Format.formatter -> summary -> unit

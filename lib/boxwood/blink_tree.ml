@@ -15,6 +15,7 @@ let fault_torn_split =
       "leaf split publishes the halved leaf before writing the new sibling; \
        readers between the two writes lose the moved pairs and the chain \
        beyond them"
+    ()
 
 type bug = Duplicate_data_nodes
 

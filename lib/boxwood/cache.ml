@@ -15,6 +15,37 @@ let fault_stale_writeback =
     ~description:
       "flush marks dirty entries clean without writing them back; the chunk \
        store keeps stale bytes that a later evict re-exposes as a stale read"
+    ()
+
+(* Seeded lock-order inversion: every other path that touches both locks
+   (READ on a missing entry, EVICT of a dirty entry) acquires LOCK(clean)
+   and only then the chunk manager's lock; the armed FLUSH wraps its body in
+   the chunk-manager lock *first*.  A worker blocked in READ holding "clean"
+   and the flush daemon holding "chunkmgr" then deadlock — some schedules
+   genuinely hang (Explore finds them), and any single healthy `Full trace
+   exhibiting both orders gives Lockgraph its clean->chunkmgr->clean cycle. *)
+let fault_lock_order_inversion =
+  Faults.define ~kind:Faults.Deadlock ~name:"cache.lock_order_inversion"
+    ~subject:"Cache"
+    ~description:
+      "flush acquires the chunk-manager lock before LOCK(clean), opposite \
+       to the read/evict paths; schedules exist that deadlock, and the \
+       lock-order graph flags the inversion from one non-deadlocking trace"
+    ()
+
+(* Benign counterpart, pinning the analysis' false-positive rate: the same
+   ABBA shape on two dedicated locks, but every inverted section runs under
+   a common gate lock, so no interleaving can actually deadlock.  Armed runs
+   stay correct and no detector may fire — Lockgraph's gate suppression must
+   classify the cycle as benign. *)
+let fault_gated_inversion =
+  Faults.define ~kind:Faults.Benign ~name:"cache.gated_lock_inversion"
+    ~subject:"Cache"
+    ~description:
+      "write takes gate->order_a->order_b while flush takes \
+       gate->order_b->order_a; the common gate makes the inversion \
+       unreachable, so the lock-order graph must stay silent"
+    ()
 
 type bug = Unprotected_dirty_copy
 
@@ -27,6 +58,10 @@ type t = {
   cm : Chunk_manager.t;
   reclaim : Sched.rwlock;
   clean_lock : Sched.mutex;  (* Fig. 8's LOCK(clean) *)
+  (* instrumented locks used only by the armed [fault_gated_inversion] *)
+  gate : Sched.mutex;
+  order_a : Sched.mutex;
+  order_b : Sched.mutex;
   entries : entry array;
   buf_size : int;
   bugs : bug list;
@@ -56,6 +91,9 @@ let create ?(bugs = []) ~buf_size ctx cm =
     cm;
     reclaim = ctx.Instrument.sched.Sched.new_rwlock ~name:"reclaim" ();
     clean_lock = Instrument.mutex ctx ~name:"clean";
+    gate = Instrument.mutex ctx ~name:"gate";
+    order_a = Instrument.mutex ctx ~name:"order_a";
+    order_b = Instrument.mutex ctx ~name:"order_b";
     entries = Array.init (Chunk_manager.handles cm) entry;
     buf_size;
     bugs;
@@ -88,6 +126,12 @@ let buggy t = List.mem Unprotected_dirty_copy t.bugs
    copy to an already-dirty entry. *)
 let write t h data =
   let body () =
+    if Faults.enabled fault_gated_inversion then
+      (* gate -> order_a -> order_b; flush does the opposite inner order
+         under the same gate, from a different thread *)
+      Sched.with_lock t.gate (fun () ->
+          Sched.with_lock t.order_a (fun () ->
+              Sched.with_lock t.order_b (fun () -> ())));
     t.reclaim.Sched.begin_read ();
     let e = entry t h in
     t.clean_lock.Sched.lock ();
@@ -167,17 +211,32 @@ let read_fill t h =
    unchanged (dirty bytes become chunk bytes but keep masking them). *)
 let flush t =
   let body () =
-    Sched.with_lock t.clean_lock (fun () ->
-        Instrument.with_block t.ctx (fun () ->
-            Array.iteri
-              (fun h e ->
-                if Cell.get e.state = Dirty then begin
-                  if not (Faults.enabled fault_stale_writeback) then
-                    Chunk_manager.write t.cm h (read_entry e);
-                  Cell.set e.state Clean
-                end)
-              t.entries;
-            Instrument.commit t.ctx));
+    if Faults.enabled fault_gated_inversion then
+      (* gate -> order_b -> order_a: inverted w.r.t. [write], but benign —
+         the shared gate serializes the two sections *)
+      Sched.with_lock t.gate (fun () ->
+          Sched.with_lock t.order_b (fun () ->
+              Sched.with_lock t.order_a (fun () -> ())));
+    let flush_entries () =
+      Sched.with_lock t.clean_lock (fun () ->
+          Instrument.with_block t.ctx (fun () ->
+              Array.iteri
+                (fun h e ->
+                  if Cell.get e.state = Dirty then begin
+                    if not (Faults.enabled fault_stale_writeback) then
+                      Chunk_manager.write t.cm h (read_entry e);
+                    Cell.set e.state Clean
+                  end)
+                t.entries;
+              Instrument.commit t.ctx))
+    in
+    if Faults.enabled fault_lock_order_inversion then
+      (* MUTANT: take the chunk-manager lock *before* LOCK(clean) — the
+         opposite of every read/evict path.  The nested Chunk_manager.write
+         re-acquisition is reentrant, so the armed flush itself is fine; the
+         hazard is the inverted order against concurrent readers. *)
+      Sched.with_lock (Chunk_manager.lock t.cm) flush_entries
+    else flush_entries ();
     Repr.Unit
   in
   ignore (Instrument.op t.ctx "flush" [] body)

@@ -67,3 +67,15 @@ val spec : chunks:int -> Vyrd.Spec.t
     bytes that a later clean evict re-exposes.  The clean-matches-chunk
     invariant catches it already at the flush. *)
 val fault_stale_writeback : Vyrd_faults.Faults.t
+
+(** Seeded lock-order inversion ([Deadlock] kind): when armed, [flush] takes
+    the chunk-manager lock before [LOCK(clean)] — opposite to the read/evict
+    paths.  Some schedules deadlock; {!Vyrd_analysis.Lockgraph} flags the
+    cycle from a single non-deadlocking [`Full] trace. *)
+val fault_lock_order_inversion : Vyrd_faults.Faults.t
+
+(** Gate-protected benign inversion ([Benign] kind): [write] takes
+    [gate -> order_a -> order_b] while [flush] takes
+    [gate -> order_b -> order_a].  The shared gate makes the ABBA cycle
+    unreachable, so armed runs stay correct and no detector may fire. *)
+val fault_gated_inversion : Vyrd_faults.Faults.t

@@ -16,6 +16,11 @@ val create : chunks:int -> Vyrd.Instrument.ctx -> t
 
 val handles : t -> int
 
+(** The module's coarse lock (instrumented: acquisitions show up in [`Full]
+    logs as ["chunkmgr"]).  Exposed so the seeded lock-order mutants in
+    {!Cache} can acquire it in the inverted order. *)
+val lock : t -> Vyrd_sched.Sched.mutex
+
 (** [read t h] returns a copy of the chunk's current contents. *)
 val read : t -> int -> string
 

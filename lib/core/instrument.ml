@@ -11,6 +11,7 @@ let fault_dropped_block =
     ~description:
       "with_block emits no commit-block brackets; multi-write commit blocks \
        replay write-by-write and concurrent commits see half-published state"
+    ()
 
 type ctx = { sched : Sched.t; log : Log.t }
 

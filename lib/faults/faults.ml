@@ -1,7 +1,10 @@
+type kind = Refinement | Deadlock | Benign
+
 type t = {
   f_name : string;
   f_subject : string;
   f_description : string;
+  f_kind : kind;
   mutable f_armed : bool;
 }
 
@@ -11,11 +14,12 @@ type t = {
    is needed on the hot path. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
-let define ~name ~subject ~description =
+let define ?(kind = Refinement) ~name ~subject ~description () =
   if Hashtbl.mem registry name then
     invalid_arg (Printf.sprintf "Faults.define: %S is already registered" name);
   let f =
-    { f_name = name; f_subject = subject; f_description = description; f_armed = false }
+    { f_name = name; f_subject = subject; f_description = description;
+      f_kind = kind; f_armed = false }
   in
   Hashtbl.replace registry name f;
   f
@@ -23,6 +27,12 @@ let define ~name ~subject ~description =
 let name f = f.f_name
 let subject f = f.f_subject
 let description f = f.f_description
+let kind f = f.f_kind
+
+let kind_id = function
+  | Refinement -> "refinement"
+  | Deadlock -> "deadlock"
+  | Benign -> "benign"
 let enabled f = f.f_armed
 let arm f = f.f_armed <- true
 let disarm f = f.f_armed <- false

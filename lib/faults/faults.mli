@@ -18,13 +18,31 @@
 
 type t
 
+(** What arming the fault breaks — which detectors are {e expected} to fire:
+
+    - [Refinement]: a refinement violation ([`View]-mode detection required,
+      the original five mutants);
+    - [Deadlock]: a lock-order inversion — {!Vyrd_analysis.Lockgraph} must
+      flag it from one healthy [`Full] trace, and some schedules genuinely
+      deadlock ({!Vyrd_sched.Explore} can find them);
+    - [Benign]: a gate-protected inversion — armed runs stay correct and
+      {e no} detector may fire (the false-positive pin). *)
+type kind = Refinement | Deadlock | Benign
+
 (** [define ~name ~subject ~description] declares a fault and registers it.
 
     [name] is the stable identifier (["multiset_vector.lost_update"]);
     [subject] names the {!Vyrd_harness.Subjects.t} entry whose workload
     exercises the injection site; [description] says what the seeded bug
-    does.  @raise Invalid_argument if [name] is already registered. *)
-val define : name:string -> subject:string -> description:string -> t
+    does; [kind] (default [Refinement]) says which detectors must catch it.
+    @raise Invalid_argument if [name] is already registered. *)
+val define :
+  ?kind:kind -> name:string -> subject:string -> description:string -> unit -> t
+
+val kind : t -> kind
+
+(** Stable identifier: ["refinement"], ["deadlock"], ["benign"]. *)
+val kind_id : kind -> string
 
 val name : t -> string
 val subject : t -> string

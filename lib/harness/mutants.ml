@@ -15,6 +15,8 @@ module Faults = Vyrd_faults.Faults
 module Sched = Vyrd_sched.Sched
 module Prng = Vyrd_sched.Prng
 module Explore = Vyrd_sched.Explore
+module Coop = Vyrd_sched.Coop
+module Lockgraph = Vyrd_analysis.Lockgraph
 
 type cell = {
   regime : string;  (* "coop" | "native" | "explore" *)
@@ -255,18 +257,135 @@ let explore_cell cfg fault (s : Subjects.t) =
   done;
   cell ~regime:"explore" ~mode:"view" ~runs:!schedules !found
 
+(* --- lock-order channel: Deadlock and Benign kinds ------------------------ *)
+
+(* Sweep coop seeds at `Full level and run the lock-order graph over every
+   schedule that completes; count the schedules that genuinely hang.  The
+   [lockgraph/cycle] cell is differential like the race channel: only a
+   reported cycle that the disarmed subject (same seed) does NOT show counts.
+   For [Deadlock] mutants the sweep keeps going until it has also seen a
+   real hang (or the budget runs out) — the coop/deadlock cell is evidence
+   that the flagged order is not a phantom.  For [Benign] mutants a short
+   sweep suffices: every analyzed trace must come back clean, and no seed
+   may hang. *)
+let lockorder_cells cfg fault (s : Subjects.t) =
+  let full_log seed =
+    Harness.run
+      { (harness_cfg cfg seed) with log_level = `Full }
+      (s.build ~bug:false)
+  in
+  let baseline_has_cycle seed =
+    (* we run under with_armed, which restores the armed state on exit *)
+    Faults.disarm fault;
+    Fun.protect
+      ~finally:(fun () -> Faults.arm fault)
+      (fun () ->
+        match full_log seed with
+        | log -> not (Lockgraph.ok (Lockgraph.analyze log))
+        | exception Coop.Deadlock _ -> true)
+  in
+  let want_deadlock = Faults.kind fault = Faults.Deadlock in
+  let budget = if want_deadlock then cfg.seeds else min cfg.seeds 12 in
+  let cycle = ref None and analyzed = ref 0 in
+  let deadlocks = ref 0 and runs = ref 0 and hang_seed = ref None in
+  let seed = ref 0 in
+  while
+    (!cycle = None || (want_deadlock && !deadlocks = 0)) && !seed < budget
+  do
+    incr runs;
+    (match full_log !seed with
+    | exception Coop.Deadlock _ ->
+      incr deadlocks;
+      if !hang_seed = None then hang_seed := Some !seed
+    | log ->
+      incr analyzed;
+      if !cycle = None then begin
+        let r = Lockgraph.analyze log in
+        if (not (Lockgraph.ok r)) && not (baseline_has_cycle !seed) then
+          cycle := Some (String.concat "->" (Lockgraph.cyclic_locks r))
+      end);
+    incr seed
+  done;
+  [
+    {
+      regime = "lockgraph";
+      mode = "cycle";
+      detected = !cycle <> None;
+      runs = !analyzed;
+      methods_checked = None;
+      tag = !cycle;
+    };
+    {
+      regime = "coop";
+      mode = "deadlock";
+      detected = !deadlocks > 0;
+      runs = !runs;
+      methods_checked = None;
+      tag = Option.map (Printf.sprintf "seed=%d") !hang_seed;
+    };
+  ]
+
+(* Systematic certificate for the hang: bounded exploration of the tiny
+   contended scenario, counting schedules that end in {!Coop.Deadlock}. *)
+let explore_deadlock_cell cfg fault (s : Subjects.t) =
+  let ops, keyrange = explore_tuning cfg fault in
+  let total = ref 0 and hangs = ref 0 in
+  let opseed = ref 0 in
+  while !hangs = 0 && !opseed < cfg.explore_opseeds do
+    (match
+       Explore.explore ~max_schedules:cfg.explore_budget
+         ~preemption_bound:cfg.preemption_bound
+         (explore_scenario cfg ~ops ~keyrange ~opseed:!opseed s
+            ~on_log:(fun _ -> ()))
+     with
+    | r ->
+      total := !total + r.Explore.schedules;
+      hangs := !hangs + r.Explore.deadlocks
+    | exception Coop.Livelock _ -> ());
+    incr opseed
+  done;
+  {
+    regime = "explore";
+    mode = "deadlock";
+    detected = !hangs > 0;
+    runs = !total;
+    methods_checked = None;
+    tag = (if !hangs > 0 then Some (Printf.sprintf "hangs=%d" !hangs) else None);
+  }
+
+(* Benign mutants must also keep refining: a short armed `View sweep in
+   which any violation is a (forbidden) detection. *)
+let benign_view_cell cfg (s : Subjects.t) =
+  let found = ref None and runs = ref 0 in
+  let seed = ref 0 in
+  while !found = None && !seed < min cfg.seeds 10 do
+    incr runs;
+    let log = Harness.run (harness_cfg cfg !seed) (s.build ~bug:false) in
+    let r = check_mode ~mode:`View s log in
+    if not (Report.is_pass r) then found := Some r;
+    incr seed
+  done;
+  cell ~regime:"coop" ~mode:"view" ~runs:!runs !found
+
 (* --- per-fault orchestration --------------------------------------------- *)
 
 let run_fault cfg fault =
   let subject = Subjects.find (Faults.subject fault) in
   Faults.with_armed fault (fun () ->
       let cells =
-        coop_cells cfg subject
-        @ [
-            race_cell cfg fault subject;
-            native_cell cfg subject;
-            explore_cell cfg fault subject;
-          ]
+        match Faults.kind fault with
+        | Faults.Refinement ->
+          coop_cells cfg subject
+          @ [
+              race_cell cfg fault subject;
+              native_cell cfg subject;
+              explore_cell cfg fault subject;
+            ]
+        | Faults.Deadlock ->
+          lockorder_cells cfg fault subject
+          @ [ explore_deadlock_cell cfg fault subject ]
+        | Faults.Benign ->
+          lockorder_cells cfg fault subject @ [ benign_view_cell cfg subject ]
       in
       { fault; subject; cells })
 
@@ -287,6 +406,23 @@ let deterministic_view_detection row =
    bugs never light it up, lock-discipline bugs always should. *)
 let race_detection row =
   List.exists (fun c -> c.mode = "race" && c.detected) row.cells
+
+(* The lock-order graph flagged an armed-only cycle from a completed trace. *)
+let lockgraph_detection row =
+  List.exists (fun c -> c.regime = "lockgraph" && c.detected) row.cells
+
+(* Some schedule genuinely hung — under the coop seed sweep or under bounded
+   exploration. *)
+let deadlock_detection row =
+  List.exists (fun c -> c.mode = "deadlock" && c.detected) row.cells
+
+(* Kind-aware ground truth: what each mutant's row must show for the
+   registry to count as validated. *)
+let expected_detections_hold row =
+  match Faults.kind row.fault with
+  | Faults.Refinement -> deterministic_view_detection row
+  | Faults.Deadlock -> lockgraph_detection row && deadlock_detection row
+  | Faults.Benign -> not (List.exists (fun c -> c.detected) row.cells)
 
 (* Table 1's headline inequality, on ground truth: view refinement needs no
    more checked methods than I/O refinement (which may miss outright). *)
@@ -310,9 +446,10 @@ let pp_cell ppf c =
   else Fmt.pf ppf "miss(%d)" c.runs
 
 let pp_matrix ppf rows =
-  let line = String.make 137 '-' in
-  Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s %-18s@." "fault" "subject"
-    "coop/io" "coop/view" "coop/race" "native/view" "explore/view";
+  let line = String.make 175 '-' in
+  Fmt.pf ppf "%-32s %-22s %-9s %-18s %-18s %-18s %-18s %-18s %-18s %-18s@."
+    "fault" "subject" "kind" "coop/io" "coop/view" "coop/race" "native/view"
+    "explore/view" "lockgraph" "deadlock";
   Fmt.pf ppf "%s@." line;
   List.iter
     (fun row ->
@@ -321,17 +458,35 @@ let pp_matrix ppf rows =
         | Some c -> Fmt.str "%a" pp_cell c
         | None -> "-"
       in
-      Fmt.pf ppf "%-32s %-22s %-18s %-18s %-18s %-18s %-18s@."
-        (Faults.name row.fault) row.subject.Subjects.name (c "coop" "io")
-        (c "coop" "view") (c "coop" "race") (c "native" "view")
-        (c "explore" "view"))
+      (* one deadlock column covering both regimes: the first cell that saw
+         a hang, or the combined miss count *)
+      let deadlock_col =
+        match List.filter (fun c -> c.mode = "deadlock") row.cells with
+        | [] -> "-"
+        | cells -> (
+          match List.find_opt (fun c -> c.detected) cells with
+          | Some c ->
+            Fmt.str "%s/%s r=%d" c.regime
+              (Option.value ~default:"hang" c.tag)
+              c.runs
+          | None ->
+            Fmt.str "miss(%d)"
+              (List.fold_left (fun acc c -> acc + c.runs) 0 cells))
+      in
+      Fmt.pf ppf "%-32s %-22s %-9s %-18s %-18s %-18s %-18s %-18s %-18s %-18s@."
+        (Faults.name row.fault) row.subject.Subjects.name
+        (Faults.kind_id (Faults.kind row.fault))
+        (c "coop" "io") (c "coop" "view") (c "coop" "race") (c "native" "view")
+        (c "explore" "view") (c "lockgraph" "cycle") deadlock_col)
     rows;
   Fmt.pf ppf "%s@." line;
   Fmt.pf ppf
     "(m = methods checked when the violation fired — Table 1's unit; r = \
      runs/schedules until detection; miss(n) = undetected after n; the race \
      column is the differential happens-before channel: armed-only racy \
-     variable, or miss)@."
+     variable, or miss; lockgraph = armed-only lock-order cycle over `Full \
+     traces; deadlock = schedules that genuinely hung — benign mutants must \
+     show miss in every column)@."
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -362,15 +517,21 @@ let to_json rows =
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"fault\":\"%s\",\"subject\":\"%s\",\"description\":\"%s\",\n\
+           "    {\"fault\":\"%s\",\"subject\":\"%s\",\"kind\":\"%s\",\
+            \"description\":\"%s\",\n\
            \     \"deterministic_view_detection\":%b,\"view_beats_io\":%b,\
             \"race_detection\":%b,\n\
+           \     \"lockgraph_detection\":%b,\"deadlock_detection\":%b,\
+            \"expected_detections_hold\":%b,\n\
            \     \"cells\":[%s]}"
            (json_escape (Faults.name row.fault))
            (json_escape row.subject.Subjects.name)
+           (Faults.kind_id (Faults.kind row.fault))
            (json_escape (Faults.description row.fault))
            (deterministic_view_detection row) (view_beats_io row)
-           (race_detection row)
+           (race_detection row) (lockgraph_detection row)
+           (deadlock_detection row)
+           (expected_detections_hold row)
            (String.concat "," (List.map cell_json row.cells))))
     rows;
   Buffer.add_string b "\n  ]\n}\n";

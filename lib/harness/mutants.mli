@@ -80,6 +80,21 @@ val deterministic_view_detection : row -> bool
     detector can and cannot see. *)
 val race_detection : row -> bool
 
+(** The lock-order graph ({!Vyrd_analysis.Lockgraph}) reported an armed-only
+    cycle from a single completed [`Full] trace — the static half of what a
+    [Deadlock]-kind mutant must show. *)
+val lockgraph_detection : row -> bool
+
+(** Some schedule genuinely ended in {!Vyrd_sched.Coop.Deadlock}, under the
+    coop seed sweep or bounded exploration — the dynamic half. *)
+val deadlock_detection : row -> bool
+
+(** Kind-aware ground truth: [Refinement] rows need
+    {!deterministic_view_detection}; [Deadlock] rows need both
+    {!lockgraph_detection} and {!deadlock_detection}; [Benign] rows must
+    show {e no} detection in any cell. *)
+val expected_detections_hold : row -> bool
+
 (** Table 1's inequality on ground truth: view-mode time-to-detection is no
     worse than I/O-mode (or I/O missed the bug entirely) in the coop
     regime. *)

@@ -14,6 +14,7 @@ let fault_misplaced_commit =
     ~description:
       "duplicate-key insert commits before the count-increment write is \
        published, so viewI at the commit lags viewS by one occurrence"
+    ()
 
 type bug = Unlock_parent_early
 

@@ -13,6 +13,7 @@ let fault_lost_update =
     ~description:
       "FindSlot claims a free slot without taking the slot lock; concurrent \
        inserts reserve the same slot and one element is lost"
+    ()
 
 type bug = Racy_find_slot | Misplaced_commit
 

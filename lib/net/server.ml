@@ -15,19 +15,20 @@ type config = {
   idle_timeout : float;
   recheck_spills : bool;
   checkpoint_events : int;
+  analyze : bool;
   metrics : Metrics.t;
 }
 
 let config ?(capacity = 4096) ?(window = 8192) ?(max_sessions = 8) ?spill_dir
     ?(idle_timeout = 30.) ?(recheck_spills = false) ?(checkpoint_events = 50_000)
-    ?metrics ~addr shards =
+    ?(analyze = false) ?metrics ~addr shards =
   if checkpoint_events <= 0 then invalid_arg "Server.config: checkpoint_events";
   let spill_dir =
     match spill_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
   in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout;
-    recheck_spills; checkpoint_events; metrics }
+    recheck_spills; checkpoint_events; analyze; metrics }
 
 type session = { s_id : int; s_fd : Unix.file_descr; mutable s_checking : bool }
 
@@ -152,8 +153,12 @@ let serve_session t (s : session) =
   if checking then
     (* Invalid_argument (e.g. a `View shard template refusing an `Io-level
        hello) must fail this session, not kill the server *)
-    match Farm.start ~capacity:t.cfg.capacity ~metrics:t.cfg.metrics ~level
-            (t.cfg.shards level) with
+    (* each session gets fresh pass instances: pass state is per-stream *)
+    let passes =
+      if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else []
+    in
+    match Farm.start ~capacity:t.cfg.capacity ~metrics:t.cfg.metrics ~passes
+            ~level (t.cfg.shards level) with
     | f -> farm := Some f
     | exception Invalid_argument msg -> raise (Bincodec.Corrupt msg)
   else begin

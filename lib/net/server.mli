@@ -49,6 +49,10 @@ type config = {
       (** checkpoint-frame spacing (in events) that spill re-checks append
           to the spool, so the next pass over it resumes instead of
           replaying (default 50_000) *)
+  analyze : bool;
+      (** attach fresh {!Vyrd_analysis.Pass} instances (picked by the
+          session's hello level) to every session farm: diagnostics counts
+          surface in the [analysis.*] metrics family (default false) *)
   metrics : Metrics.t;
 }
 
@@ -61,6 +65,7 @@ val config :
   ?idle_timeout:float ->
   ?recheck_spills:bool ->
   ?checkpoint_events:int ->
+  ?analyze:bool ->
   ?metrics:Metrics.t ->
   addr:Wire.addr ->
   (Vyrd.Log.level -> Farm.shard list) ->

@@ -22,7 +22,12 @@ type shard_result = {
   sr_events : int;
 }
 
-type result = { merged : Report.t; shards : shard_result list; fed : int }
+type result = {
+  merged : Report.t;
+  shards : shard_result list;
+  fed : int;
+  analysis : Vyrd_analysis.Pass.summary list;
+}
 
 (* Lane traffic: indexed events, plus checkpoint barriers.  A [Snap] token
    travels the ring like any event, so when the lane answers it has
@@ -43,8 +48,23 @@ type lane = {
   l_domain : (Report.t * int option * int) Domain.t;
 }
 
+(* The analysis lane: one extra domain running the incremental passes over
+   the {e whole} stream in global feed order.  Refinement lanes only see the
+   events their checkers consume (reads and lock events are skipped at the
+   router), so the passes — which exist precisely to look at lock events —
+   get their own ring.  The lane takes no part in the checkpoint barrier:
+   pass state is not checkpointed, so after a restore the passes see only
+   the resumed suffix (documented as advisory). *)
+type alane = {
+  a_ring : msg Ring.t;
+  a_buf : msg array;
+  mutable a_pending : int;
+  a_domain : Vyrd_analysis.Pass.summary list Domain.t;
+}
+
 type t = {
   lanes : lane array;
+  alane : alane option;
   owners : (string, int) Hashtbl.t;  (* method -> lane, memoized kind probes *)
   current : (Tid.t, int) Hashtbl.t;  (* thread -> lane of its open call *)
   mutable fed : int;
@@ -104,6 +124,28 @@ let consume index (sh : shard) checker ring metrics =
   in
   loop ()
 
+let consume_analysis (passes : Vyrd_analysis.Pass.t list) ring metrics =
+  let fed = Metrics.counter metrics "analysis.events" in
+  let scratch : msg option array = Array.make route_batch None in
+  let rec loop () =
+    let n = Ring.pop_batch ring scratch in
+    if n = 0 then List.map (fun (p : Vyrd_analysis.Pass.t) -> p.finish ()) passes
+    else begin
+      let evs = ref 0 in
+      for k = 0 to n - 1 do
+        (match scratch.(k) with
+        | Some (Ev (_, ev)) ->
+          incr evs;
+          List.iter (fun (p : Vyrd_analysis.Pass.t) -> p.feed ev) passes
+        | Some (Snap _) | None -> ());
+        scratch.(k) <- None
+      done;
+      Metrics.add fed !evs;
+      loop ()
+    end
+  in
+  loop ()
+
 let format_tag = "farm/1"
 
 (* A farm checkpoint is the router state plus every lane's checker
@@ -142,7 +184,7 @@ let parse_restore shards repr =
     (fed, current, List.map snd lane_states)
   | _ -> Ckpt.malformed "farm snapshot: bad payload shape"
 
-let start ?(capacity = 4096) ?metrics ?restore ~level shards =
+let start ?(capacity = 4096) ?metrics ?restore ?(passes = []) ~level shards =
   if shards = [] then invalid_arg "Farm.start: no shards";
   List.iter
     (fun sh ->
@@ -189,9 +231,22 @@ let start ?(capacity = 4096) ?metrics ?restore ~level shards =
              l_domain = domain })
          (List.combine shards checkers))
   in
+  let alane =
+    match passes with
+    | [] -> None
+    | passes ->
+      let ring = Ring.create ~capacity () in
+      Metrics.record
+        (Metrics.gauge metrics "analysis.passes")
+        (List.length passes);
+      let domain = Domain.spawn (fun () -> consume_analysis passes ring metrics) in
+      Some { a_ring = ring; a_buf = Array.make route_batch dummy; a_pending = 0;
+             a_domain = domain }
+  in
   let t =
     {
       lanes;
+      alane;
       owners = Hashtbl.create 64;
       current = Hashtbl.create 16;
       fed = (match restore with Some (fed, _, _) -> fed | None -> 0);
@@ -237,8 +292,23 @@ let flush_lane l =
     l.l_pending <- 0
   end
 
+let flush_alane a =
+  if a.a_pending > 0 then begin
+    Ring.push_batch a.a_ring ~len:a.a_pending a.a_buf;
+    a.a_pending <- 0
+  end
+
+let apush t idx ev =
+  match t.alane with
+  | None -> ()
+  | Some a ->
+    a.a_buf.(a.a_pending) <- Ev (idx, ev);
+    a.a_pending <- a.a_pending + 1;
+    if a.a_pending = Array.length a.a_buf then flush_alane a
+
 let flush t =
   Array.iter flush_lane t.lanes;
+  Option.iter flush_alane t.alane;
   if t.fed_unsynced > 0 then begin
     Metrics.add t.m_events t.fed_unsynced;
     t.fed_unsynced <- 0
@@ -265,6 +335,9 @@ let feed t ev =
     Metrics.add t.m_events t.fed_unsynced;
     t.fed_unsynced <- 0
   end;
+  (* the analysis lane sees the whole stream in feed order — including the
+     read/lock events the refinement router below skips *)
+  apush t idx ev;
   match ev with
   | Event.Call { tid; mid; _ } ->
     let i = owner t mid in
@@ -442,6 +515,24 @@ let finish t =
       results;
     let dropped = Metrics.counter t.metrics "log.events_dropped_by_level" in
     List.iter (fun log -> Metrics.add dropped (Log.dropped log)) t.logs;
-    let r = { merged; shards = results; fed = t.fed } in
+    let analysis =
+      match t.alane with
+      | None -> []
+      | Some a ->
+        Ring.close a.a_ring;
+        let summaries = Domain.join a.a_domain in
+        let errors = Metrics.counter t.metrics "analysis.errors" in
+        let warnings = Metrics.counter t.metrics "analysis.warnings" in
+        List.iter
+          (fun (s : Vyrd_analysis.Pass.summary) ->
+            Metrics.add errors s.errors;
+            Metrics.add warnings s.warnings;
+            Metrics.record
+              (Metrics.gauge t.metrics ("analysis.errors." ^ s.pass))
+              s.errors)
+          summaries;
+        summaries
+    in
+    let r = { merged; shards = results; fed = t.fed; analysis } in
     t.finished <- Some r;
     r

@@ -54,6 +54,14 @@ type t
       the calling thread, before any domain spawns.
     @raise Invalid_argument on an empty shard list, a [`View] shard without
       a view, or a [`View] shard with a sub-[`View] level.
+    @param passes incremental {!Vyrd_analysis.Pass} instances to run
+      in-service on a dedicated analysis lane (own ring + domain).  Unlike
+      the refinement lanes — whose router skips read and lock events — the
+      analysis lane sees the {e whole} stream in feed order.  The lane takes
+      no part in {!checkpoint}: after a restore the passes see only the
+      resumed suffix, so their diagnostics are advisory on resumed runs.
+      Pass summaries come back in {!result} and feed the [analysis.*]
+      metrics family.
     @raise Vyrd.Ckpt.Malformed when [restore] is not a farm checkpoint for
       this shard list (wrong tag, lane names, counts, or lane payloads) —
       no domains have been spawned when it raises, so the caller can fall
@@ -62,6 +70,7 @@ val start :
   ?capacity:int ->
   ?metrics:Metrics.t ->
   ?restore:Vyrd.Repr.t ->
+  ?passes:Vyrd_analysis.Pass.t list ->
   level:Vyrd.Log.level ->
   shard list ->
   t
@@ -118,6 +127,8 @@ type result = {
           stats are the per-shard sums, [queue_high_water] the maximum *)
   shards : shard_result list;
   fed : int;
+  analysis : Vyrd_analysis.Pass.summary list;
+      (** one summary per attached pass; [[]] when none were attached *)
 }
 
 (** Close every ring, join every domain, merge.  Idempotent. *)

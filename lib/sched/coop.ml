@@ -64,17 +64,31 @@ let deadlock_message st =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
     (Printf.sprintf "deadlock: %d thread(s) blocked and none runnable" st.live);
+  (* one clause per blocked thread: the lock it waits on, that lock's owner,
+     and every registered mutex the waiter itself holds — enough to read the
+     wait-for cycle straight off the message *)
+  let held_by tid =
+    let hs = ref [] in
+    Vec.iter
+      (fun m ->
+        match m.cm_owner with
+        | Some o when Tid.equal o tid -> hs := m.cm_name :: !hs
+        | Some _ | None -> ())
+      st.mutexes;
+    List.sort compare !hs
+  in
   let describe m =
     match m.cm_owner with
     | Some owner when Vec.length m.cm_waiters > 0 ->
-      let waiters =
-        Vec.to_list m.cm_waiters
-        |> List.map (fun (t, _) -> Tid.to_string t)
-        |> String.concat ","
-      in
-      Buffer.add_string buf
-        (Printf.sprintf "; mutex %S held by %s, waited on by {%s}" m.cm_name
-           (Tid.to_string owner) waiters)
+      Vec.iter
+        (fun (t, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "; %s waits on %S (held by %s) holding %s"
+               (Tid.to_string t) m.cm_name (Tid.to_string owner)
+               (match held_by t with
+               | [] -> "nothing"
+               | hs -> "{" ^ String.concat ", " hs ^ "}")))
+        m.cm_waiters
     | Some _ | None -> ()
   in
   Vec.iter describe st.mutexes;

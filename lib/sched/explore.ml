@@ -1,4 +1,9 @@
-type result = { schedules : int; exhausted : bool; deadlocks : int }
+type result = {
+  schedules : int;
+  exhausted : bool;
+  deadlocks : int;
+  first_deadlock : int array option;
+}
 
 (* Per decision point of one run: the arity, the choice taken, and whether
    the choice was forced (preemption budget exhausted), in which case it is
@@ -24,6 +29,7 @@ let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
   let schedules = ref 0 in
   let out_of_budget = ref false in
   let deadlocks = ref 0 in
+  let first_deadlock = ref None in
   let run_prefix (prefix : int array) =
     let steps = ref [] in
     let pos = ref 0 in
@@ -70,7 +76,13 @@ let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
       else begin
         incr schedules;
         let steps, deadlocked = run_prefix prefix in
-        if deadlocked then incr deadlocks;
+        if deadlocked then begin
+          incr deadlocks;
+          (* the full decision script of the deadlocking run — every choice
+             was recorded, so replaying it reproduces the hang exactly *)
+          if !first_deadlock = None then
+            first_deadlock := Some (Array.map (fun s -> s.taken) steps)
+        end;
         (* Branch on the untried alternatives of every unforced decision at
            or beyond the prefix.  Sibling prefixes replay the choices
            actually taken up to that point, then divert.  Deeper positions
@@ -92,7 +104,17 @@ let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
     schedules = !schedules;
     exhausted = (not !out_of_budget) && not (stop ());
     deadlocks = !deadlocks;
+    first_deadlock = !first_deadlock;
   }
+
+let replay ?(max_steps = 1_000_000) (schedule : int array) main =
+  let pos = ref 0 in
+  let decide (_ : Coop.choice) =
+    let i = !pos in
+    incr pos;
+    if i < Array.length schedule then schedule.(i) else 0
+  in
+  Coop.run ~max_steps ~decide main
 
 let count_schedules ?max_schedules make_main =
   (explore ?max_schedules make_main).schedules

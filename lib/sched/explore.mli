@@ -18,6 +18,10 @@ type result = {
   deadlocks : int;
       (** schedules that ended in {!Coop.Deadlock} — caught and counted so
           exploration can both survive and systematically find deadlocks *)
+  first_deadlock : int array option;
+      (** the complete decision script of the first deadlocking schedule
+          (one entry per decision point, the run-queue index taken) — feed
+          it to {!replay} to reproduce the hang deterministically *)
 }
 
 (** [explore ?max_schedules ?max_steps make_main] runs one schedule per
@@ -47,6 +51,12 @@ val explore :
   ?stop:(unit -> bool) ->
   (unit -> Sched.t -> unit) ->
   result
+
+(** [replay schedule main] runs [main] once under the recorded decision
+    script (choice 0 past its end), e.g. a {!result.first_deadlock}
+    certificate.  Raises whatever the run raises — for a deadlock
+    certificate, {!Coop.Deadlock}. *)
+val replay : ?max_steps:int -> int array -> (Sched.t -> unit) -> unit
 
 (** [count_schedules make_main] = [(explore make_main).schedules]; handy in
     tests. *)

@@ -329,6 +329,224 @@ let test_lint_real_logs_clean () =
      bracket stream is truncated mid-block does not *)
   Alcotest.(check bool) "real log has events" true (r.Lint.events > 100)
 
+(* --- lock-order graph ---------------------------------------------------- *)
+
+let lockgraph evs = Lockgraph.analyze (Log.of_events evs)
+
+let test_lockgraph_reports_abba () =
+  let r =
+    lockgraph
+      [
+        ev_call 1 "m"; ev_acq 1 "a"; ev_acq 1 "b"; ev_rel 1 "b"; ev_rel 1 "a";
+        ev_ret 1 "m";
+        ev_call 2 "n"; ev_acq 2 "b"; ev_acq 2 "a"; ev_rel 2 "a"; ev_rel 2 "b";
+        ev_ret 2 "n";
+      ]
+  in
+  Alcotest.(check bool) "cycle reported" false (Lockgraph.ok r);
+  Alcotest.(check (list string)) "locks of the cycle" [ "a"; "b" ]
+    (Lockgraph.cyclic_locks r);
+  match r.Lockgraph.cycles with
+  | [ c ] ->
+    Alcotest.(check int) "one witness per edge" 2
+      (List.length c.Lockgraph.chosen);
+    let tids =
+      List.map (fun (w : Lockgraph.witness) -> w.Lockgraph.tid) c.Lockgraph.chosen
+    in
+    Alcotest.(check bool) "witness tids pairwise distinct" true
+      (List.sort_uniq compare tids = List.sort compare tids);
+    List.iter
+      (fun (w : Lockgraph.witness) ->
+        Alcotest.(check bool) "witness holds the edge source" true
+          (w.Lockgraph.held <> []);
+        match w.Lockgraph.meth with
+        | Some m ->
+          Alcotest.(check bool) "enclosing method recorded" true
+            (m.Lockgraph.mid = "m" || m.Lockgraph.mid = "n")
+        | None -> Alcotest.fail "witness should carry its method execution")
+      c.Lockgraph.chosen
+  | cs -> Alcotest.failf "expected exactly one cycle, got %d" (List.length cs)
+
+let test_lockgraph_gate_suppression () =
+  (* same ABBA shape, but both inversions run under a common gate lock: the
+     deadlock is unreachable and the cycle must be suppressed *)
+  let r =
+    lockgraph
+      [
+        ev_acq 1 "g"; ev_acq 1 "a"; ev_acq 1 "b"; ev_rel 1 "b"; ev_rel 1 "a";
+        ev_rel 1 "g";
+        ev_acq 2 "g"; ev_acq 2 "b"; ev_acq 2 "a"; ev_rel 2 "a"; ev_rel 2 "b";
+        ev_rel 2 "g";
+      ]
+  in
+  Alcotest.(check bool) "no cycle reported" true (Lockgraph.ok r);
+  Alcotest.(check bool) "suppression attributed to the gate" true
+    (r.Lockgraph.suppressed_gated >= 1);
+  Alcotest.(check int) "nothing suppressed as single-thread" 0
+    r.Lockgraph.suppressed_single_thread
+
+let test_lockgraph_single_thread_suppression () =
+  (* one thread using both orders at different times cannot deadlock with
+     itself *)
+  let r =
+    lockgraph
+      [
+        ev_acq 1 "a"; ev_acq 1 "b"; ev_rel 1 "b"; ev_rel 1 "a";
+        ev_acq 1 "b"; ev_acq 1 "a"; ev_rel 1 "a"; ev_rel 1 "b";
+      ]
+  in
+  Alcotest.(check bool) "no cycle reported" true (Lockgraph.ok r);
+  Alcotest.(check bool) "suppressed as single-thread" true
+    (r.Lockgraph.suppressed_single_thread >= 1)
+
+let test_lockgraph_reentrant_and_levels () =
+  (* a reentrant re-acquisition is not a new edge *)
+  let r =
+    lockgraph
+      [
+        ev_acq 1 "a"; ev_acq 1 "a"; ev_rel 1 "a"; ev_acq 1 "b"; ev_rel 1 "b";
+        ev_rel 1 "a";
+      ]
+  in
+  Alcotest.(check int) "only the a->b edge" 1 r.Lockgraph.edges;
+  Alcotest.(check bool) "clean" true (Lockgraph.ok r);
+  (* level-tolerant: a sub-`Full log has no lock events and is trivially
+     clean, unlike Racedetect which refuses *)
+  let r = Lockgraph.analyze (Log.create ~level:`View ()) in
+  Alcotest.(check bool) "`View log trivially clean" true (Lockgraph.ok r);
+  Alcotest.(check int) "no locks seen" 0 r.Lockgraph.locks
+
+let prop_lockgraph_single_threaded_clean =
+  QCheck.Test.make ~count:300 ~name:"single-threaded logs have no lock cycles"
+    single_threaded_events (fun evs ->
+      Lockgraph.ok (Lockgraph.analyze (Log.of_events evs)))
+
+(* Threads over disjoint lock namespaces can never form a cross-lock cycle,
+   whatever their per-thread acquisition patterns. *)
+let disjoint_locks_events =
+  let open QCheck in
+  let thread_ops = list_of_size Gen.(int_range 0 30) (pair bool (int_bound 3)) in
+  map
+    (fun (per_thread, schedule) ->
+      let queues =
+        List.mapi
+          (fun i ops ->
+            let tid = i + 1 in
+            ref
+              (List.map
+                 (fun (acq, l) ->
+                   let lock = Printf.sprintf "t%d.l%d" tid l in
+                   if acq then ev_acq tid lock else ev_rel tid lock)
+                 ops))
+          per_thread
+      in
+      (* interleave under the generated schedule, preserving program order *)
+      let out = ref [] in
+      let pick s =
+        match List.filter (fun q -> !q <> []) queues with
+        | [] -> false
+        | live ->
+          let q = List.nth live (s mod List.length live) in
+          (match !q with
+          | e :: rest ->
+            out := e :: !out;
+            q := rest
+          | [] -> assert false);
+          true
+      in
+      List.iter (fun s -> ignore (pick s)) schedule;
+      List.iter (fun q -> out := List.rev_append !q !out) queues;
+      List.rev !out)
+    (pair
+       (list_of_size (Gen.int_range 1 4) thread_ops)
+       (list_of_size (Gen.int_range 0 200) (int_bound 1000)))
+
+let prop_lockgraph_disjoint_threads_clean =
+  QCheck.Test.make ~count:200
+    ~name:"threads over disjoint locks have no cycles" disjoint_locks_events
+    (fun evs -> Lockgraph.ok (Lockgraph.analyze (Log.of_events evs)))
+
+(* The verdict is a function of each thread's own acquisition order: any two
+   interleavings of the same per-thread sequences (shared locks allowed)
+   agree on the set of cyclic locks. *)
+let shared_locks_threads =
+  let open QCheck in
+  let thread_ops = list_of_size Gen.(int_range 0 25) (pair bool (int_bound 3)) in
+  pair
+    (list_of_size (Gen.int_range 1 4) thread_ops)
+    (list_of_size (Gen.int_range 0 150) (int_bound 1000))
+
+let interleave per_thread schedule =
+  let queues =
+    List.mapi
+      (fun i ops ->
+        let tid = i + 1 in
+        ref
+          (List.map
+             (fun (acq, l) ->
+               let lock = Printf.sprintf "l%d" l in
+               if acq then ev_acq tid lock else ev_rel tid lock)
+             ops))
+      per_thread
+  in
+  let out = ref [] in
+  List.iter
+    (fun s ->
+      match List.filter (fun q -> !q <> []) queues with
+      | [] -> ()
+      | live -> (
+        let q = List.nth live (s mod List.length live) in
+        match !q with
+        | e :: rest ->
+          out := e :: !out;
+          q := rest
+        | [] -> assert false))
+    schedule;
+  List.iter (fun q -> out := List.rev_append !q !out) queues;
+  List.rev !out
+
+let prop_lockgraph_stable_under_reorder =
+  QCheck.Test.make ~count:200
+    ~name:"verdict stable under cross-thread reorder" shared_locks_threads
+    (fun (per_thread, schedule) ->
+      let a = Lockgraph.analyze (Log.of_events (interleave per_thread schedule)) in
+      let b = Lockgraph.analyze (Log.of_events (interleave per_thread [])) in
+      Lockgraph.cyclic_locks a = Lockgraph.cyclic_locks b
+      && Lockgraph.ok a = Lockgraph.ok b)
+
+(* --- analysis passes ----------------------------------------------------- *)
+
+let test_pass_for_level () =
+  let names level = List.map (fun p -> p.Pass.name) (Pass.for_level level) in
+  Alcotest.(check bool) "race pass only at `Full" true
+    (List.mem "race" (names `Full) && not (List.mem "race" (names `View)));
+  List.iter
+    (fun level ->
+      Alcotest.(check bool) "lint and lockgraph at every level" true
+        (List.mem "lint" (names level) && List.mem "lockgraph" (names level)))
+    [ `Io; `View; `Full ]
+
+let test_pass_lockgraph_diags () =
+  let p = Pass.lockgraph () in
+  List.iter p.Pass.feed
+    [
+      ev_acq 1 "a"; ev_acq 1 "b"; ev_rel 1 "b"; ev_rel 1 "a";
+      ev_acq 2 "b"; ev_acq 2 "a"; ev_rel 2 "a"; ev_rel 2 "b";
+    ];
+  let s = p.Pass.finish () in
+  Alcotest.(check int) "one error" 1 s.Pass.errors;
+  Alcotest.(check bool) "not clean" false (Pass.clean s);
+  (match s.Pass.diags with
+  | [ d ] ->
+    Alcotest.(check string) "diag id" "lock-order-cycle" d.Pass.id;
+    Alcotest.(check bool) "text names both locks" true
+      (contains ~sub:"a" d.Pass.text && contains ~sub:"b" d.Pass.text)
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  (* a clean stream finishes clean *)
+  let p = Pass.lockgraph () in
+  List.iter p.Pass.feed [ ev_acq 1 "a"; ev_rel 1 "a" ];
+  Alcotest.(check bool) "clean stream" true (Pass.clean (p.Pass.finish ()))
+
 let suite =
   [
     ("vclock: basics", `Quick, test_vclock_basics);
@@ -346,4 +564,13 @@ let suite =
     ("lint: locks and returns", `Quick, test_lint_locks_and_returns);
     ("lint: daemon threads exempt", `Quick, test_lint_daemon_threads_exempt);
     ("lint: real instrumentation lints clean", `Quick, test_lint_real_logs_clean);
+    ("lockgraph: ABBA cycle with witnesses", `Quick, test_lockgraph_reports_abba);
+    ("lockgraph: gate-lock suppression", `Quick, test_lockgraph_gate_suppression);
+    ("lockgraph: single-thread suppression", `Quick, test_lockgraph_single_thread_suppression);
+    ("lockgraph: reentrancy and level tolerance", `Quick, test_lockgraph_reentrant_and_levels);
+    QCheck_alcotest.to_alcotest prop_lockgraph_single_threaded_clean;
+    QCheck_alcotest.to_alcotest prop_lockgraph_disjoint_threads_clean;
+    QCheck_alcotest.to_alcotest prop_lockgraph_stable_under_reorder;
+    ("pass: level-aware selection", `Quick, test_pass_for_level);
+    ("pass: lockgraph diagnostics", `Quick, test_pass_lockgraph_diags);
   ]

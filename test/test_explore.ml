@@ -89,6 +89,30 @@ let test_explore_finds_deadlock () =
   in
   Alcotest.(check bool) "deadlock schedules found" true (r.Explore.deadlocks > 0)
 
+let test_first_deadlock_replays () =
+  (* the recorded certificate of the first hanging schedule, fed back through
+     [replay], must reproduce the deadlock deterministically *)
+  let scenario () s =
+    let a = s.Sched.new_mutex ~name:"a" () and b = s.Sched.new_mutex ~name:"b" () in
+    s.Sched.spawn (fun () ->
+        Sched.with_lock a (fun () ->
+            s.Sched.yield ();
+            Sched.with_lock b (fun () -> ())));
+    s.Sched.spawn (fun () ->
+        Sched.with_lock b (fun () ->
+            s.Sched.yield ();
+            Sched.with_lock a (fun () -> ())))
+  in
+  let r = Explore.explore ~max_schedules:2000 scenario in
+  match r.Explore.first_deadlock with
+  | None -> Alcotest.fail "explorer found no deadlock certificate"
+  | Some schedule -> (
+    Alcotest.(check bool) "certificate is non-empty" true
+      (Array.length schedule > 0);
+    match Explore.replay schedule (scenario ()) with
+    | () -> Alcotest.fail "replaying the certificate did not deadlock"
+    | exception Coop.Deadlock _ -> ())
+
 let test_budget_respected () =
   let r =
     Explore.explore ~max_schedules:5 (fun () ->
@@ -389,6 +413,7 @@ let suite =
     ("locked increments: all schedules safe", `Quick, test_two_independent_increments);
     ("explorer finds lost update", `Quick, test_explore_finds_lost_update);
     ("explorer finds ABBA deadlock", `Quick, test_explore_finds_deadlock);
+    ("first deadlock certificate replays", `Quick, test_first_deadlock_replays);
     ("budget respected", `Quick, test_budget_respected);
     ( "bounded verification: correct scenario",
       `Slow,

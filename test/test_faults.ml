@@ -42,9 +42,13 @@ let test_each_mutant_detected_in_view_mode () =
   List.iter
     (fun f ->
       let row = Mutants.run_fault test_cfg f in
-      if not (Mutants.deterministic_view_detection row) then
-        Alcotest.failf "%s: not detected in `View mode under any deterministic regime"
-          (Faults.name f);
+      if not (Mutants.expected_detections_hold row) then
+        Alcotest.failf
+          "%s (kind %s): required detections missing — refinement mutants \
+           need a deterministic `View detection, deadlock mutants a \
+           lockgraph cycle plus a real hang, benign mutants silence"
+          (Faults.name f)
+          (Faults.kind_id (Faults.kind f));
       Alcotest.(check bool)
         (Faults.name f ^ " left disarmed after the run")
         false (Faults.enabled f))
@@ -113,7 +117,10 @@ let test_arming_leaves_no_residue () =
           { Harness.default with threads = 4; ops_per_thread = 20; seed }
           (s.Subjects.build ~bug:false)
       in
-      Faults.with_armed f (fun () -> ignore (run 7));
+      (* an armed Deadlock-kind mutant may legitimately hang this schedule;
+         the residue question is only about the run after disarming *)
+      Faults.with_armed f (fun () ->
+          try ignore (run 7) with Vyrd_sched.Coop.Deadlock _ -> ());
       let log = run 7 in
       assert_pass
         (Fmt.str "%s clean after %s disarmed" s.Subjects.name (Faults.name f))
@@ -135,6 +142,7 @@ let test_define_rejects_duplicates () =
   let existing = Faults.name (List.hd (Faults.registered ())) in
   match
     Faults.define ~name:existing ~subject:"Multiset-Vector" ~description:"dup"
+      ()
   with
   | _ -> Alcotest.fail "duplicate registration accepted"
   | exception Invalid_argument _ -> ()

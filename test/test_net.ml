@@ -256,6 +256,36 @@ let test_loopback_correct_run_passes () =
           (Client.events_sent t);
         Alcotest.(check bool) "framing was accounted" true (Client.bytes_sent t > 0))
 
+let test_serve_analyze_runs_passes () =
+  (* a server started with analysis on gives each session its own pass
+     instances; their results land in the shared metrics registry *)
+  let metrics = Metrics.create () in
+  let sock = Filename.temp_file "vyrd_net" ".sock" in
+  let srv =
+    Server.start
+      (Server.config ~analyze:true ~metrics ~addr:(Wire.Unix_socket sock) shards)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop ~deadline:5. srv;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let log =
+        Harness.run
+          { Harness.default with threads = 4; ops_per_thread = 25; log_level = `Full }
+          (subject.Subjects.build ~bug:false)
+      in
+      match Client.submit_log ~batch_events:64 (Server.addr srv) log with
+      | Client.Spilled _ -> Alcotest.fail "unloaded server spilled"
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "refinement passes" true (Report.is_pass report);
+        Alcotest.(check int) "all three passes ran at `Full" 3
+          (Metrics.gauge_value (Metrics.gauge metrics "analysis.passes"));
+        Alcotest.(check int) "analysis lane saw every event" (Log.length log)
+          (Metrics.value (Metrics.counter metrics "analysis.events"));
+        Alcotest.(check int) "no analysis errors on a correct run" 0
+          (Metrics.value (Metrics.counter metrics "analysis.errors")))
+
 let test_overload_spills_and_recheck_agrees () =
   let log = buggy_log () in
   let offline =
@@ -560,6 +590,7 @@ let suite =
     ("address parsing", `Quick, test_addr_of_string);
     ("loopback verdict = offline checker", `Quick, test_loopback_matches_offline);
     ("loopback correct run passes", `Quick, test_loopback_correct_run_passes);
+    ("serve with analysis passes on", `Quick, test_serve_analyze_runs_passes);
     ( "overload spills; re-check agrees",
       `Quick,
       test_overload_spills_and_recheck_agrees );

@@ -532,6 +532,78 @@ let test_farm_streams_from_live_log () =
   Alcotest.(check int) "every event routed" (Log.length log) result.Farm.fed;
   Alcotest.(check bool) "finish is idempotent" true (Farm.finish farm == result)
 
+let test_farm_runs_analysis_passes () =
+  (* the analysis lane sees the whole stream — including the lock events the
+     refinement router drops — and its summaries ride on the result *)
+  let module Pass = Vyrd_analysis.Pass in
+  let log = Log.create ~level:`Full () in
+  Vyrd_sched.Coop.run ~seed:5 (fun s ->
+      let ctx = Instrument.make s log in
+      let ms = Vyrd_multiset.Multiset_vector.create ~capacity ctx in
+      for t = 1 to 3 do
+        s.spawn (fun () ->
+            let rng = Prng.create (5 + (13 * t)) in
+            for _ = 1 to 12 do
+              ignore (Vyrd_multiset.Multiset_vector.insert ms (Prng.int rng 5))
+            done)
+      done);
+  let metrics = Metrics.create () in
+  let farm =
+    Farm.start ~capacity:64 ~metrics ~passes:(Pass.for_level `Full) ~level:`Full
+      [
+        Farm.shard ~mode:`View
+          ~view:(Vyrd_multiset.Multiset_vector.viewdef ~capacity)
+          "multiset" Vyrd_multiset.Multiset_spec.spec;
+      ]
+  in
+  Array.iter (Farm.feed farm) (Log.snapshot log);
+  let result = Farm.finish farm in
+  Alcotest.(check bool) "refinement passes" true (Report.is_pass result.Farm.merged);
+  Alcotest.(check int) "three passes ran" 3 (List.length result.Farm.analysis);
+  List.iter
+    (fun (s : Pass.summary) ->
+      Alcotest.(check int)
+        (s.Pass.pass ^ " saw the whole stream")
+        (Log.length log) s.Pass.events)
+    result.Farm.analysis;
+  Alcotest.(check int) "analysis.events counts each event once"
+    (Log.length log)
+    (Metrics.value (Metrics.counter metrics "analysis.events"));
+  Alcotest.(check int) "no analysis errors on a correct run" 0
+    (Metrics.value (Metrics.counter metrics "analysis.errors"));
+  (* and a stream with a lock-order inversion is flagged in-lane *)
+  let metrics = Metrics.create () in
+  let farm =
+    Farm.start ~capacity:64 ~metrics ~passes:[ Pass.lockgraph () ] ~level:`Full
+      [
+        Farm.shard ~mode:`View
+          ~view:(Vyrd_multiset.Multiset_vector.viewdef ~capacity)
+          "multiset" Vyrd_multiset.Multiset_spec.spec;
+      ]
+  in
+  List.iter (Farm.feed farm)
+    [
+      Event.Acquire { tid = 1; lock = "a" };
+      Event.Acquire { tid = 1; lock = "b" };
+      Event.Release { tid = 1; lock = "b" };
+      Event.Release { tid = 1; lock = "a" };
+      Event.Acquire { tid = 2; lock = "b" };
+      Event.Acquire { tid = 2; lock = "a" };
+      Event.Release { tid = 2; lock = "a" };
+      Event.Release { tid = 2; lock = "b" };
+    ];
+  let result = Farm.finish farm in
+  (match result.Farm.analysis with
+  | [ s ] ->
+    Alcotest.(check string) "lockgraph summary" "lockgraph" s.Pass.pass;
+    Alcotest.(check int) "one cycle error" 1 s.Pass.errors;
+    Alcotest.(check bool) "summary not clean" false (Pass.clean s)
+  | l -> Alcotest.failf "expected one summary, got %d" (List.length l));
+  Alcotest.(check int) "analysis.errors metric" 1
+    (Metrics.value (Metrics.counter metrics "analysis.errors"));
+  Alcotest.(check int) "per-pass error gauge" 1
+    (Metrics.gauge_value (Metrics.gauge metrics "analysis.errors.lockgraph"))
+
 let test_farm_finish_idempotent () =
   (* a second finish — e.g. the server's cleanup path running after the
      verdict was already taken — must return the same result object and
@@ -606,6 +678,7 @@ let suite =
     ("farm = offline checker on correct runs", `Quick, test_farm_agrees_on_correct_runs);
     ("farm = offline checker on buggy runs", `Quick, test_farm_agrees_on_buggy_runs);
     ("farm streams from a live log", `Quick, test_farm_streams_from_live_log);
+    ("farm runs analysis passes in-lane", `Quick, test_farm_runs_analysis_passes);
     ("farm finish is idempotent", `Quick, test_farm_finish_idempotent);
     ("farm `View shards reject `Io streams", `Quick, test_farm_view_requires_view_level);
     ("online bounded queue records high water", `Quick, test_online_capacity_and_high_water);

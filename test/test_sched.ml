@@ -160,6 +160,49 @@ let test_deadlock_detected () =
   done;
   Alcotest.(check bool) "ABBA deadlock found under some seed" true (!deadlocked > 0)
 
+let test_deadlock_message_details () =
+  (* the diagnostic must name, per blocked thread, the lock it waits on, the
+     owner, and the locks it itself holds (from the mutex registry) *)
+  let contains hay needle =
+    let n = String.length hay and m = String.length needle in
+    let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+    scan 0
+  in
+  let msg = ref None in
+  let seed = ref 0 in
+  while !msg = None && !seed < 50 do
+    (match
+       Coop.run ~seed:!seed (fun s ->
+           let a = s.new_mutex ~name:"a" () and b = s.new_mutex ~name:"b" () in
+           s.spawn (fun () ->
+               Sched.with_lock a (fun () ->
+                   s.yield ();
+                   Sched.with_lock b (fun () -> ())));
+           s.spawn (fun () ->
+               Sched.with_lock b (fun () ->
+                   s.yield ();
+                   Sched.with_lock a (fun () -> ()))))
+     with
+    | () -> ()
+    | exception Coop.Deadlock m -> msg := Some m);
+    incr seed
+  done;
+  match !msg with
+  | None -> Alcotest.fail "ABBA scenario never deadlocked within 50 seeds"
+  | Some m ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S in %S" needle m)
+          true (contains m needle))
+      [
+        "waits on \"a\"";
+        "waits on \"b\"";
+        "holding {a}";
+        "holding {b}";
+        "held by";
+      ]
+
 let test_livelock_guard () =
   match
     Coop.run ~max_steps:1000 (fun s ->
@@ -358,6 +401,7 @@ let suite =
     ("coop foreign unlock rejected", `Quick, test_unlock_foreign_mutex_rejected);
     ("coop try_lock", `Quick, test_try_lock);
     ("coop detects ABBA deadlock", `Quick, test_deadlock_detected);
+    ("coop deadlock message names locks held", `Quick, test_deadlock_message_details);
     ("coop livelock guard", `Quick, test_livelock_guard);
     ("coop propagates exceptions", `Quick, test_exception_propagates);
     ("coop atomically is atomic", `Quick, test_atomically_suppresses_interleaving);
