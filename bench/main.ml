@@ -1316,6 +1316,201 @@ let analyze_bench ?(json_out = Some "BENCH_analyze.json") ~baseline
   end;
   Fmt.pr "@.all analyze gates passed@."
 
+(* -------------------------------------------------------- cluster bench *)
+
+module Coordinator = Vyrd_cluster.Coordinator
+
+(* Hidden re-exec mode: one vyrdd worker process per ring member, so the
+   scaling the bench measures is real multicore scaling (every in-process
+   thread multiplexes domain 0 — only separate processes give each worker
+   its own runtime).  The parent SIGTERMs us when the run is over. *)
+let cluster_worker_main sock =
+  ignore
+    (Server.start
+       (Server.config ~capacity:8192 ~max_sessions:64 ~idle_timeout:300.
+          ~addr:(Wire.Unix_socket sock) (fun _level -> farm_shards ()))
+      : Server.t);
+  while true do
+    Thread.delay 3600.
+  done
+
+(* The same N-session workload pushed through a coordinator fronting 1, 2,
+   and 4 worker processes.  Gates (any failure exits 1):
+
+   - every session's verdict and first-violation index identical to offline
+     single-process checking, at every cluster width;
+   - with >= 4 cores visible, 2 workers at least --min-speedup (default
+     1.8x) faster than 1 (skipped, not failed, on smaller machines: the
+     coordinator and the workers would just timeshare one core);
+   - when --baseline BENCH_cluster.json is given, 2-worker throughput not
+     more than --max-regress percent below the committed number. *)
+let cluster_bench ?(json_out = Some "BENCH_cluster.json") ~baseline ~max_regress
+    ~min_speedup ~sessions () =
+  Fmt.pr "@.Cluster: coordinator fronting 1, 2, 4 vyrdd worker processes@.@.";
+  let level = `View in
+  (* the hotpath-scale aggregate (~1.1M events: 8 threads x 20k ops x 3
+     structures) split across the sessions, so widths are compared on the
+     same total stream the single-process benches drain *)
+  let logs =
+    Array.init sessions (fun i ->
+        multi_log ~threads:8 ~ops:(max 1 (20_000 / sessions)) ~seed:(101 + i)
+          ~level)
+  in
+  let total = Array.fold_left (fun a l -> a + Log.length l) 0 logs in
+  let spec, view = composed () in
+  let reference =
+    Array.map (fun l -> Checker.check_indexed ~mode:`View ~view l spec) logs
+  in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "%d sessions, %d events total, %d core(s) visible@.@." sessions total
+    cores;
+  let failures = ref [] in
+  let gate name ok =
+    Fmt.pr "gate: %-52s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  let run_with workers =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vyrd-bench-cluster-%d-w%d" (Unix.getpid ()) workers)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let members =
+      List.init workers (fun i ->
+          let sock = Filename.concat dir (Printf.sprintf "w%d.sock" i) in
+          let pid =
+            Unix.create_process Sys.executable_name
+              [| Sys.executable_name; "cluster-worker"; sock |]
+              Unix.stdin Unix.stdout Unix.stderr
+          in
+          (i, sock, pid))
+    in
+    let coord =
+      Coordinator.start
+        (Coordinator.config
+           ~worker_slots:(max 1 ((sessions + workers - 1) / workers))
+           ~metrics:(Pmetrics.create ())
+           ~addr:(Wire.Unix_socket (Filename.concat dir "vyrdc.sock"))
+           ~spool_dir:dir ())
+    in
+    List.iter
+      (fun (i, sock, _) ->
+        Coordinator.attach coord ~name:(Printf.sprintf "w%d" i)
+          ~addr:(Wire.Unix_socket sock))
+      members;
+    let outcomes = Array.make sessions None in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init sessions (fun i ->
+          Thread.create
+            (fun () ->
+              match
+                Client.submit_log ~batch_events:256
+                  ~producer:(Printf.sprintf "bench-%d" i)
+                  (Coordinator.addr coord) logs.(i)
+              with
+              | outcome -> outcomes.(i) <- Some outcome
+              | exception (Client.Server_error _ | Unix.Unix_error _) -> ())
+            ())
+    in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    Coordinator.stop coord;
+    List.iter
+      (fun (_, _, pid) ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      members;
+    (try
+       Array.iter
+         (fun f ->
+           try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir);
+       Unix.rmdir dir
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    let agree = ref true in
+    Array.iteri
+      (fun i outcome ->
+        let rref, ridx = reference.(i) in
+        match outcome with
+        | Some (Client.Checked { report; fail_index }) ->
+          if
+            not
+              (String.equal (Report.tag report) (Report.tag rref)
+              && fail_index = ridx)
+          then agree := false
+        | Some (Client.Spilled _) | None -> agree := false)
+      outcomes;
+    (dt, !agree)
+  in
+  Fmt.pr "%-30s %10s %12s %9s@." "configuration" "wall ms" "events/s" "speedup";
+  Fmt.pr "%s@." (line 64);
+  let evps dt = float_of_int total /. dt in
+  let measure base workers =
+    let dt, agree = run_with workers in
+    Fmt.pr "%-30s %10.2f %12s %9s@."
+      (Printf.sprintf "%d worker(s)" workers)
+      (dt *. 1e3)
+      (Fmt.str "%.2fM" (evps dt /. 1e6))
+      (match base with
+      | None -> "1.00x"
+      | Some b -> Fmt.str "%.2fx" (b /. dt));
+    gate
+      (Printf.sprintf "every verdict+index = offline at %d worker(s)" workers)
+      agree;
+    dt
+  in
+  let dt1 = measure None 1 in
+  let dt2 = measure (Some dt1) 2 in
+  let dt4 = measure (Some dt1) 4 in
+  let speedup2 = dt1 /. dt2 and speedup4 = dt1 /. dt4 in
+  if cores >= 4 then
+    gate
+      (Printf.sprintf "2-worker speedup %.2fx >= %.2fx" speedup2 min_speedup)
+      (speedup2 >= min_speedup)
+  else
+    Fmt.pr "gate: 2-worker speedup %.2fx >= %.2fx%s@." speedup2 min_speedup
+      (Printf.sprintf " skipped (%d core(s): nothing to parallelize onto)" cores);
+  (match baseline with
+  | None -> ()
+  | Some file ->
+    let old = read_json_field file "events_per_sec_w2" in
+    if Float.is_nan old then
+      Fmt.pr "gate: baseline %s unreadable — skipping the regression gate@." file
+    else
+      let floor = old *. (1. -. (max_regress /. 100.)) in
+      gate
+        (Printf.sprintf
+           "2-worker %.2fM ev/s >= %.2fM (baseline %.2fM - %.0f%%)"
+           (evps dt2 /. 1e6) (floor /. 1e6) (old /. 1e6) max_regress)
+        (evps dt2 >= floor));
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"cluster\"");
+        ("events", string_of_int total);
+        ("sessions", string_of_int sessions);
+        ("cores", string_of_int cores);
+        ("seconds_w1", jnum dt1);
+        ("seconds_w2", jnum dt2);
+        ("seconds_w4", jnum dt4);
+        ("events_per_sec_w1", jnum (evps dt1));
+        ("events_per_sec_w2", jnum (evps dt2));
+        ("events_per_sec_w4", jnum (evps dt4));
+        ("speedup_w2", jnum speedup2);
+        ("speedup_w4", jnum speedup4);
+        ("min_speedup_gate", jnum min_speedup);
+      ]);
+  if !failures <> [] then begin
+    Fmt.epr "@.cluster gates failed:@.";
+    List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev !failures);
+    exit 1
+  end;
+  Fmt.pr "@.all cluster gates passed@."
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -1330,11 +1525,16 @@ let all () =
   pipeline ();
   net_bench ();
   checkpoint_bench ();
+  cluster_bench ~baseline:None ~max_regress:40. ~min_speedup:1.8 ~sessions:16 ();
   hotpath ~baseline:None ~max_regress:20. ~min_evps:1e6 ~ops:20_000 ();
   analyze_bench ~baseline:None ~max_regress:25. ~max_overhead:15. ~ops:20_000 ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
+  (* hidden re-exec mode for [cluster_bench]'s worker processes; never
+     returns *)
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "cluster-worker" then
+    cluster_worker_main Sys.argv.(2);
   let open Cmdliner in
   let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ()) in
   let group =
@@ -1435,6 +1635,38 @@ let () =
             $ Arg.(
                 value & opt int 20_000
                 & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));
+        Cmd.v
+          (Cmd.info "cluster"
+             ~doc:
+               "Coordinator scaling: the same N-session workload through 1, \
+                2, and 4 vyrdd worker processes, with verdict-equality gates \
+                at every width, a cores-gated 2-worker speedup floor, and an \
+                optional baseline regression gate (writes \
+                BENCH_cluster.json).")
+          Term.(
+            const (fun baseline max_regress min_speedup sessions ->
+                cluster_bench ~baseline ~max_regress ~min_speedup ~sessions ())
+            $ Arg.(
+                value
+                & opt (some string) None
+                & info [ "baseline" ] ~docv:"FILE"
+                    ~doc:
+                      "Committed BENCH_cluster.json to gate against: fail if \
+                       2-worker throughput drops more than \
+                       $(b,--max-regress) percent below it.")
+            $ Arg.(
+                value & opt float 40.
+                & info [ "max-regress" ] ~docv:"PCT"
+                    ~doc:"Allowed regression vs the baseline, in percent.")
+            $ Arg.(
+                value & opt float 1.8
+                & info [ "min-speedup" ] ~docv:"X"
+                    ~doc:
+                      "2-worker speedup floor over 1 worker (enforced only \
+                       when >= 4 cores are visible).")
+            $ Arg.(
+                value & opt int 16
+                & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent sessions."));
         Cmd.v
           (Cmd.info "mutants"
              ~doc:

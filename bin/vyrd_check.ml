@@ -36,6 +36,8 @@ module Resume = Vyrd_pipeline.Resume
 module Wire = Vyrd_net.Wire
 module Server = Vyrd_net.Server
 module Client = Vyrd_net.Client
+module Coordinator = Vyrd_cluster.Coordinator
+module Supervisor = Vyrd_cluster.Supervisor
 
 (* Load a serialized log, sniffing the binary segment format by magic.
    Text-format errors come out as positioned [file:line] diagnostics; a
@@ -887,6 +889,216 @@ let serve_cmd =
       $ spill_dir $ idle_timeout $ invariants $ recheck_spills
       $ checkpoint_events $ metrics_json $ analyze)
 
+let cluster_cmd =
+  let subjects_arg =
+    Arg.(
+      value
+      & opt (list string)
+          [ "Multiset-Vector"; "java.util.Vector"; "java.util.StringBuffer" ]
+      & info [ "subjects" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated subjects every session is checked against, one \
+             checker domain each; method namespaces must be disjoint.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "In-process vyrdd workers to spawn (ignored when $(b,--worker) \
+             gives external addresses).")
+  in
+  let extern =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "worker" ] ~docv:"NAME=ADDR"
+          ~doc:
+            "Attach an externally-run vyrdd instead of spawning in-process \
+             workers; repeatable.  $(docv) is a member name and its socket \
+             address.")
+  in
+  let spool_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool-dir" ] ~docv:"DIR"
+          ~doc:
+            "Per-session failover spools live here (default: a fresh \
+             directory under the system temp dir).")
+  in
+  let slots =
+    Arg.(
+      value & opt int 4
+      & info [ "worker-slots" ] ~docv:"N"
+          ~doc:"Concurrent sessions routed to each worker before overflowing \
+                to its ring successor.")
+  in
+  let window =
+    Arg.(
+      value & opt int 8192
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Credit window: events a client may have in flight.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~docv:"N" ~doc:"Per-shard ring bound on workers.")
+  in
+  let checkpoint_events =
+    Arg.(
+      value & opt int 25_000
+      & info [ "checkpoint-events" ] ~docv:"N"
+          ~doc:
+            "Ask the owning worker for a barrier snapshot about every $(docv) \
+             events and spool it as a checkpoint frame; 0 disables (failover \
+             then replays sessions from event zero).")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 128
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Ring virtual nodes per worker.")
+  in
+  let ring_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "ring-seed" ] ~docv:"N" ~doc:"Ring placement seed.")
+  in
+  let keep_spools =
+    Arg.(
+      value & flag
+      & info [ "keep-spools" ]
+          ~doc:"Keep verdicted sessions' spool files instead of deleting them.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Fail a session after this long without a client frame.")
+  in
+  let invariants =
+    Arg.(
+      value & flag
+      & info [ "invariants" ] ~doc:"Also check each subject's runtime invariants.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the aggregated cluster-wide metrics as JSON to $(docv) on \
+             shutdown.")
+  in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:"Attach incremental analysis passes to every worker session.")
+  in
+  let run addr names workers extern spool_dir slots window capacity
+      checkpoint_events vnodes ring_seed keep_spools idle_timeout invariants
+      metrics_json analyze =
+    let subjects = List.map resolve names in
+    let spool_dir =
+      match spool_dir with
+      | Some d -> d
+      | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "vyrdc-%d" (Unix.getpid ()))
+        in
+        (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        d
+    in
+    let metrics = Metrics.create () in
+    let cfg =
+      Coordinator.config ~window ~checkpoint_events ~worker_slots:slots
+        ~idle_timeout ~keep_spools ~vnodes ~seed:ring_seed ~metrics ~addr
+        ~spool_dir ()
+    in
+    let coord =
+      match Coordinator.start cfg with
+      | coord -> coord
+      | exception Unix.Unix_error (e, _, arg) ->
+        Fmt.epr "cannot listen on %a: %s %s@." Wire.pp_addr addr
+          (Unix.error_message e) arg;
+        exit 2
+    in
+    let pool =
+      if extern <> [] then None
+      else begin
+        if workers <= 0 then begin
+          Fmt.epr "--workers must be positive (or give --worker addresses)@.";
+          exit 2
+        end;
+        Some
+          (Supervisor.start ~count:workers ~capacity ~window ~analyze
+             ~dir:spool_dir
+             ~shards:(shards_for subjects invariants)
+             ())
+      end
+    in
+    let members =
+      match pool with
+      | Some p -> Supervisor.workers p
+      | None ->
+        List.map
+          (fun s ->
+            match String.index_opt s '=' with
+            | Some i ->
+              ( String.sub s 0 i,
+                Wire.addr_of_string
+                  (String.sub s (i + 1) (String.length s - i - 1)) )
+            | None -> (s, Wire.addr_of_string s))
+          extern
+    in
+    (try
+       List.iter
+         (fun (name, waddr) -> Coordinator.attach ~slots coord ~name ~addr:waddr)
+         members
+     with Unix.Unix_error (e, _, arg) ->
+       Fmt.epr "cannot attach worker: %s %s@." (Unix.error_message e) arg;
+       Coordinator.stop ~deadline:0. coord;
+       exit 2);
+    Fmt.pr
+      "vyrdc: listening on %a, %d worker(s) on the ring (%d slot(s) each, %d \
+       vnodes), spools in %s@."
+      Wire.pp_addr (Coordinator.addr coord) (List.length members) slots vnodes
+      spool_dir;
+    Fmt.pr "vyrdc: SIGUSR1 dumps cluster-wide metrics; SIGINT/SIGTERM drains \
+            and exits@.";
+    let stop = ref false in
+    let handle _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ -> Fmt.epr "%a@." Metrics.pp (Coordinator.aggregate coord)));
+    while not !stop do
+      (try Thread.delay 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Fmt.pr "vyrdc: draining %d open session(s)...@." (Coordinator.active coord);
+    Coordinator.stop coord;
+    let agg = Coordinator.aggregate coord in
+    Option.iter (fun p -> Supervisor.stop p) pool;
+    Fmt.pr "%a@." Metrics.pp agg;
+    Option.iter (fun f -> write_metrics_json f agg) metrics_json
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the vyrdc cluster coordinator: accept client sessions on one \
+          socket (the plain vyrdd wire protocol — existing clients connect \
+          unchanged), route each to one of N vyrdd workers by consistent \
+          hashing, and fail sessions over to another worker from their \
+          checkpointed spools when a worker dies.")
+    Term.(
+      const run $ addr_arg $ subjects_arg $ workers $ extern $ spool_dir
+      $ slots $ window $ capacity $ checkpoint_events $ vnodes $ ring_seed
+      $ keep_spools $ idle_timeout $ invariants $ metrics_json $ analyze)
+
 let submit_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
   let retries =
@@ -1023,6 +1235,7 @@ let () =
             analyze_cmd;
             pipeline_cmd;
             serve_cmd;
+            cluster_cmd;
             submit_cmd;
             explore_cmd;
           ]))

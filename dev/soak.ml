@@ -6,6 +6,7 @@
      dune exec dev/soak.exe [seeds-per-config]
      dune exec dev/soak.exe pipeline [seeds]
      dune exec dev/soak.exe net [seconds] [metrics.json]
+     dune exec dev/soak.exe cluster [sessions] [metrics.json]
 
    The pipeline mode soaks the streaming path instead: each seed runs a
    multi-structure workload through the checker farm while spooling binary
@@ -18,6 +19,13 @@
    and in concurrent bursts that overflow max_sessions into the spill path —
    and every verdict (live or re-checked from the spool) must match the
    offline checker.  Writes the server's metrics as JSON for CI.
+
+   The cluster mode soaks coordinator failover: a vyrdc fronting three
+   vyrdd worker processes takes 120 concurrent sessions, one worker is
+   SIGKILLed while every session is verifiably mid-stream, and each session
+   must still reach a verdict — tag and first-violation index identical to
+   offline single-process checking — with zero mismatches.  Writes the
+   aggregated cluster-wide metrics as JSON for CI.
 *)
 
 open Vyrd
@@ -333,7 +341,225 @@ let net_soak seconds json_out =
   end
   else Fmt.pr "NET SOAK CLEAN@."
 
+(* -------------------------------------------------------------- cluster *)
+
+(* Kill-and-failover soak: a coordinator fronting three vyrdd worker
+   processes takes a burst of concurrent sessions, one worker is SIGKILLed
+   while at least [kill_at] sessions are in flight, and every session must
+   still reach a verdict — with tag and first-violation index identical to
+   offline single-process checking of the same log.  Workers are separate
+   processes (the soak re-execs itself in a hidden [cluster-worker] argv
+   mode) so the SIGKILL is a real one, not an in-process stand-in.
+
+   Sessions check the single Multiset-Vector shard: one checker domain per
+   session keeps ~40 concurrent sessions per worker process well under the
+   OCaml domain ceiling. *)
+
+let soak_subject = Subjects.multiset_vector
+
+let cluster_worker_main sock =
+  ignore
+    (Server.start
+       (Server.config ~max_sessions:256 ~idle_timeout:300.
+          ~addr:(Wire.Unix_socket sock) (fun _level ->
+            [
+              Farm.shard ~mode:`View ~view:soak_subject.Subjects.view
+                soak_subject.Subjects.name soak_subject.Subjects.spec;
+            ]))
+      : Server.t);
+  while true do
+    Thread.delay 3600.
+  done
+
+let cluster_soak sessions json_out =
+  let module Coordinator = Vyrd_cluster.Coordinator in
+  let kill_at = min 100 sessions in
+  let workers = 3 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vyrd_soak_cluster-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fmt.pr
+    "cluster soak: %d concurrent sessions over %d worker processes; SIGKILL \
+     one worker at >= %d in flight@.@."
+    sessions workers kill_at;
+  (* every session's log and offline reference verdict, built up front so
+     the in-flight window isn't stretched by harness runs *)
+  let logs =
+    Array.init sessions (fun seed ->
+        let bug = seed mod 3 = 0 in
+        Harness.run
+          { Harness.default with threads = 4;
+            ops_per_thread = (if bug then 40 else 60); key_pool = 10;
+            key_range = 16; seed }
+          (soak_subject.Subjects.build ~bug))
+  in
+  let reference =
+    Array.map
+      (fun log ->
+        Checker.check_indexed ~mode:`View ~view:soak_subject.Subjects.view log
+          soak_subject.Subjects.spec)
+      logs
+  in
+  let total = Array.fold_left (fun a l -> a + Log.length l) 0 logs in
+  let members =
+    List.init workers (fun i ->
+        let sock = Filename.concat dir (Printf.sprintf "w%d.sock" i) in
+        let pid =
+          Unix.create_process Sys.executable_name
+            [| Sys.executable_name; "cluster-worker"; sock |]
+            Unix.stdin Unix.stdout Unix.stderr
+        in
+        (Printf.sprintf "w%d" i, sock, pid))
+  in
+  let metrics = Pmetrics.create () in
+  let coord =
+    Coordinator.start
+      (Coordinator.config
+         ~worker_slots:(max 1 ((sessions + workers - 1) / workers))
+         ~checkpoint_events:1000 ~idle_timeout:120. ~metrics
+         ~addr:(Wire.Unix_socket (Filename.concat dir "vyrdc.sock"))
+         ~spool_dir:dir ())
+  in
+  List.iter
+    (fun (name, sock, _) ->
+      Coordinator.attach coord ~name ~addr:(Wire.Unix_socket sock))
+    members;
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let at_barrier = ref 0 and killed = ref false in
+  let mismatches = ref 0 and verdicts = ref 0 and convicted = ref 0 in
+  let mismatch seed what =
+    Mutex.lock lock;
+    incr mismatches;
+    Mutex.unlock lock;
+    Fmt.pr "!! session %d: %s@." seed what
+  in
+  (* Each session streams the first half of its log, forces a checkpoint
+     barrier — protocol order guarantees its worker leg is open and has
+     consumed everything sent — and then pauses mid-stream until the kill
+     has landed.  Every session is therefore verifiably in flight at the
+     moment of the SIGKILL, and the victim's share must fail over. *)
+  let one_session seed =
+    let log = logs.(seed) in
+    let half = Log.length log / 2 in
+    (match Client.connect ~level:(Log.level log)
+             ~batch_events:[| 32; 128; 512 |].(seed mod 3)
+             ~producer:(Printf.sprintf "soak-%d" seed)
+             (Coordinator.addr coord)
+     with
+    | t ->
+      (let i = ref 0 in
+       Log.iter
+         (fun ev ->
+           if !i < half then Client.send t ev;
+           incr i)
+         log);
+      Client.flush t;
+      ignore (Client.request_checkpoint t);
+      Mutex.lock lock;
+      incr at_barrier;
+      Condition.broadcast cond;
+      while not !killed do
+        Condition.wait cond lock
+      done;
+      Mutex.unlock lock;
+      (let i = ref 0 in
+       Log.iter
+         (fun ev ->
+           if !i >= half then Client.send t ev;
+           incr i)
+         log);
+      (match Client.finish t with
+      | Client.Checked { report; fail_index } ->
+        let rref, ridx = reference.(seed) in
+        Mutex.lock lock;
+        incr verdicts;
+        if not (Report.is_pass report) then incr convicted;
+        Mutex.unlock lock;
+        if not (String.equal (Report.tag report) (Report.tag rref)) then
+          mismatch seed
+            (Printf.sprintf "cluster verdict %s, offline %s"
+               (Report.tag report) (Report.tag rref));
+        if fail_index <> ridx then
+          mismatch seed
+            (Printf.sprintf "fail index %s, offline %s"
+               (match fail_index with Some i -> string_of_int i | None -> "-")
+               (match ridx with Some i -> string_of_int i | None -> "-"))
+      | Client.Spilled _ -> mismatch seed "session spilled instead of checking"
+      | exception Client.Server_error msg ->
+        mismatch seed ("session failed: " ^ msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        mismatch seed ("session failed: " ^ Unix.error_message e))
+    | exception Client.Server_error msg ->
+      mismatch seed ("connect refused: " ^ msg)
+    | exception Unix.Unix_error (e, _, _) ->
+      mismatch seed ("connect failed: " ^ Unix.error_message e))
+  in
+  let threads = List.init sessions (fun i -> Thread.create one_session i) in
+  (* SIGKILL the victim only once every session sits mid-stream at its
+     barrier (>= kill_at of them, with open legs spread over the ring) *)
+  Mutex.lock lock;
+  while !at_barrier < sessions do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let flight_at_kill = !at_barrier in
+  let victim_name, _, victim_pid = List.nth members (sessions mod workers) in
+  Unix.kill victim_pid Sys.sigkill;
+  ignore (Unix.waitpid [] victim_pid);
+  Mutex.lock lock;
+  killed := true;
+  Condition.broadcast cond;
+  Mutex.unlock lock;
+  Fmt.pr "killed %s (pid %d) with %d session(s) in flight@.@." victim_name
+    victim_pid flight_at_kill;
+  List.iter Thread.join threads;
+  let agg = Coordinator.aggregate coord in
+  Coordinator.stop coord;
+  List.iter
+    (fun (_, _, pid) ->
+      if pid <> victim_pid then begin
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+      end)
+    members;
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (match open_out json_out with
+  | oc ->
+    output_string oc (Pmetrics.to_json agg);
+    output_string oc "\n";
+    close_out oc;
+    Fmt.pr "@.cluster-wide metrics written to %s@." json_out
+  | exception Sys_error msg -> Fmt.pr "@.cannot write %s: %s@." json_out msg);
+  let counter name = Pmetrics.value (Pmetrics.counter agg name) in
+  let reassigned = counter "cluster.reassignments" in
+  let resumes = counter "cluster.resumes" in
+  let dead = counter "cluster.workers_dead" in
+  Fmt.pr
+    "@.%d/%d sessions verdicted (%d events, %d convictions, %d in flight at \
+     the kill), %d reassigned, %d resumed, %d worker(s) dead, %d mismatches@."
+    !verdicts sessions total !convicted flight_at_kill reassigned resumes dead
+    !mismatches;
+  if
+    !mismatches > 0 || !verdicts <> sessions || !convicted = 0
+    || flight_at_kill < kill_at || reassigned = 0 || resumes = 0 || dead = 0
+  then begin
+    Fmt.pr "CLUSTER SOAK FAILED@.";
+    exit 1
+  end
+  else Fmt.pr "CLUSTER SOAK CLEAN@."
+
 let () =
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "cluster-worker" then
+    cluster_worker_main Sys.argv.(2);
   match Array.to_list Sys.argv with
   | _ :: "pipeline" :: rest ->
     pipeline_soak (match rest with n :: _ -> int_of_string n | [] -> 25)
@@ -343,5 +569,11 @@ let () =
       match rest with _ :: f :: _ -> f | _ -> "SOAK_net_metrics.json"
     in
     net_soak seconds json_out
+  | _ :: "cluster" :: rest ->
+    let sessions = match rest with n :: _ -> int_of_string n | [] -> 120 in
+    let json_out =
+      match rest with _ :: f :: _ -> f | _ -> "SOAK_cluster_metrics.json"
+    in
+    cluster_soak sessions json_out
   | _ :: n :: _ -> subject_soak (int_of_string n)
   | _ -> subject_soak 100

@@ -1,0 +1,745 @@
+module Wire = Vyrd_net.Wire
+module Client = Vyrd_net.Client
+module Segment = Vyrd_pipeline.Segment
+module Metrics = Vyrd_pipeline.Metrics
+module Bincodec = Vyrd_pipeline.Bincodec
+
+type config = {
+  c_addr : Wire.addr;
+  c_window : int;
+  c_spool_dir : string;
+  c_checkpoint_events : int;
+  c_worker_slots : int;
+  c_health_period : float;
+  c_idle_timeout : float;
+  c_leg_timeout : float;
+  c_keep_spools : bool;
+  c_vnodes : int;
+  c_seed : int;
+  c_metrics : Metrics.t;
+}
+
+let config ?(window = 8192) ?(checkpoint_events = 25_000) ?(worker_slots = 4)
+    ?(health_period = 1.0) ?(idle_timeout = 30.) ?(leg_timeout = 60.)
+    ?(keep_spools = false) ?(vnodes = 128) ?(seed = 0) ?metrics ~addr
+    ~spool_dir () =
+  if window <= 0 then invalid_arg "Coordinator.config: window";
+  if worker_slots <= 0 then invalid_arg "Coordinator.config: worker_slots";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  {
+    c_addr = addr;
+    c_window = window;
+    c_spool_dir = spool_dir;
+    c_checkpoint_events = checkpoint_events;
+    c_worker_slots = worker_slots;
+    c_health_period = health_period;
+    c_idle_timeout = idle_timeout;
+    c_leg_timeout = leg_timeout;
+    c_keep_spools = keep_spools;
+    c_vnodes = vnodes;
+    c_seed = seed;
+    c_metrics = metrics;
+  }
+
+type session = { sc_id : int; sc_fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : Wire.addr;
+  mutable accept_thread : Thread.t option;
+  mutable health_thread : Thread.t option;
+  lock : Mutex.t;
+  live : (int, session) Hashtbl.t;
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_session : int;
+  mutable accepted : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable force_stop : bool;
+  members : Member.t;
+  ctrl_lock : Mutex.t;  (** serializes RPCs on workers' control connections *)
+  m_sessions : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_events : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_verdicts : Metrics.counter;
+  m_routed : Metrics.counter;
+  m_leg_failures : Metrics.counter;
+  m_reassignments : Metrics.counter;
+  m_resumes : Metrics.counter;
+  m_resume_replayed : Metrics.counter;
+  m_resume_from_ck : Metrics.counter;
+  m_checkpoints : Metrics.counter;
+  m_attached : Metrics.counter;
+  m_dead : Metrics.counter;
+  m_drained : Metrics.counter;
+  m_peak : Metrics.gauge;
+  m_workers_peak : Metrics.gauge;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let with_ctrl t f =
+  Mutex.lock t.ctrl_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ctrl_lock) f
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let addr t = t.bound
+let metrics t = t.cfg.c_metrics
+let sessions t = with_lock t (fun () -> t.accepted)
+let active t = with_lock t (fun () -> Hashtbl.length t.live)
+let workers t = Member.workers t.members
+let ring t = Member.ring t.members
+
+(* {1 Worker control connections} *)
+
+let dial addr =
+  let domain =
+    match addr with
+    | Wire.Unix_socket _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Wire.sockaddr_of_addr addr);
+    fd
+  with e ->
+    close_quietly fd;
+    raise e
+
+(* One-shot health probe on a fresh connection — used to distinguish "the
+   worker died" from "one session's leg hiccupped" before declaring a
+   worker dead and remapping everything it owns. *)
+let probe addr =
+  match dial addr with
+  | exception (Unix.Unix_error _ | Not_found) -> None
+  | fd ->
+      let result =
+        try
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+          Wire.send_client fd Wire.Status_request;
+          match Wire.recv_server fd with
+          | Wire.Status st -> Some st
+          | _ -> None
+        with
+        | Unix.Unix_error _ | Wire.Closed | Wire.Timeout | Bincodec.Corrupt _
+        ->
+          None
+      in
+      close_quietly fd;
+      result
+
+let note_dead t (w : Member.worker) =
+  if w.w_state <> Member.Dead then begin
+    Member.mark t.members w.w_name Member.Dead;
+    Metrics.incr t.m_dead
+  end;
+  (match w.w_ctrl with Some fd -> close_quietly fd | None -> ());
+  w.w_ctrl <- None
+
+let scrape t (w : Member.worker) (st : Wire.status) =
+  (try w.w_metrics <- Some (Metrics.decode st.st_metrics)
+   with Bincodec.Corrupt _ -> ());
+  if st.st_draining && w.w_state = Member.Alive then
+    Member.mark t.members w.w_name Member.Draining
+
+let attach ?slots t ~name ~addr =
+  let slots = match slots with Some s -> s | None -> t.cfg.c_worker_slots in
+  (* the worker's socket may not be bound yet when a cluster boots *)
+  let rec dial_retry n =
+    match dial addr with
+    | fd -> fd
+    | exception (Unix.Unix_error _ | Not_found) when n > 0 ->
+        Thread.delay 0.05;
+        dial_retry (n - 1)
+  in
+  let fd = dial_retry 40 in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+  (match
+     Wire.send_client fd (Wire.Register name);
+     Wire.recv_server fd
+   with
+  | Wire.Status st ->
+      let w = Member.add t.members ~name ~addr ~slots in
+      w.w_ctrl <- Some fd;
+      scrape t w st;
+      Metrics.incr t.m_attached;
+      Metrics.record t.m_workers_peak (List.length (Member.workers t.members))
+  | _ ->
+      close_quietly fd;
+      raise (Bincodec.Corrupt "register: unexpected reply")
+  | exception e ->
+      close_quietly fd;
+      raise e)
+
+(* RPC on the worker's persistent control connection; any failure demotes
+   the worker to Dead (the probe path is for data legs, where one session's
+   trouble should not condemn the worker — here the control channel itself
+   broke). *)
+let ctrl_rpc t (w : Member.worker) msg =
+  with_ctrl t (fun () ->
+      match w.w_ctrl with
+      | None -> None
+      | Some fd -> (
+          match
+            Wire.send_client fd msg;
+            Wire.recv_server fd
+          with
+          | Wire.Status st ->
+              scrape t w st;
+              Some st
+          | _ ->
+              note_dead t w;
+              None
+          | exception
+              ( Unix.Unix_error _ | Wire.Closed | Wire.Timeout
+              | Bincodec.Corrupt _ ) ->
+              note_dead t w;
+              None))
+
+(* Cluster-wide view: the coordinator's own cluster.* registry merged with
+   every worker's registry.  Reachable workers are re-scraped on the spot;
+   dead ones contribute their last-seen snapshot, so finished work is not
+   forgotten with its worker. *)
+let aggregate t =
+  List.iter
+    (fun (w : Member.worker) ->
+      if w.w_state <> Member.Dead then ignore (ctrl_rpc t w Wire.Status_request))
+    (Member.workers t.members);
+  let into = Metrics.create () in
+  Metrics.merge ~into t.cfg.c_metrics;
+  List.iter
+    (fun (w : Member.worker) ->
+      match w.w_metrics with Some m -> Metrics.merge ~into m | None -> ())
+    (Member.workers t.members);
+  into
+
+let drain t name =
+  match Member.find t.members name with
+  | None -> ()
+  | Some w ->
+      (match ctrl_rpc t w Wire.Drain with
+      | Some _ -> ()
+      | None -> ());
+      if w.w_state = Member.Alive then Member.mark t.members name Member.Draining;
+      Metrics.incr t.m_drained
+
+let health_loop t =
+  let period = max 0.05 t.cfg.c_health_period in
+  while not (with_lock t (fun () -> t.stopping)) do
+    List.iter
+      (fun (w : Member.worker) ->
+        if w.w_state <> Member.Dead then ignore (ctrl_rpc t w Wire.Status_request))
+      (Member.workers t.members);
+    (* sleep in slices so stop doesn't wait out a full period *)
+    let slept = ref 0.0 in
+    while !slept < period && not (with_lock t (fun () -> t.stopping)) do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done
+
+(* {1 Session proxying} *)
+
+type leg = { l_client : Client.t; l_worker : Member.worker }
+
+exception No_live_workers
+
+(* Open a leg for [key]: bounded-load ring placement, connect, and — when
+   the session already streamed events — replay the coordinator spool into
+   the fresh worker session before any new batch flows.  The spool is the
+   source of truth: it was appended before every forward, so a replayed
+   session can never have lost events (a short replay is detected and fails
+   the session rather than risking a wrong verdict). *)
+let open_leg t ~key ~level ~writer =
+  let avoid = ref [] in
+  let dead_since = ref None in
+  let rec loop () =
+    if with_lock t (fun () -> t.force_stop) then
+      raise (Bincodec.Corrupt "coordinator is stopping");
+    match Member.acquire t.members ~key ~avoid:!avoid with
+    | Some w -> (
+        match Client.connect ~level ~producer:"vyrdc" w.Member.w_addr with
+        | c -> (
+            Client.set_timeout c t.cfg.c_leg_timeout;
+            match
+              let spooled = Segment.writer_events writer in
+              if spooled > 0 then begin
+                Segment.flush writer;
+                let path = List.hd (Segment.writer_files writer) in
+                let events, resumed_at, replayed =
+                  Client.resume_session c ~path
+                in
+                if events <> spooled then
+                  raise
+                    (Bincodec.Corrupt
+                       (Printf.sprintf
+                          "failover replay recovered %d of %d events" events
+                          spooled));
+                Metrics.incr t.m_resumes;
+                Metrics.add t.m_resume_replayed replayed;
+                if resumed_at <> None then Metrics.incr t.m_resume_from_ck
+              end
+            with
+            | () ->
+                Metrics.incr t.m_routed;
+                { l_client = c; l_worker = w }
+            | exception e ->
+                Client.close c;
+                Member.release t.members w;
+                raise e)
+        | exception Client.Server_error _ ->
+            (* refused the hello (draining, most likely): reachable but not
+               accepting — stop routing to it, don't declare it dead *)
+            Member.release t.members w;
+            Member.mark t.members w.w_name Member.Draining;
+            loop ()
+        | exception (Unix.Unix_error _ | Not_found | Wire.Closed | Wire.Timeout)
+          ->
+            Member.release t.members w;
+            (match probe w.Member.w_addr with
+            | None -> note_dead t w
+            | Some st ->
+                scrape t w st;
+                avoid := w.w_name :: !avoid);
+            loop ())
+    | None ->
+        if !avoid <> [] then begin
+          (* every candidate got blamed this round — give them another shot
+             rather than failing a session over transient leg errors *)
+          avoid := [];
+          Thread.delay 0.05;
+          loop ()
+        end
+        else if Member.alive t.members = [] then begin
+          (match !dead_since with
+          | None -> dead_since := Some (Unix.gettimeofday ())
+          | Some since ->
+              if Unix.gettimeofday () -. since > 5.0 then raise No_live_workers);
+          Thread.delay 0.05;
+          loop ()
+        end
+        else begin
+          (* live workers exist but every slot is busy: wait one out *)
+          dead_since := None;
+          Thread.delay 0.02;
+          loop ()
+        end
+  in
+  loop ()
+
+let close_leg t leg =
+  Client.close leg.l_client;
+  Member.release t.members leg.l_worker
+
+(* A data leg failed mid-session.  Probe the worker on a fresh connection:
+   unreachable means dead (remap everything), reachable means this was a
+   session-local hiccup (resume elsewhere, leave the worker in the ring). *)
+let drop_leg t leg =
+  Metrics.incr t.m_leg_failures;
+  close_leg t leg;
+  match probe leg.l_worker.Member.w_addr with
+  | None -> note_dead t leg.l_worker
+  | Some st -> scrape t leg.l_worker st
+
+let serve_data_session t (s : session) (hello : Wire.hello) =
+  let fd = s.sc_fd in
+  if hello.Wire.h_version <> Wire.version then
+    raise
+      (Bincodec.Corrupt
+         (Printf.sprintf "protocol version %d, expected %d"
+            hello.Wire.h_version Wire.version));
+  if with_lock t (fun () -> t.stopping) then
+    raise (Bincodec.Corrupt "coordinator is stopping");
+  let level = hello.Wire.h_level in
+  let key = Printf.sprintf "session-%06d" s.sc_id in
+  if not (Sys.file_exists t.cfg.c_spool_dir) then
+    (try Unix.mkdir t.cfg.c_spool_dir 0o755 with Unix.Unix_error _ -> ());
+  let spool =
+    Filename.concat t.cfg.c_spool_dir (Printf.sprintf "vyrdc-%06d.seg" s.sc_id)
+  in
+  let writer = Segment.create_writer ~level spool in
+  let leg = ref None in
+  let clean = ref false in
+  let cleanup () =
+    (match !leg with Some l -> close_leg t l | None -> ());
+    leg := None;
+    (try Segment.close writer with Invalid_argument _ -> ());
+    (* spools of verdicted sessions are pure replay insurance — reclaim
+       them; failed sessions keep theirs for forensics *)
+    if !clean && not t.cfg.c_keep_spools then
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (Segment.writer_files writer)
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  Wire.send_server fd
+    (Wire.Hello_ack
+       {
+         a_version = Wire.version;
+         a_session = s.sc_id;
+         a_credit = t.cfg.c_window;
+         a_spilling = false;
+       });
+  let ensure_leg () =
+    match !leg with
+    | Some l -> l
+    | None ->
+        let l =
+          try open_leg t ~key ~level ~writer
+          with No_live_workers ->
+            raise (Bincodec.Corrupt "no live workers in the cluster")
+        in
+        leg := Some l;
+        l
+  in
+  let reassign l =
+    drop_leg t l;
+    leg := None;
+    Metrics.incr t.m_reassignments
+  in
+  (* idempotent RPCs (checkpoint barriers, finish): safe to retry on a
+     fresh leg, because the reopening resume replays the spool first *)
+  let rec forwarding ?(attempts = 5) f =
+    let l = ensure_leg () in
+    match f l.l_client with
+    | v -> v
+    | exception
+        (( Client.Server_error _ | Unix.Unix_error _ | Wire.Closed
+         | Wire.Timeout | Bincodec.Corrupt _ ) as e) ->
+        reassign l;
+        if attempts <= 1 then raise e;
+        forwarding ~attempts:(attempts - 1) f
+  in
+  (* batches are NOT idempotent: the failed batch is already in the spool,
+     so the reopening resume replays it into the replacement worker —
+     re-sending it on the wire would feed those events twice *)
+  let forward_batch evs =
+    let l = ensure_leg () in
+    try Client.send_batch l.l_client evs
+    with
+    | Client.Server_error _ | Unix.Unix_error _ | Wire.Closed | Wire.Timeout
+    | Bincodec.Corrupt _
+    ->
+      reassign l;
+      ignore (ensure_leg ())
+  in
+  ignore (ensure_leg ());
+  let ungranted = ref 0 in
+  let grant_at = max 1 (t.cfg.c_window / 2) in
+  let last_ck = ref 0 in
+  let maybe_checkpoint () =
+    if
+      t.cfg.c_checkpoint_events > 0
+      && Segment.writer_events writer - !last_ck >= t.cfg.c_checkpoint_events
+    then begin
+      let events, state = forwarding Client.request_checkpoint in
+      (* advance the cursor even on None so a non-snapshottable farm is not
+         re-asked every batch *)
+      last_ck := Segment.writer_events writer;
+      match state with
+      | Some repr when events = Segment.writer_events writer ->
+          Segment.append_checkpoint writer repr;
+          Metrics.incr t.m_checkpoints
+      | _ -> ()
+    end
+  in
+  let finished = ref false in
+  while not !finished do
+    let payload = Wire.read_frame fd in
+    Metrics.add t.m_bytes (String.length payload + 8);
+    match Wire.decode_client payload with
+    | Wire.Batch evs ->
+        let n = Array.length evs in
+        Metrics.incr t.m_batches;
+        Metrics.add t.m_events n;
+        (* spool before forward: the spool must be a superset of whatever
+           any worker ever saw, or failover could lose events *)
+        Array.iter (fun ev -> Segment.append writer ev) evs;
+        forward_batch evs;
+        maybe_checkpoint ();
+        ungranted := !ungranted + n;
+        if !ungranted >= grant_at then begin
+          Wire.send_server fd (Wire.Credit !ungranted);
+          ungranted := 0
+        end
+    | Wire.Heartbeat ->
+        (* keep both the client session and the worker leg alive *)
+        (match !leg with
+        | Some l -> (
+            try Client.heartbeat l.l_client
+            with
+            | Client.Server_error _ | Unix.Unix_error _ | Wire.Closed
+            | Wire.Timeout | Bincodec.Corrupt _
+            ->
+              drop_leg t l;
+              leg := None;
+              Metrics.incr t.m_reassignments)
+        | None -> ());
+        Wire.send_server fd Wire.Heartbeat_ack
+    | Wire.Checkpoint_request ->
+        let events, state = forwarding Client.request_checkpoint in
+        (match state with
+        | Some repr when events = Segment.writer_events writer ->
+            Segment.append_checkpoint writer repr;
+            last_ck := Segment.writer_events writer;
+            Metrics.incr t.m_checkpoints
+        | _ -> ());
+        Wire.send_server fd
+          (Wire.Checkpoint_state
+             { cs_events = Segment.writer_events writer; cs_state = state })
+    | Wire.Finish ->
+        Segment.flush writer;
+        let outcome = forwarding Client.finish in
+        (match !leg with
+        | Some l ->
+            Member.release t.members l.l_worker;
+            leg := None
+        | None -> ());
+        let verdict =
+          match outcome with
+          | Client.Checked { report; fail_index } ->
+              Wire.Verdict
+                {
+                  v_report = report;
+                  v_fail_index = fail_index;
+                  v_events = Segment.writer_events writer;
+                  v_spilled = None;
+                }
+          | Client.Spilled { path; events } ->
+              let report =
+                {
+                  Vyrd.Report.outcome = Vyrd.Report.Pass;
+                  stats =
+                    {
+                      Vyrd.Report.events_processed = events;
+                      methods_checked = 0;
+                      commits_resolved = 0;
+                      per_method = [];
+                      queue_high_water = 0;
+                    };
+                }
+              in
+              Wire.Verdict
+                {
+                  v_report = report;
+                  v_fail_index = None;
+                  v_events = events;
+                  v_spilled = Some path;
+                }
+        in
+        (* Count before sending: once the client sees the verdict frame it may
+           scrape [cluster.verdicts], and the increment must already be
+           visible. *)
+        Metrics.incr t.m_verdicts;
+        clean := true;
+        Wire.send_server fd verdict;
+        finished := true
+    | Wire.Hello _ -> raise (Bincodec.Corrupt "unexpected second hello")
+    | Wire.Resume_session _ ->
+        raise (Bincodec.Corrupt "resume is not supported on a coordinator session")
+    | Wire.Drain | Wire.Status_request | Wire.Register _ ->
+        raise (Bincodec.Corrupt "control message on a data session")
+  done
+
+let status t =
+  let live = active t in
+  {
+    Wire.st_draining = with_lock t (fun () -> t.stopping);
+    st_active = live;
+    st_checking = live;
+    st_metrics = Metrics.encode (aggregate t);
+  }
+
+(* A status/control connection to the coordinator itself: answer aggregated
+   cluster health until the peer goes away. *)
+let control_loop t (s : session) =
+  let fd = s.sc_fd in
+  let finished = ref false in
+  while not !finished do
+    match Wire.decode_client (Wire.read_frame fd) with
+    | Wire.Status_request -> Wire.send_server fd (Wire.Status (status t))
+    | Wire.Heartbeat -> Wire.send_server fd Wire.Heartbeat_ack
+    | Wire.Finish -> finished := true
+    | exception Wire.Closed -> finished := true
+    | _ -> raise (Bincodec.Corrupt "unexpected message on a status connection")
+  done
+
+let serve_session t (s : session) =
+  match Wire.decode_client (Wire.read_frame s.sc_fd) with
+  | Wire.Hello hello -> serve_data_session t s hello
+  | Wire.Status_request ->
+      Wire.send_server s.sc_fd (Wire.Status (status t));
+      control_loop t s
+  | _ -> raise (Bincodec.Corrupt "expected hello")
+
+let session_thread t s =
+  (match serve_session t s with
+  | () -> ()
+  | exception e ->
+      Metrics.incr t.m_failed;
+      let msg =
+        match e with
+        | Bincodec.Corrupt m -> m
+        | Wire.Closed -> "connection closed mid-session"
+        | Wire.Timeout -> "session idle timeout"
+        | Unix.Unix_error (err, _, _) -> Unix.error_message err
+        | Sys_error m -> m
+        | e -> "unexpected exception: " ^ Printexc.to_string e
+      in
+      (* best effort: the peer may already be gone *)
+      (try Wire.send_server s.sc_fd (Wire.Error msg)
+       with Unix.Unix_error _ | Wire.Closed | Wire.Timeout -> ()));
+  close_quietly s.sc_fd;
+  with_lock t (fun () ->
+      Hashtbl.remove t.live s.sc_id;
+      Hashtbl.remove t.threads s.sc_id)
+
+let accept_loop t =
+  let stop = ref false in
+  while not !stop do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        if with_lock t (fun () -> t.stopping) then close_quietly fd
+        else begin
+          (if t.cfg.c_idle_timeout > 0. then
+             try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.c_idle_timeout
+             with Unix.Unix_error _ -> ());
+          let s =
+            with_lock t (fun () ->
+                let id = t.next_session in
+                t.next_session <- id + 1;
+                t.accepted <- t.accepted + 1;
+                let s = { sc_id = id; sc_fd = fd } in
+                Hashtbl.replace t.live id s;
+                s)
+          in
+          Metrics.incr t.m_sessions;
+          let th = Thread.create (fun () -> session_thread t s) () in
+          with_lock t (fun () ->
+              Metrics.record t.m_peak (Hashtbl.length t.live);
+              if Hashtbl.mem t.live s.sc_id then
+                Hashtbl.replace t.threads s.sc_id th)
+        end
+    | exception
+        Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ESHUTDOWN), _, _) ->
+        stop := true
+    | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+        if with_lock t (fun () -> t.stopping) then stop := true
+    | exception Unix.Unix_error (_, _, _) ->
+        if with_lock t (fun () -> t.stopping) then stop := true
+        else Thread.delay 0.1
+  done
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if not (Sys.file_exists cfg.c_spool_dir) then Unix.mkdir cfg.c_spool_dir 0o755;
+  let domain =
+    match cfg.c_addr with
+    | Wire.Unix_socket _ -> Unix.PF_UNIX
+    | Wire.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match
+    (match cfg.c_addr with
+    | Wire.Unix_socket path -> if Sys.file_exists path then Unix.unlink path
+    | Wire.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
+    Unix.bind listen_fd (Wire.sockaddr_of_addr cfg.c_addr);
+    Unix.listen listen_fd 64;
+    (match Unix.getsockname listen_fd with
+    | Unix.ADDR_UNIX path -> Wire.Unix_socket path
+    | Unix.ADDR_INET (ip, port) -> Wire.Tcp (Unix.string_of_inet_addr ip, port))
+  with
+  | exception e ->
+      close_quietly listen_fd;
+      raise e
+  | bound ->
+      let m = cfg.c_metrics in
+      let t =
+        {
+          cfg;
+          listen_fd;
+          bound;
+          accept_thread = None;
+          health_thread = None;
+          lock = Mutex.create ();
+          live = Hashtbl.create 16;
+          threads = Hashtbl.create 16;
+          next_session = 0;
+          accepted = 0;
+          stopping = false;
+          stopped = false;
+          force_stop = false;
+          members = Member.create ~vnodes:cfg.c_vnodes ~seed:cfg.c_seed ();
+          ctrl_lock = Mutex.create ();
+          m_sessions = Metrics.counter m "cluster.sessions";
+          m_failed = Metrics.counter m "cluster.sessions_failed";
+          m_events = Metrics.counter m "cluster.events";
+          m_batches = Metrics.counter m "cluster.batches";
+          m_bytes = Metrics.counter m "cluster.bytes_in";
+          m_verdicts = Metrics.counter m "cluster.verdicts";
+          m_routed = Metrics.counter m "cluster.sessions_routed";
+          m_leg_failures = Metrics.counter m "cluster.leg_failures";
+          m_reassignments = Metrics.counter m "cluster.reassignments";
+          m_resumes = Metrics.counter m "cluster.resumes";
+          m_resume_replayed = Metrics.counter m "cluster.resume_replayed";
+          m_resume_from_ck = Metrics.counter m "cluster.resume_from_checkpoint";
+          m_checkpoints = Metrics.counter m "cluster.checkpoints";
+          m_attached = Metrics.counter m "cluster.workers_attached";
+          m_dead = Metrics.counter m "cluster.workers_dead";
+          m_drained = Metrics.counter m "cluster.workers_drained";
+          m_peak = Metrics.gauge m "cluster.sessions_peak";
+          m_workers_peak = Metrics.gauge m "cluster.workers_peak";
+        }
+      in
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      t.health_thread <- Some (Thread.create health_loop t);
+      t
+
+let stop ?(deadline = 10.) t =
+  let already =
+    with_lock t (fun () ->
+        let s = t.stopped in
+        t.stopping <- true;
+        t.stopped <- true;
+        s)
+  in
+  if not already then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    close_quietly t.listen_fd;
+    let until = Unix.gettimeofday () +. deadline in
+    while active t > 0 && Unix.gettimeofday () < until do
+      Thread.delay 0.02
+    done;
+    with_lock t (fun () -> t.force_stop <- true);
+    let stragglers =
+      with_lock t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.live [])
+    in
+    List.iter
+      (fun s ->
+        try Unix.shutdown s.sc_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      stragglers;
+    let threads =
+      with_lock t (fun () -> Hashtbl.fold (fun _ th acc -> th :: acc) t.threads [])
+    in
+    List.iter Thread.join threads;
+    (match t.health_thread with Some th -> Thread.join th | None -> ());
+    List.iter
+      (fun (w : Member.worker) ->
+        (match w.w_ctrl with Some fd -> close_quietly fd | None -> ());
+        w.w_ctrl <- None)
+      (Member.workers t.members);
+    match t.bound with
+    | Wire.Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Wire.Tcp _ -> ()
+  end

@@ -1,0 +1,125 @@
+(* Consistent-hash ring with virtual nodes.  Immutable: membership changes
+   build a fresh ring, so readers never see a half-updated point array and
+   the minimal-remapping property is trivially testable (compare lookups
+   against two ring values). *)
+
+type t = {
+  vnodes : int;
+  seed : int;
+  members : string list;  (* sorted, unique *)
+  points : (int * string) array;  (* sorted by (hash, member) *)
+}
+
+(* FNV-1a over 64 bits, folded to a nonnegative 62-bit OCaml int (native
+   ints carry 63 bits incl. sign, so only the top 62 hash bits fit).  The
+   seed is mixed in first, so two rings with different seeds place the same
+   members at unrelated points — deterministic given (seed, member, vnode),
+   with no dependence on [Hashtbl.hash]'s unspecified evolution. *)
+let hash ~seed s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime in
+  mix (seed land 0xff);
+  mix ((seed asr 8) land 0xff);
+  mix ((seed asr 16) land 0xff);
+  mix ((seed asr 24) land 0xff);
+  String.iter (fun c -> mix (Char.code c)) s;
+  (* fmix64-style avalanche: bare FNV barely propagates the last bytes into
+     the high bits, so a member's "m#0".."m#127" vnode points would all land
+     in one clump and balance would collapse *)
+  let shift_mix n = h := Int64.logxor !h (Int64.shift_right_logical !h n) in
+  shift_mix 33;
+  h := Int64.mul !h 0xff51afd7ed558ccdL;
+  shift_mix 33;
+  h := Int64.mul !h 0xc4ceb9fe1a85ec53L;
+  shift_mix 33;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let build vnodes seed members =
+  let points = Array.make (List.length members * vnodes) (0, "") in
+  let i = ref 0 in
+  List.iter
+    (fun m ->
+      for v = 0 to vnodes - 1 do
+        points.(!i) <- (hash ~seed (Printf.sprintf "%s#%d" m v), m);
+        incr i
+      done)
+    members;
+  Array.sort compare points;
+  points
+
+let create ?(vnodes = 128) ?(seed = 0) members =
+  if vnodes <= 0 then invalid_arg "Hashring.create: vnodes";
+  let members = List.sort_uniq String.compare members in
+  { vnodes; seed; members; points = build vnodes seed members }
+
+let members t = t.members
+let vnodes t = t.vnodes
+let seed t = t.seed
+let is_empty t = t.members = []
+
+let add t m =
+  if List.mem m t.members then t
+  else create ~vnodes:t.vnodes ~seed:t.seed (m :: t.members)
+
+let remove t m =
+  if not (List.mem m t.members) then t
+  else create ~vnodes:t.vnodes ~seed:t.seed (List.filter (( <> ) m) t.members)
+
+(* Index of the first point at or clockwise-after [h] (wrapping to 0). *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  if is_empty t then None
+  else Some (snd t.points.(successor t (hash ~seed:t.seed key)))
+
+(* Every member, in ring order starting from [key]'s owner — the overflow
+   order a router walks when the owner is at capacity (consistent hashing
+   with bounded loads). *)
+let ordered t key =
+  if is_empty t then []
+  else begin
+    let n = Array.length t.points in
+    let start = successor t (hash ~seed:t.seed key) in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !i < n && Hashtbl.length seen < List.length t.members do
+      let _, m = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen m) then begin
+        Hashtbl.add seen m ();
+        acc := m :: !acc
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end
+
+(* Exact arc-length share of the key space owned by each member, as a
+   fraction of 1.0 — deterministic, so balance properties need no key
+   sampling.  Keys in (points[i-1], points[i]] belong to points[i]; the
+   wrap arc (points[n-1], 2^62) ++ [0, points[0]] belongs to points[0]. *)
+let shares t =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let space = float_of_int max_int +. 1.0 in
+    let tbl = Hashtbl.create 8 in
+    let credit m w =
+      let cur = try Hashtbl.find tbl m with Not_found -> 0.0 in
+      Hashtbl.replace tbl m (cur +. w)
+    in
+    for i = 1 to n - 1 do
+      credit (snd t.points.(i)) (float_of_int (fst t.points.(i) - fst t.points.(i - 1)))
+    done;
+    credit (snd t.points.(0))
+      (space -. float_of_int (fst t.points.(n - 1)) +. float_of_int (fst t.points.(0)));
+    List.map (fun m -> (m, (try Hashtbl.find tbl m with Not_found -> 0.0) /. space)) t.members
+  end

@@ -1,0 +1,54 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Session routing for the cluster: each member contributes [vnodes]
+    deterministic, seeded points on a 63-bit circle (FNV-1a of
+    ["member#i"], seed mixed in), and a key belongs to the member owning
+    the first point at or clockwise-after the key's hash.  Two properties
+    make this the right router for stateful sessions:
+
+    - {b balance}: with enough virtual nodes every member owns close to a
+      [1/n] share of the key space (see {!shares} for the exact arcs);
+    - {b minimal remapping}: adding a member moves only keys that now land
+      on the new member's points; removing one moves only its own keys.
+
+    Values are immutable — {!add}/{!remove} build a fresh ring — so a
+    router can swap rings atomically and compare placements across
+    membership changes. *)
+
+type t
+
+(** [create members] builds a ring.  Duplicate names are collapsed.
+    @param vnodes points per member (default 128) — balance tightens as
+      [1/sqrt vnodes].
+    @param seed placement seed (default 0): rings with equal members,
+      vnodes and seed are identical, across processes and runs.
+    @raise Invalid_argument when [vnodes <= 0]. *)
+val create : ?vnodes:int -> ?seed:int -> string list -> t
+
+(** Members, sorted. *)
+val members : t -> string list
+
+val vnodes : t -> int
+val seed : t -> int
+val is_empty : t -> bool
+
+(** [add t m] is a ring with [m] added ([t] itself when already present). *)
+val add : t -> string -> t
+
+(** [remove t m] is a ring without [m] ([t] itself when absent). *)
+val remove : t -> string -> t
+
+(** [lookup t key] is the member owning [key]; [None] on an empty ring. *)
+val lookup : t -> string -> string option
+
+(** [ordered t key] is every member in ring order starting from [key]'s
+    owner — the overflow order a router walks when the owner is at
+    capacity, so displaced sessions still land deterministically. *)
+val ordered : t -> string -> string list
+
+(** Exact arc-length share of the key space per member (fractions summing
+    to 1.0) — the deterministic balance measure the property tests gate. *)
+val shares : t -> (string * float) list
+
+(** The ring's placement hash (exposed for tests). *)
+val hash : seed:int -> string -> int

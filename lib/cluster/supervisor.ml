@@ -1,0 +1,54 @@
+module Wire = Vyrd_net.Wire
+module Server = Vyrd_net.Server
+module Farm = Vyrd_pipeline.Farm
+module Metrics = Vyrd_pipeline.Metrics
+
+type entry = { e_name : string; e_server : Server.t }
+type t = { dir : string; mutable entries : entry list; lock : Mutex.t }
+
+let start ?(count = 2) ?(prefix = "w") ?max_sessions ?capacity ?window
+    ?(idle_timeout = 120.) ?checkpoint_events ?analyze ~dir ~shards () =
+  if count <= 0 then invalid_arg "Supervisor.start: count";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let entries =
+    List.init count (fun i ->
+        let e_name = Printf.sprintf "%s%d" prefix i in
+        let addr = Wire.Unix_socket (Filename.concat dir (e_name ^ ".sock")) in
+        let cfg =
+          Server.config ?max_sessions ?capacity ?window ~idle_timeout
+            ?checkpoint_events ?analyze ~metrics:(Metrics.create ()) ~addr
+            shards
+        in
+        { e_name; e_server = Server.start cfg })
+  in
+  { dir; entries; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let workers t =
+  locked t (fun () ->
+      List.map (fun e -> (e.e_name, Server.addr e.e_server)) t.entries)
+
+let server t name =
+  locked t (fun () ->
+      List.find_map
+        (fun e -> if e.e_name = name then Some e.e_server else None)
+        t.entries)
+
+(* Immediate teardown — the in-process stand-in for SIGKILLing a worker.
+   In-flight sessions on it die mid-stream; the coordinator's failover path
+   is what brings them back elsewhere. *)
+let kill t name =
+  match server t name with
+  | None -> ()
+  | Some s ->
+      Server.stop ~deadline:0. s;
+      locked t (fun () ->
+          t.entries <- List.filter (fun e -> e.e_name <> name) t.entries)
+
+let stop t =
+  let entries = locked t (fun () -> t.entries) in
+  List.iter (fun e -> Server.stop e.e_server) entries;
+  locked t (fun () -> t.entries <- [])

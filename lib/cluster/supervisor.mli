@@ -1,0 +1,46 @@
+(** In-process worker pool: spawn N {!Vyrd_net.Server} instances on Unix
+    sockets under one directory, each with its own metrics registry.
+
+    Production runs one [vyrdd] per machine; the supervisor packs several
+    into one process so the cluster tests and [bench cluster] can exercise
+    coordinator routing, drain, and kill-based failover without managing
+    child processes.  {!kill} stops a worker with a zero deadline — the
+    in-process stand-in for SIGKILL — leaving its in-flight sessions to the
+    coordinator's failover path. *)
+
+module Wire = Vyrd_net.Wire
+module Server = Vyrd_net.Server
+module Farm = Vyrd_pipeline.Farm
+
+type t
+
+(** [start ~dir ~shards ()] spawns [count] (default 2) workers named
+    [prefix]["0"].., listening on [dir/<name>.sock].  The remaining
+    optionals forward to {!Server.config}; [idle_timeout] defaults to a
+    lenient 120 s because a coordinator leg can legitimately sit idle
+    between forwarded batches. *)
+val start :
+  ?count:int ->
+  ?prefix:string ->
+  ?max_sessions:int ->
+  ?capacity:int ->
+  ?window:int ->
+  ?idle_timeout:float ->
+  ?checkpoint_events:int ->
+  ?analyze:bool ->
+  dir:string ->
+  shards:(Vyrd.Log.level -> Farm.shard list) ->
+  unit ->
+  t
+
+(** Live workers as [(name, bound address)], in spawn order. *)
+val workers : t -> (string * Wire.addr) list
+
+val server : t -> string -> Server.t option
+
+(** [kill t name] force-stops the worker (deadline 0 — in-flight sessions
+    die mid-stream) and forgets it. *)
+val kill : t -> string -> unit
+
+(** Gracefully stop every remaining worker. *)
+val stop : t -> unit

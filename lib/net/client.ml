@@ -133,7 +133,8 @@ let rec await_credit t need =
       await_credit t need
     | Wire.Heartbeat_ack -> await_credit t need
     | Wire.Error msg -> fail t msg
-    | Wire.Hello_ack _ | Wire.Verdict _ ->
+    | Wire.Hello_ack _ | Wire.Verdict _ | Wire.Resume_ack _
+    | Wire.Checkpoint_state _ | Wire.Status _ ->
       fail t "protocol error: unexpected server message while streaming"
 
 let write_msg t msg =
@@ -161,9 +162,64 @@ let send t ev =
   t.count <- t.count + 1;
   if t.count >= t.batch_events then flush t
 
+(* Forward a whole pre-assembled batch — the coordinator's relay path.
+   Chunked at [batch_events] (clamped to the server's window at connect), so
+   credit can always cover a chunk. *)
+let send_batch t evs =
+  flush t;
+  let n = Array.length evs in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = min t.batch_events (n - !pos) in
+    await_credit t k;
+    let chunk = if k = n && !pos = 0 then evs else Array.sub evs !pos k in
+    write_msg t (Wire.Batch chunk);
+    t.credit <- t.credit - k;
+    t.sent <- t.sent + k;
+    pos := !pos + k
+  done
+
 let heartbeat t =
   if t.closed then raise (Server_error "session is closed");
   write_msg t Wire.Heartbeat
+
+let set_timeout t secs =
+  Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO secs;
+  Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO secs
+
+let resume_session t ~path =
+  if t.closed then raise (Server_error "session is closed");
+  if t.sent > 0 || t.count > 0 then
+    invalid_arg "Client.resume_session: events already sent";
+  write_msg t (Wire.Resume_session path);
+  let rec await () =
+    match recv t with
+    | Wire.Resume_ack { ra_events; ra_resumed_at; ra_replayed } ->
+      (ra_events, ra_resumed_at, ra_replayed)
+    | Wire.Credit n ->
+      t.credit <- t.credit + n;
+      await ()
+    | Wire.Heartbeat_ack -> await ()
+    | Wire.Error msg -> fail t msg
+    | _ -> fail t "protocol error: expected resume-ack"
+  in
+  await ()
+
+let request_checkpoint t =
+  if t.closed then raise (Server_error "session is closed");
+  flush t;
+  write_msg t Wire.Checkpoint_request;
+  let rec await () =
+    match recv t with
+    | Wire.Checkpoint_state { cs_events; cs_state } -> (cs_events, cs_state)
+    | Wire.Credit n ->
+      t.credit <- t.credit + n;
+      await ()
+    | Wire.Heartbeat_ack -> await ()
+    | Wire.Error msg -> fail t msg
+    | _ -> fail t "protocol error: expected checkpoint-state"
+  in
+  await ()
 
 let attach t log = Log.subscribe log (send t)
 
@@ -186,7 +242,9 @@ let finish t =
         Checked { report = v.Wire.v_report; fail_index = v.Wire.v_fail_index })
     | Wire.Credit _ | Wire.Heartbeat_ack -> await ()
     | Wire.Error msg -> fail t msg
-    | Wire.Hello_ack _ -> fail t "protocol error: unexpected hello-ack"
+    | Wire.Hello_ack _ | Wire.Resume_ack _ | Wire.Checkpoint_state _
+    | Wire.Status _ ->
+      fail t "protocol error: expected verdict"
   in
   await ()
 

@@ -59,9 +59,37 @@ val send : t -> Vyrd.Event.t -> unit
 (** Flush the current partial batch. *)
 val flush : t -> unit
 
+(** [send_batch t evs] forwards a whole pre-assembled batch, flushing any
+    buffered singles first so order is preserved — the coordinator's relay
+    path.  Chunked to the negotiated batch size so credit always covers a
+    chunk.
+    @raise Server_error if the server failed the session. *)
+val send_batch : t -> Vyrd.Event.t array -> unit
+
 (** [heartbeat t] keeps an idle session alive across the server's idle
     timeout (the ack is consumed by the next credit/verdict wait). *)
 val heartbeat : t -> unit
+
+(** [set_timeout t secs] arms [SO_RCVTIMEO]/[SO_SNDTIMEO] on the session
+    socket, so a hung (not just dead) server surfaces as {!Wire.Timeout}
+    from the next blocking call instead of pinning the caller forever —
+    the coordinator arms its worker legs with this. *)
+val set_timeout : t -> float -> unit
+
+(** [resume_session t ~path] asks the server to adopt the session spooled
+    at [path] ({e on the server's filesystem}): replay it from its newest
+    valid checkpoint and keep the session open for further {!send}s.  Must
+    be called before any events are sent.  Returns
+    [(events, resumed_at, replayed)] as in {!Wire.Resume_ack}.
+    @raise Invalid_argument after events were already sent.
+    @raise Server_error if the server refused or failed. *)
+val resume_session : t -> path:string -> int * int option * int
+
+(** [request_checkpoint t] flushes, then asks the server farm for a barrier
+    snapshot covering exactly the events sent so far.  Returns the server's
+    consumed count and the state ([None] when the farm cannot snapshot).
+    @raise Server_error if the server failed the session. *)
+val request_checkpoint : t -> int * Vyrd.Repr.t option
 
 (** [attach t log] subscribes {!send} to every subsequently appended
     event. *)

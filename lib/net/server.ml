@@ -30,7 +30,14 @@ let config ?(capacity = 4096) ?(window = 8192) ?(max_sessions = 8) ?spill_dir
   { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout;
     recheck_spills; checkpoint_events; analyze; metrics }
 
-type session = { s_id : int; s_fd : Unix.file_descr; mutable s_checking : bool }
+type session = {
+  s_id : int;
+  s_fd : Unix.file_descr;
+  mutable s_checking : bool;
+  mutable s_control : bool;
+      (* a coordinator's Register/Status connection: no farm, no slot, and
+         not counted as a draining obstacle by [stop] *)
+}
 
 type t = {
   cfg : config;
@@ -44,6 +51,8 @@ type t = {
   mutable accepted : int;
   mutable stopping : bool;
   mutable stopped : bool;
+  mutable draining : bool;
+  mutable registered : string option;
   (* metrics handles, registered once *)
   m_sessions : Metrics.counter;
   m_failed : Metrics.counter;
@@ -61,6 +70,9 @@ type t = {
   m_recheck_replayed : Metrics.counter;
   m_recheck_resumed : Metrics.counter;
   m_recheck_violations : Metrics.counter;
+  m_spill_reclaimed : Metrics.counter;
+  m_resumes : Metrics.counter;
+  m_resume_replayed : Metrics.counter;
 }
 
 let with_lock t f =
@@ -70,7 +82,33 @@ let with_lock t f =
 let addr t = t.bound
 let metrics t = t.cfg.metrics
 let sessions t = with_lock t (fun () -> t.accepted)
-let active t = with_lock t (fun () -> Hashtbl.length t.live)
+
+(* control connections are excluded: they live as long as their coordinator
+   and must not look like sessions still draining *)
+let active t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ s n -> if s.s_control then n else n + 1) t.live 0)
+
+let drain t = with_lock t (fun () -> t.draining <- true)
+let draining t = with_lock t (fun () -> t.draining)
+let registered t = with_lock t (fun () -> t.registered)
+
+let busy_slots t =
+  Hashtbl.fold (fun _ s n -> if s.s_checking then n + 1 else n) t.live 0
+
+let status t =
+  let active, checking, draining =
+    with_lock t (fun () ->
+        ( Hashtbl.fold (fun _ s n -> if s.s_control then n else n + 1) t.live 0,
+          busy_slots t,
+          t.draining ))
+  in
+  {
+    Wire.st_draining = draining;
+    st_active = active;
+    st_checking = checking;
+    st_metrics = Metrics.encode t.cfg.metrics;
+  }
 
 (* A session in checking mode owns a farm; in spill mode, a segment writer.
    [checking] is decided at hello time from the live checking count. *)
@@ -115,21 +153,37 @@ let recheck t ~path =
   | Report.Pass -> ());
   outcome
 
-(* Everything a single connection does, from hello to verdict.  Raises on
+(* A coordinator's control connection: Register/Status_request instead of a
+   hello.  No farm, no checking slot; answers health polls and the drain
+   order until the peer goes away. *)
+let control_loop t (s : session) =
+  let fd = s.s_fd in
+  s.s_control <- true;
+  (* polled at the coordinator's pace, not ours: disarm the data-session
+     idle timeout *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.;
+  let finished = ref false in
+  while not !finished do
+    match Wire.recv_client fd with
+    | Wire.Status_request -> Wire.send_server fd (Wire.Status (status t))
+    | Wire.Drain ->
+      with_lock t (fun () -> t.draining <- true);
+      Wire.send_server fd (Wire.Status (status t))
+    | Wire.Heartbeat -> Wire.send_server fd Wire.Heartbeat_ack
+    | Wire.Finish -> finished := true
+    | _ -> raise (Bincodec.Corrupt "unexpected message on a control connection")
+    | exception Wire.Closed -> finished := true
+  done
+
+(* Everything a data connection does, from hello to verdict.  Raises on
    any protocol failure; the caller contains it.  Returns the spool path
    when the session was spilled and reached its verdict, so the caller can
    re-check it offline. *)
-let serve_session t (s : session) =
+let serve_data_session t (s : session) hello =
   let fd = s.s_fd in
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
-  (* a peer that stops *reading* must not pin this thread in a blocking
-     write (Credit/Verdict) past the idle timeout either *)
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.idle_timeout;
-  let hello =
-    match Wire.recv_client fd with
-    | Wire.Hello h -> h
-    | _ -> raise (Bincodec.Corrupt "expected hello")
-  in
+  if with_lock t (fun () -> t.draining) then
+    raise (Bincodec.Corrupt "server is draining");
   if hello.Wire.h_version <> Wire.version then
     raise
       (Bincodec.Corrupt
@@ -239,8 +293,77 @@ let serve_session t (s : session) =
       Wire.send_server fd (Wire.Verdict verdict);
       Metrics.incr t.m_verdicts;
       finished := true
+    | Wire.Resume_session path ->
+      (* cluster failover: adopt the half-streamed session spooled by the
+         coordinator.  Only valid as the session's first traffic — the
+         fresh farm from the hello is replaced by one restored from the
+         spool's newest usable checkpoint, and the router's global cursor
+         carries over, so the eventual verdict (fail index included) is the
+         one an uninterrupted session would have produced. *)
+      if not checking then
+        raise (Bincodec.Corrupt "resume on a spilling session");
+      if !consumed > 0 then
+        raise (Bincodec.Corrupt "resume after events were received");
+      (match !farm with
+      | Some f ->
+        ignore (Farm.finish f : Farm.result);
+        farm := None
+      | None -> ());
+      let passes =
+        if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else []
+      in
+      (match
+         Resume.resume_farm_open ~capacity:t.cfg.capacity
+           ~metrics:t.cfg.metrics ~passes ~shards:t.cfg.shards ~path ()
+       with
+      | rf ->
+        farm := Some rf.Resume.rf_farm;
+        consumed := rf.Resume.rf_total;
+        Metrics.incr t.m_resumes;
+        Metrics.add t.m_resume_replayed rf.Resume.rf_replayed;
+        Wire.send_server fd
+          (Wire.Resume_ack
+             {
+               ra_events = rf.Resume.rf_total;
+               ra_resumed_at = rf.Resume.rf_resumed_at;
+               ra_replayed = rf.Resume.rf_replayed;
+             })
+      | exception Sys_error msg -> raise (Bincodec.Corrupt ("resume: " ^ msg))
+      | exception Invalid_argument msg ->
+        raise (Bincodec.Corrupt ("resume: " ^ msg)))
+    | Wire.Checkpoint_request ->
+      (* in-band barrier: by protocol order every batch before this request
+         has been fed, so the snapshot covers exactly [consumed] events *)
+      let state = match !farm with Some f -> Farm.checkpoint f | None -> None in
+      Wire.send_server fd
+        (Wire.Checkpoint_state { cs_events = !consumed; cs_state = state })
+    | Wire.Status_request -> Wire.send_server fd (Wire.Status (status t))
+    | Wire.Drain | Wire.Register _ ->
+      raise (Bincodec.Corrupt "control message on a data session")
   done;
   if checking then None else !spill_path
+
+(* First message decides what this connection is: a hello opens a data
+   session, Register/Status_request a control one. *)
+let serve_session t (s : session) =
+  let fd = s.s_fd in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+  (* a peer that stops *reading* must not pin this thread in a blocking
+     write (Credit/Verdict) past the idle timeout either *)
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.idle_timeout;
+  match Wire.recv_client fd with
+  | Wire.Hello hello -> serve_data_session t s hello
+  | Wire.Register name ->
+    with_lock t (fun () -> t.registered <- Some name);
+    Wire.send_server fd (Wire.Status (status t));
+    control_loop t s;
+    None
+  | Wire.Status_request ->
+    (* one-shot probe: answer, then keep serving polls *)
+    Wire.send_server fd (Wire.Status (status t));
+    control_loop t s;
+    None
+  | _ -> raise (Bincodec.Corrupt "expected hello")
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -284,7 +407,15 @@ let session_thread t s =
     if slot then begin
       (* best effort: the spool stays on disk for [vyrd-check check --resume]
          whatever happens here *)
-      try ignore (recheck t ~path : Resume.outcome)
+      try
+        let outcome = recheck t ~path in
+        match outcome.Resume.report.Report.outcome with
+        | Report.Pass when not outcome.Resume.truncated ->
+          (* verified clean end to end: reclaim the disk.  Violating or
+             truncated spools stay for forensics and offline reruns. *)
+          (try Sys.remove path with Sys_error _ -> ());
+          Metrics.incr t.m_spill_reclaimed
+        | _ -> ()
       with Bincodec.Corrupt _ | Invalid_argument _ | Sys_error _
          | Unix.Unix_error _ -> ()
     end
@@ -307,7 +438,7 @@ let accept_loop t =
               let id = t.next_session in
               t.next_session <- id + 1;
               t.accepted <- t.accepted + 1;
-              let s = { s_id = id; s_fd = fd; s_checking = false } in
+              let s = { s_id = id; s_fd = fd; s_checking = false; s_control = false } in
               Hashtbl.replace t.live id s;
               s)
         in
@@ -371,6 +502,8 @@ let start cfg =
         accepted = 0;
         stopping = false;
         stopped = false;
+        draining = false;
+        registered = None;
         m_sessions = Metrics.counter m "net.sessions";
         m_failed = Metrics.counter m "net.sessions_failed";
         m_accept_errors = Metrics.counter m "net.accept_errors";
@@ -387,6 +520,9 @@ let start cfg =
         m_recheck_replayed = Metrics.counter m "net.spill_recheck_replayed";
         m_recheck_resumed = Metrics.counter m "net.spill_recheck_resumed";
         m_recheck_violations = Metrics.counter m "net.spill_recheck_violations";
+        m_spill_reclaimed = Metrics.counter m "net.spill_reclaimed";
+        m_resumes = Metrics.counter m "net.session_resumes";
+        m_resume_replayed = Metrics.counter m "net.session_resume_replayed";
       }
     in
     t.accept_thread <- Some (Thread.create accept_loop t);

@@ -86,8 +86,25 @@ val metrics : t -> Metrics.t
 (** Sessions accepted so far. *)
 val sessions : t -> int
 
-(** Sessions currently open. *)
+(** Data sessions currently open (control connections excluded). *)
 val active : t -> int
+
+(** {1 Cluster membership}
+
+    A coordinator opens a {e control connection} ({!Wire.Register} instead
+    of a hello) to poll health ({!Wire.Status_request}) and order a drain
+    ({!Wire.Drain}).  These accessors expose the same state in-process. *)
+
+(** Stop accepting new data sessions (their hellos are refused with an
+    error); live sessions keep running to their verdicts.  This is the
+    drain hook a cluster uses to rotate a worker out without abandoning
+    work. *)
+val drain : t -> unit
+
+val draining : t -> bool
+
+(** The name the coordinator registered this worker under, if any. *)
+val registered : t -> string option
 
 (** [recheck t ~path] checks the spilled spool at [path] through the
     server's farm template, resuming from its latest usable checkpoint

@@ -26,6 +26,11 @@ type client_msg =
   | Batch of Event.t array
   | Heartbeat
   | Finish
+  | Resume_session of string
+  | Checkpoint_request
+  | Drain
+  | Status_request
+  | Register of string
 
 type verdict = {
   v_report : Report.t;
@@ -34,12 +39,22 @@ type verdict = {
   v_spilled : string option;
 }
 
+type status = {
+  st_draining : bool;
+  st_active : int;
+  st_checking : int;
+  st_metrics : string;
+}
+
 type server_msg =
   | Hello_ack of { a_version : int; a_session : int; a_credit : int; a_spilling : bool }
   | Credit of int
   | Heartbeat_ack
   | Verdict of verdict
   | Error of string
+  | Resume_ack of { ra_events : int; ra_resumed_at : int option; ra_replayed : int }
+  | Checkpoint_state of { cs_events : int; cs_state : Vyrd.Repr.t option }
+  | Status of status
 
 (* ------------------------------------------------------ report codec *)
 
@@ -210,7 +225,16 @@ let encode_client msg =
     Bincodec.put_uvarint b (Array.length evs);
     Array.iter (Bincodec.put_event b) evs
   | Heartbeat -> Buffer.add_char b '\002'
-  | Finish -> Buffer.add_char b '\003');
+  | Finish -> Buffer.add_char b '\003'
+  | Resume_session path ->
+    Buffer.add_char b '\004';
+    Bincodec.put_string b path
+  | Checkpoint_request -> Buffer.add_char b '\005'
+  | Drain -> Buffer.add_char b '\006'
+  | Status_request -> Buffer.add_char b '\007'
+  | Register name ->
+    Buffer.add_char b '\008';
+    Bincodec.put_string b name);
   Buffer.contents b
 
 (* A payload whose message ends before the payload does is as corrupt as a
@@ -237,6 +261,15 @@ let decode_client s =
       (Batch evs, pos)
     | '\002' -> (Heartbeat, 1)
     | '\003' -> (Finish, 1)
+    | '\004' ->
+      let path, pos = Bincodec.get_string s 1 in
+      (Resume_session path, pos)
+    | '\005' -> (Checkpoint_request, 1)
+    | '\006' -> (Drain, 1)
+    | '\007' -> (Status_request, 1)
+    | '\008' ->
+      let name, pos = Bincodec.get_string s 1 in
+      (Register name, pos)
     | c -> corrupt "unknown client message tag 0x%02x" (Char.code c))
     s
 
@@ -261,7 +294,22 @@ let encode_server msg =
     put_option Bincodec.put_string b v.v_spilled
   | Error msg ->
     Buffer.add_char b '\004';
-    Bincodec.put_string b msg);
+    Bincodec.put_string b msg
+  | Resume_ack { ra_events; ra_resumed_at; ra_replayed } ->
+    Buffer.add_char b '\005';
+    Bincodec.put_uvarint b ra_events;
+    put_uvarint_option b ra_resumed_at;
+    Bincodec.put_uvarint b ra_replayed
+  | Checkpoint_state { cs_events; cs_state } ->
+    Buffer.add_char b '\006';
+    Bincodec.put_uvarint b cs_events;
+    put_option Bincodec.put_repr b cs_state
+  | Status { st_draining; st_active; st_checking; st_metrics } ->
+    Buffer.add_char b '\007';
+    Buffer.add_char b (if st_draining then '\001' else '\000');
+    Bincodec.put_uvarint b st_active;
+    Bincodec.put_uvarint b st_checking;
+    Bincodec.put_string b st_metrics);
   Buffer.contents b
 
 let decode_server s =
@@ -288,6 +336,22 @@ let decode_server s =
     | '\004' ->
       let msg, pos = Bincodec.get_string s 1 in
       (Error msg, pos)
+    | '\005' ->
+      let ra_events, pos = Bincodec.get_uvarint s 1 in
+      let ra_resumed_at, pos = get_uvarint_option s pos in
+      let ra_replayed, pos = Bincodec.get_uvarint s pos in
+      (Resume_ack { ra_events; ra_resumed_at; ra_replayed }, pos)
+    | '\006' ->
+      let cs_events, pos = Bincodec.get_uvarint s 1 in
+      let cs_state, pos = get_option Bincodec.get_repr s pos in
+      (Checkpoint_state { cs_events; cs_state }, pos)
+    | '\007' ->
+      if String.length s < 2 then corrupt "truncated status";
+      let st_draining = s.[1] <> '\000' in
+      let st_active, pos = Bincodec.get_uvarint s 2 in
+      let st_checking, pos = Bincodec.get_uvarint s pos in
+      let st_metrics, pos = Bincodec.get_string s pos in
+      (Status { st_draining; st_active; st_checking; st_metrics }, pos)
     | c -> corrupt "unknown server message tag 0x%02x" (Char.code c))
     s
 

@@ -49,6 +49,23 @@ type client_msg =
   | Batch of Vyrd.Event.t array
   | Heartbeat
   | Finish  (** drain request: no more events, send the verdict *)
+  | Resume_session of string
+      (** cluster failover: sent right after {!Hello}, before any {!Batch} —
+          the server replays the segment spool at this ({e server-local})
+          path from its newest valid checkpoint frame and keeps the session
+          open for further batches; answered with {!Resume_ack}.  The
+          resumed events do not consume wire credit. *)
+  | Checkpoint_request
+      (** in-band barrier: snapshot the session farm covering exactly the
+          events received so far; answered with {!Checkpoint_state} *)
+  | Drain
+      (** control connections only: stop accepting new sessions, let live
+          ones run to their verdicts; answered with {!Status} *)
+  | Status_request  (** health/metrics scrape; answered with {!Status} *)
+  | Register of string
+      (** opens a {e control connection} (sent instead of {!Hello}): the
+          coordinator names this worker and the server answers {!Status};
+          further {!Status_request}/{!Drain} messages poll it *)
 
 (** The server's reply to {!Finish}. *)
 type verdict = {
@@ -62,12 +79,30 @@ type verdict = {
           holding the stream for later offline checking *)
 }
 
+(** A worker's health report, carried on control connections so the
+    coordinator can piggyback liveness and scrape metrics in one poll. *)
+type status = {
+  st_draining : bool;
+  st_active : int;  (** sessions currently open *)
+  st_checking : int;  (** sessions holding a checking slot *)
+  st_metrics : string;  (** {!Vyrd_pipeline.Metrics.encode} snapshot *)
+}
+
 type server_msg =
   | Hello_ack of { a_version : int; a_session : int; a_credit : int; a_spilling : bool }
   | Credit of int  (** additional events the client may send *)
   | Heartbeat_ack
   | Verdict of verdict
   | Error of string  (** session failed; no verdict will follow *)
+  | Resume_ack of { ra_events : int; ra_resumed_at : int option; ra_replayed : int }
+      (** spool replayed: [ra_events] events recovered and fed,
+          [ra_resumed_at] the checkpoint used ([None] = full replay),
+          [ra_replayed] events actually re-fed *)
+  | Checkpoint_state of { cs_events : int; cs_state : Vyrd.Repr.t option }
+      (** barrier result: farm state covering the first [cs_events] events,
+          or [None] when the farm cannot snapshot (violation found, spilling
+          session) *)
+  | Status of status
 
 (** {1 Encoding}
 

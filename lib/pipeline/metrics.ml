@@ -115,6 +115,114 @@ let quantile h q =
     min !result (Atomic.get h.h_max)
   end
 
+(* --------------------------------------------------------------- merge *)
+
+let merge ~into src =
+  let entries =
+    with_lock src (fun () ->
+        Hashtbl.fold (fun name e acc -> (name, e) :: acc) src.entries [])
+  in
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | Counter c -> add (counter into name) (Atomic.get c)
+      | Gauge g -> record (gauge into name) (Atomic.get g)
+      | Histogram h ->
+        let d = histogram into name in
+        Array.iteri
+          (fun i b -> ignore (Atomic.fetch_and_add d.buckets.(i) (Atomic.get b)))
+          h.buckets;
+        ignore (Atomic.fetch_and_add d.h_count (Atomic.get h.h_count));
+        ignore (Atomic.fetch_and_add d.h_sum (Atomic.get h.h_sum));
+        record d.h_max (Atomic.get h.h_max))
+    entries
+
+(* --------------------------------------------------------------- codec *)
+
+(* [entry kind (1 byte) | name | values], entries sorted by name so equal
+   registries encode identically.  Histogram buckets are sparse: most of the
+   63 are empty on any real registry. *)
+
+let encode t =
+  let entries =
+    with_lock t (fun () ->
+        Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [])
+    |> List.sort compare
+  in
+  let b = Buffer.create 512 in
+  Bincodec.put_uvarint b (List.length entries);
+  List.iter
+    (fun (name, e) ->
+      match e with
+      | Counter c ->
+        Buffer.add_char b '\000';
+        Bincodec.put_string b name;
+        Bincodec.put_uvarint b (Atomic.get c)
+      | Gauge g ->
+        Buffer.add_char b '\001';
+        Bincodec.put_string b name;
+        Bincodec.put_uvarint b (Atomic.get g)
+      | Histogram h ->
+        Buffer.add_char b '\002';
+        Bincodec.put_string b name;
+        let filled = ref 0 in
+        Array.iter (fun c -> if Atomic.get c > 0 then filled := !filled + 1) h.buckets;
+        Bincodec.put_uvarint b !filled;
+        Array.iteri
+          (fun i c ->
+            let v = Atomic.get c in
+            if v > 0 then begin
+              Bincodec.put_uvarint b i;
+              Bincodec.put_uvarint b v
+            end)
+          h.buckets;
+        Bincodec.put_uvarint b (Atomic.get h.h_count);
+        Bincodec.put_uvarint b (Atomic.get h.h_sum);
+        Bincodec.put_uvarint b (Atomic.get h.h_max))
+    entries;
+  Buffer.contents b
+
+let decode s =
+  let corrupt msg = raise (Bincodec.Corrupt ("metrics snapshot: " ^ msg)) in
+  let t = create () in
+  let n, pos = Bincodec.get_uvarint s 0 in
+  let pos = ref pos in
+  for _ = 1 to n do
+    if !pos >= String.length s then corrupt "truncated entry";
+    let kind = s.[!pos] in
+    let name, p = Bincodec.get_string s (!pos + 1) in
+    (match kind with
+    | '\000' ->
+      let v, p = Bincodec.get_uvarint s p in
+      add (counter t name) v;
+      pos := p
+    | '\001' ->
+      let v, p = Bincodec.get_uvarint s p in
+      record (gauge t name) v;
+      pos := p
+    | '\002' ->
+      let h = histogram t name in
+      let filled, p = Bincodec.get_uvarint s p in
+      let p = ref p in
+      for _ = 1 to filled do
+        let i, q = Bincodec.get_uvarint s !p in
+        let v, q = Bincodec.get_uvarint s q in
+        if i >= n_buckets then corrupt "histogram bucket out of range";
+        ignore (Atomic.fetch_and_add h.buckets.(i) v);
+        p := q
+      done;
+      let count, q = Bincodec.get_uvarint s !p in
+      let sum, q = Bincodec.get_uvarint s q in
+      let mx, q = Bincodec.get_uvarint s q in
+      ignore (Atomic.fetch_and_add h.h_count count);
+      ignore (Atomic.fetch_and_add h.h_sum sum);
+      record h.h_max mx;
+      pos := q
+    | c -> corrupt (Printf.sprintf "unknown entry kind 0x%02x" (Char.code c)))
+  done;
+  if !pos <> String.length s then corrupt "trailing bytes";
+  t
+
 (* -------------------------------------------------------------- export *)
 
 let sorted t =

@@ -51,6 +51,29 @@ val hist_max : histogram -> int
     [0] when empty. *)
 val quantile : histogram -> float -> int
 
+(** {1 Merging and snapshots}
+
+    A cluster coordinator aggregates the registries of many workers into one
+    view; these are the primitives of that scrape path. *)
+
+(** [merge ~into src] folds every entry of [src] into [into]: counters add,
+    gauges keep the maximum, histograms add bucket-wise (count and sum add,
+    max keeps the maximum).  Entries missing from [into] are registered.
+    Merging disjoint or overlapping registries is commutative and
+    associative up to export equality.
+    @raise Invalid_argument when a name is registered with one kind in
+      [src] and another in [into]. *)
+val merge : into:t -> t -> unit
+
+(** [encode t] is a compact binary snapshot of the registry (sorted, so
+    equal registries encode identically) — the payload a worker's status
+    reply carries. *)
+val encode : t -> string
+
+(** [decode s] rebuilds a registry from {!encode} output.
+    @raise Bincodec.Corrupt on malformed input. *)
+val decode : string -> t
+
 (** {1 Export} *)
 
 val pp : Format.formatter -> t -> unit

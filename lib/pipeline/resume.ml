@@ -142,6 +142,66 @@ let resume ?mode ?view ?invariants ?at ~path spec =
 
 (* ---------------------------------------------------------- farm resume *)
 
+type resumed_farm = {
+  rf_farm : Farm.t;
+  rf_total : int;
+  rf_replayed : int;
+  rf_resumed_at : int option;
+  rf_truncated : bool;
+  rf_checkpoints : int;
+}
+
+(* Same fallback chain as [resume_farm], but the farm is handed back live —
+   the suffix has been fed and nothing finished — so a worker adopting a
+   half-streamed session can keep feeding it events from the wire.  A
+   checkpoint that restores at [Farm.start] but then breaks mid-feed still
+   falls back: the partial farm is finished (reaping its domains) before the
+   next candidate is tried. *)
+let resume_farm_open ?capacity ?metrics ?passes ?at ~shards ~path () =
+  let rz = Segment.read_from_checkpoint path in
+  let log = rz.Segment.r_recovered.Segment.log in
+  let level = Log.level log in
+  let shards = shards level in
+  let events = Log.snapshot log in
+  let total = Array.length events in
+  let limit = match at with Some n -> min n total | None -> total in
+  let truncated = rz.Segment.r_recovered.Segment.truncated in
+  let run ~from ~resumed_at restore_state =
+    let farm =
+      Farm.start ?capacity ?metrics ?passes ?restore:restore_state ~level shards
+    in
+    (try
+       for i = from to total - 1 do
+         Farm.feed farm events.(i)
+       done
+     with e ->
+       ignore (Farm.finish farm : Farm.result);
+       raise e);
+    {
+      rf_farm = farm;
+      rf_total = total;
+      rf_replayed = total - from;
+      rf_resumed_at = resumed_at;
+      rf_truncated = truncated;
+      rf_checkpoints = List.length rz.Segment.r_checkpoints;
+    }
+  in
+  let candidates =
+    List.filter (fun c -> c.Segment.ck_events <= limit) rz.Segment.r_checkpoints
+    |> List.rev
+  in
+  let rec attempt = function
+    | [] -> run ~from:0 ~resumed_at:None None
+    | (ck : Segment.checkpoint) :: rest -> (
+      match
+        run ~from:ck.Segment.ck_events ~resumed_at:(Some ck.Segment.ck_events)
+          (Some ck.Segment.ck_state)
+      with
+      | outcome -> outcome
+      | exception (Ckpt.Malformed _ | Invalid_argument _) -> attempt rest)
+  in
+  attempt candidates
+
 let resume_farm ?capacity ?metrics ?at ?annotate_every ~shards ~path () =
   (match annotate_every with
   | Some n when n <= 0 -> invalid_arg "Resume.resume_farm: annotate_every"

@@ -98,3 +98,32 @@ val resume_farm :
   path:string ->
   unit ->
   outcome
+
+(** A farm handed back {e live} after a resume: the spool's events are fed
+    but nothing is finished, so the caller can keep streaming into it. *)
+type resumed_farm = {
+  rf_farm : Farm.t;
+  rf_total : int;  (** events recovered from the spool and already fed *)
+  rf_replayed : int;  (** events actually fed (suffix after the checkpoint) *)
+  rf_resumed_at : int option;  (** [None] = full replay *)
+  rf_truncated : bool;
+  rf_checkpoints : int;
+}
+
+(** [resume_farm_open ~shards ~path ()] is {!resume_farm} stopped just
+    before the drain: restore the newest usable checkpoint (same fallback
+    chain — damage changes replay cost, never verdicts), feed the suffix,
+    and return the farm still open.  This is how a worker adopts a
+    half-streamed session during cluster failover: replay the coordinator's
+    spool to the point the stream died, then continue from the wire.
+    Global fail indices are preserved across the restore, so verdicts are
+    identical to a single uninterrupted session. *)
+val resume_farm_open :
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  ?passes:Vyrd_analysis.Pass.t list ->
+  ?at:int ->
+  shards:(Vyrd.Log.level -> Farm.shard list) ->
+  path:string ->
+  unit ->
+  resumed_farm

@@ -94,7 +94,7 @@ let gen_op ~sides =
 (* Expand thread scripts into per-thread event queues and interleave them
    with a seeded scheduler; optionally truncate the tail (leaving open
    executions and unreturned commits) and seed one structural mutation. *)
-let build_events ~mutate scripts seed =
+let build_events ?(truncate = true) ~mutate scripts seed =
   let expand tid ops =
     List.concat_map
       (fun o ->
@@ -121,7 +121,7 @@ let build_events ~mutate scripts seed =
   drain ();
   let evs = Array.of_list (List.rev !out) in
   let evs =
-    if Array.length evs > 0 && Prng.int rng 5 = 0 then
+    if truncate && Array.length evs > 0 && Prng.int rng 5 = 0 then
       Array.sub evs 0 (Prng.int rng (Array.length evs + 1))
     else evs
   in
@@ -162,8 +162,8 @@ let gen_case ~sides =
   let open QCheck2.Gen in
   pair (list_size (int_range 2 4) (list_size (int_range 1 6) (gen_op ~sides))) nat
 
-let print_case (scripts, seed) =
-  let evs = build_events ~mutate:true scripts seed in
+let print_case ?truncate ~mutate (scripts, seed) =
+  let evs = build_events ?truncate ~mutate scripts seed in
   Format.asprintf "seed %d:@.%a" seed
     (Format.pp_print_list Event.pp)
     evs
@@ -173,7 +173,7 @@ let print_case (scripts, seed) =
 let differential_random_logs =
   qcheck
     (QCheck2.Test.make ~name:"checker == indexed reference on random logs" ~count:1000
-       ~print:print_case (gen_case ~sides:`Mixed)
+       ~print:(print_case ~mutate:true) (gen_case ~sides:`Mixed)
        (fun (scripts, seed) ->
          let log = Log.of_events (build_events ~mutate:true scripts seed) in
          Reference.agrees_with_checker_indexed log cspec))
@@ -184,7 +184,7 @@ let differential_random_logs =
 let differential_farm_single =
   qcheck
     (QCheck2.Test.make ~name:"single-shard farm == offline checker (verdict+index)"
-       ~count:60 ~print:print_case (gen_case ~sides:`Multiset)
+       ~count:60 ~print:(print_case ~mutate:false) (gen_case ~sides:`Multiset)
        (fun (scripts, seed) ->
          let evs = build_events ~mutate:false scripts seed in
          let log = Log.of_events evs in
@@ -196,13 +196,19 @@ let differential_farm_single =
          && Farm.min_fail_index res = idx))
 
 (* Mixed logs through a two-shard farm: per-shard detection indices are
-   shard-local, so only the verdict must agree with the composed spec. *)
+   shard-local, so only the verdict must agree with the composed spec.
+   Complete logs only: on a truncated log the equality is not a theorem —
+   an unresolved commit of one structure holds every composed observer
+   window open at end-of-stream, while the other structure's lane (which
+   never sees that commit) closes its windows and may convict, exactly as
+   offline checking of that structure's own events alone would. *)
 let differential_farm_mixed =
   qcheck
     (QCheck2.Test.make ~name:"two-shard farm verdict == composed offline verdict"
-       ~count:40 ~print:print_case (gen_case ~sides:`Mixed)
+       ~count:40 ~print:(print_case ~truncate:false ~mutate:false)
+       (gen_case ~sides:`Mixed)
        (fun (scripts, seed) ->
-         let evs = build_events ~mutate:false scripts seed in
+         let evs = build_events ~truncate:false ~mutate:false scripts seed in
          let log = Log.of_events evs in
          let offline = Checker.check ~mode:`Io log cspec in
          let farm =

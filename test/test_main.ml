@@ -24,4 +24,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("net", Test_net.suite);
+      ("cluster", Test_cluster.suite);
     ]

@@ -193,12 +193,13 @@ let shards _level =
   [ Farm.shard ~mode:`View ~view:subject.Subjects.view subject.Subjects.name
       subject.Subjects.spec ]
 
-let with_server ?window ?max_sessions ?spill_dir ?idle_timeout f =
+let with_server ?window ?max_sessions ?spill_dir ?idle_timeout ?recheck_spills
+    ?metrics f =
   let sock = Filename.temp_file "vyrd_net" ".sock" in
   let srv =
     Server.start
       (Server.config ?window ?max_sessions ?spill_dir ?idle_timeout
-         ~addr:(Wire.Unix_socket sock) shards)
+         ?recheck_spills ?metrics ~addr:(Wire.Unix_socket sock) shards)
   in
   Fun.protect
     ~finally:(fun () ->
@@ -580,6 +581,163 @@ let test_loopback_sessions_do_not_leak_fds () =
       quiesce ();
       Alcotest.(check int) "no fd leaked across 5 sessions" before (count_fds ()))
 
+(* --- cluster protocol messages --------------------------------------------- *)
+
+let test_cluster_msg_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "cluster client msg survives" true
+        (Wire.decode_client (Wire.encode_client m) = m))
+    [
+      Wire.Resume_session "/tmp/spool-000042.seg";
+      Wire.Checkpoint_request;
+      Wire.Drain;
+      Wire.Status_request;
+      Wire.Register "w3";
+    ];
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "cluster server msg survives" true
+        (Wire.decode_server (Wire.encode_server m) = m))
+    [
+      Wire.Resume_ack
+        { ra_events = 12345; ra_resumed_at = Some 9000; ra_replayed = 3345 };
+      Wire.Resume_ack { ra_events = 7; ra_resumed_at = None; ra_replayed = 7 };
+      Wire.Checkpoint_state
+        {
+          cs_events = 512;
+          cs_state = Some (Repr.List [ Repr.Int 1; Repr.success ]);
+        };
+      Wire.Checkpoint_state { cs_events = 0; cs_state = None };
+      Wire.Status
+        {
+          st_draining = true;
+          st_active = 3;
+          st_checking = 2;
+          st_metrics = Metrics.encode (Metrics.create ());
+        };
+      Wire.Status
+        { st_draining = false; st_active = 0; st_checking = 0; st_metrics = "" };
+    ]
+
+(* --- spill reclaim --------------------------------------------------------- *)
+
+let test_spill_reclaimed_after_recheck () =
+  (* a clean spilled session whose opportunistic re-check verifies the spool
+     end to end gets its disk back, and net.spill_reclaimed counts it *)
+  let log = correct_log () in
+  let dir = Filename.temp_file "vyrd_reclaim" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let metrics = Metrics.create () in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      with_server ~max_sessions:1 ~spill_dir:dir ~recheck_spills:true ~metrics
+        (fun srv ->
+          (* [holder] pins the only checking slot, so [b] spills *)
+          let holder = Client.connect (Server.addr srv) in
+          let b = Client.connect ~level:(Log.level log) (Server.addr srv) in
+          Alcotest.(check bool) "second session spills" true (Client.spilling b);
+          Log.iter (Client.send b) log;
+          Client.flush b;
+          (* free the slot before [b] closes: the close-time re-check obeys
+             the same slot accounting as live sessions *)
+          (match Client.finish holder with
+          | Client.Checked _ | Client.Spilled _ -> ());
+          Thread.delay 0.2;
+          match Client.finish b with
+          | Client.Checked _ -> Alcotest.fail "slotless session checked live"
+          | Client.Spilled { path; events } ->
+            Alcotest.(check int) "spool consumed the whole stream"
+              (Log.length log) events;
+            (* the re-check runs in the server's session thread after the
+               client has its verdict: wait for the reclaim *)
+            let deadline = Unix.gettimeofday () +. 5. in
+            while Sys.file_exists path && Unix.gettimeofday () < deadline do
+              Thread.delay 0.05
+            done;
+            Alcotest.(check bool) "clean spool deleted from disk" false
+              (Sys.file_exists path);
+            Alcotest.(check int) "net.spill_reclaimed counted it" 1
+              (Metrics.value (Metrics.counter metrics "net.spill_reclaimed"));
+            Alcotest.(check int) "the re-check itself was counted" 1
+              (Metrics.value (Metrics.counter metrics "net.spill_rechecks"))))
+
+(* --- SIGTERM drains the daemon --------------------------------------------- *)
+
+let test_serve_sigterm_drains () =
+  (* a real vyrdd process: SIGTERM must drain and exit 0 exactly like
+     SIGINT, not die mid-session with the default fatal behavior *)
+  let exe =
+    List.find Sys.file_exists
+      [ "../bin/vyrd_check.exe"; "_build/default/bin/vyrd_check.exe" ]
+  in
+  let sock = Filename.temp_file "vyrd_term" ".sock" in
+  Sys.remove sock;
+  let out_path = Filename.temp_file "vyrd_term" ".out" in
+  let out_fd =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--listen"; sock; "--subjects"; "Multiset-Vector" |]
+      Unix.stdin out_fd out_fd
+  in
+  Unix.close out_fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+       with Unix.Unix_error _ -> ());
+      (try Sys.remove out_path with Sys_error _ -> ());
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let log = buggy_log () in
+      (* the retrying connect doubles as the wait for the daemon to be up *)
+      (match
+         Client.submit_log ~retries:20 ~backoff:0.05 (Wire.Unix_socket sock) log
+       with
+      | Client.Checked { report; _ } ->
+        Alcotest.(check bool) "daemon convicts the buggy log" false
+          (Report.is_pass report)
+      | Client.Spilled _ -> Alcotest.fail "unloaded daemon spilled");
+      Unix.kill pid Sys.sigterm;
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec await () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "daemon ignored SIGTERM"
+          else begin
+            Thread.delay 0.05;
+            await ()
+          end
+        | _, status -> status
+      in
+      (match await () with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n ->
+        Alcotest.fail (Printf.sprintf "daemon exited %d on SIGTERM" n)
+      | Unix.WSIGNALED s ->
+        Alcotest.fail (Printf.sprintf "daemon died of signal %d" s)
+      | Unix.WSTOPPED _ -> Alcotest.fail "daemon stopped instead of exiting");
+      let ic = open_in out_path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "SIGTERM took the drain path" true
+        (contains text "draining"))
+
 let suite =
   [
     ("report codec round trip", `Quick, test_report_roundtrip);
@@ -614,4 +772,9 @@ let suite =
       `Quick,
       test_corrupt_reader_does_not_leak_fds );
     ("loopback sessions release their fds", `Quick, test_loopback_sessions_do_not_leak_fds);
+    ("cluster msg round trip", `Quick, test_cluster_msg_roundtrip);
+    ( "clean spill re-check reclaims the spool",
+      `Quick,
+      test_spill_reclaimed_after_recheck );
+    ("SIGTERM drains the daemon like SIGINT", `Quick, test_serve_sigterm_drains);
   ]
