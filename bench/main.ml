@@ -1316,6 +1316,147 @@ let analyze_bench ?(json_out = Some "BENCH_analyze.json") ~baseline
   end;
   Fmt.pr "@.all analyze gates passed@."
 
+(* ------------------------------------------------------ lin oracle bench *)
+
+module Lin = Vyrd_lin.Backend
+
+(* What the annotation-free linearizability backend costs next to
+   refinement checking, on the same ~1.1M-event composed `View workload as
+   the hotpath bench.  Gates (any failure exits 1):
+
+   - lin clean and conclusive on the correct workload — zero budget
+     exhaustions, every structure's history linearizable;
+   - agreement on a seeded buggy log: refinement convicts and so does lin,
+     from calls and returns alone;
+   - lin throughput at least --min-evps events/second (default 0.5M — the
+     greedy path never snapshots, so the clean-log JIT is nearly linear);
+   - when --baseline BENCH_lin.json is given, lin throughput not more than
+     --max-regress percent below the committed number.
+
+   The cost table puts refinement (farm view drain, farm io drain) and the
+   lin backend side by side over the identical stream — the measured price
+   of dropping commit annotations. *)
+let lin_bench ?(json_out = Some "BENCH_lin.json") ~baseline ~max_regress
+    ~min_evps ~ops () =
+  Fmt.pr
+    "@.Lin backend: JIT linearizability vs refinement on the hotpath \
+     workload@.@.";
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops ~seed:11 ~level in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let specs = List.map (fun (s : Subjects.t) -> (s.name, s.spec)) pipeline_subjects in
+  Fmt.pr "%d events at `View level; structures: %s@.@." n
+    (String.concat ", " (List.map fst specs));
+  let failures = ref [] in
+  let gate name ok =
+    Fmt.pr "gate: %-52s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  (* -- correctness -------------------------------------------------------- *)
+  let lin = Lin.check_log ~specs log in
+  gate "lin clean and conclusive on the correct workload"
+    (Lin.clean lin);
+  let total f = List.fold_left (fun a r -> a + f r) 0 lin.Lin.structures in
+  Fmt.pr "  %d ops, %d pending, %d nodes, %d undos, %d memo hits@."
+    (total (fun r -> r.Lin.ls_ops))
+    (total (fun r -> r.Lin.ls_pending))
+    (total (fun r -> r.Lin.ls_stats.Vyrd_lin.Jit.nodes))
+    (total (fun r -> r.Lin.ls_stats.Vyrd_lin.Jit.undos))
+    (total (fun r -> r.Lin.ls_stats.Vyrd_lin.Jit.memo_hits));
+  let buggy = run_buggy Subjects.multiset_vector ~threads:4 ~ops:60 ~seed:1 in
+  let ref_buggy =
+    Checker.check ~mode:`View ~view:Subjects.multiset_vector.Subjects.view
+      buggy Subjects.multiset_vector.Subjects.spec
+  in
+  let lin_buggy =
+    Lin.check_log
+      ~specs:[ (Subjects.multiset_vector.Subjects.name,
+                Subjects.multiset_vector.Subjects.spec) ]
+      buggy
+  in
+  gate "both oracles convict the seeded buggy log"
+    ((not (Report.is_pass ref_buggy)) && Lin.violations lin_buggy <> []);
+  (* -- throughput: best of N trials, wall clock --------------------------- *)
+  let trials = 3 in
+  Fmt.pr "@.%-30s %10s %12s   (best of %d)@." "oracle" "wall ms" "events/s"
+    trials;
+  Fmt.pr "%s@." (line 60);
+  let best label count f =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    Fmt.pr "%-30s %10.2f %12s@." label
+      (!best *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int count /. !best /. 1e6));
+    !best
+  in
+  let drain mode =
+    let shards =
+      match mode with
+      | `View -> farm_shards ()
+      | `Io ->
+        List.map
+          (fun (s : Subjects.t) -> Farm.shard ~mode:`Io s.name s.spec)
+          pipeline_subjects
+    in
+    let farm = Farm.start ~capacity:8192 ~level shards in
+    Array.iter (Farm.feed farm) events;
+    ignore (Farm.finish farm : Farm.result)
+  in
+  let view_dt = best "refinement farm, view mode" n (fun () -> drain `View) in
+  let io_dt = best "refinement farm, io mode" n (fun () -> drain `Io) in
+  let lin_dt =
+    best "lin backend (JIT, no commits)" n (fun () ->
+        ignore (Lin.check_log ~specs log : Lin.t))
+  in
+  let lin_evps = float_of_int n /. lin_dt in
+  Fmt.pr "@.lin costs %.2fx the view drain, %.2fx the io drain@."
+    (lin_dt /. view_dt) (lin_dt /. io_dt);
+  gate
+    (Printf.sprintf "lin throughput %.2fM >= %.2fM ev/s" (lin_evps /. 1e6)
+       (min_evps /. 1e6))
+    (lin_evps >= min_evps);
+  (match baseline with
+  | None -> ()
+  | Some file ->
+    let old = read_json_field file "lin_events_per_sec" in
+    if Float.is_nan old then
+      Fmt.pr "gate: baseline %s unreadable — skipping the regression gate@."
+        file
+    else
+      let floor = old *. (1. -. (max_regress /. 100.)) in
+      gate
+        (Printf.sprintf "lin %.2fM >= %.2fM (baseline %.2fM - %.0f%%)"
+           (lin_evps /. 1e6) (floor /. 1e6) (old /. 1e6) max_regress)
+        (lin_evps >= floor));
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"lin\"");
+        ("events", string_of_int n);
+        ("trials", string_of_int trials);
+        ("ops", string_of_int (total (fun r -> r.Lin.ls_ops)));
+        ("nodes", string_of_int (total (fun r -> r.Lin.ls_stats.Vyrd_lin.Jit.nodes)));
+        ("lin_events_per_sec", jnum lin_evps);
+        ("farm_view_events_per_sec", jnum (float_of_int n /. view_dt));
+        ("farm_io_events_per_sec", jnum (float_of_int n /. io_dt));
+        ("lin_vs_view_cost", jnum (lin_dt /. view_dt));
+        ("min_evps_gate", jnum min_evps);
+      ]);
+  if !failures <> [] then begin
+    Fmt.epr "@.lin gates failed:@.";
+    List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev !failures);
+    exit 1
+  end;
+  Fmt.pr "@.all lin gates passed@."
+
 (* -------------------------------------------------------- cluster bench *)
 
 module Coordinator = Vyrd_cluster.Coordinator
@@ -1528,6 +1669,7 @@ let all () =
   cluster_bench ~baseline:None ~max_regress:40. ~min_speedup:1.8 ~sessions:16 ();
   hotpath ~baseline:None ~max_regress:20. ~min_evps:1e6 ~ops:20_000 ();
   analyze_bench ~baseline:None ~max_regress:25. ~max_overhead:15. ~ops:20_000 ();
+  lin_bench ~baseline:None ~max_regress:30. ~min_evps:5e5 ~ops:20_000 ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
 let () =
@@ -1632,6 +1774,37 @@ let () =
                     ~doc:
                       "Allowed analysis-lane overhead over the plain drain, \
                        in percent.")
+            $ Arg.(
+                value & opt int 20_000
+                & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));
+        Cmd.v
+          (Cmd.info "lin"
+             ~doc:
+               "Annotation-free linearizability backend: correctness gates \
+                (clean+conclusive on the correct hotpath workload, \
+                refinement/lin agreement on a seeded buggy log) plus \
+                best-of-3 throughput next to the farm's view and io drains, \
+                with a --min-evps floor and an optional baseline regression \
+                gate (writes BENCH_lin.json).")
+          Term.(
+            const (fun baseline max_regress min_evps ops ->
+                lin_bench ~baseline ~max_regress ~min_evps ~ops ())
+            $ Arg.(
+                value
+                & opt (some string) None
+                & info [ "baseline" ] ~docv:"FILE"
+                    ~doc:
+                      "Committed BENCH_lin.json to gate against: fail if lin \
+                       throughput drops more than $(b,--max-regress) percent \
+                       below it.")
+            $ Arg.(
+                value & opt float 30.
+                & info [ "max-regress" ] ~docv:"PCT"
+                    ~doc:"Allowed regression vs the baseline, in percent.")
+            $ Arg.(
+                value & opt float 5e5
+                & info [ "min-evps" ] ~docv:"EV_PER_S"
+                    ~doc:"Absolute lin-throughput floor in events/second.")
             $ Arg.(
                 value & opt int 20_000
                 & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));

@@ -38,6 +38,29 @@ module Server = Vyrd_net.Server
 module Client = Vyrd_net.Client
 module Coordinator = Vyrd_cluster.Coordinator
 module Supervisor = Vyrd_cluster.Supervisor
+module Lin = Vyrd_lin.Backend
+
+(* Oracle selection shared by check and pipeline: the paper's
+   commit-annotation refinement checker, the annotation-free JIT
+   linearizability backend of lib/lin, or both side by side. *)
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("refinement", `Refinement); ("lin", `Lin); ("both", `Both) ])
+        `Refinement
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Oracle(s) to run: $(b,refinement) (the commit-annotation checker), \
+           $(b,lin) (the annotation-free JIT linearizability backend over \
+           calls and returns only), or $(b,both) side by side with an \
+           agreement report.")
+
+let lin_budget_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "lin-budget" ] ~docv:"N"
+        ~doc:"Search-node budget per structure for the lin backend.")
 
 (* Load a serialized log, sniffing the binary segment format by magic.
    Text-format errors come out as positioned [file:line] diagnostics; a
@@ -176,8 +199,15 @@ let check_cmd =
              $(docv) events, so the next check of the same spool can \
              $(b,--resume).")
   in
-  let run subject mode invariants explain resume checkpoint_events file =
+  let run subject mode backend lin_budget invariants explain resume
+      checkpoint_events file =
     let subject = resolve subject in
+    if backend <> `Refinement && (resume || checkpoint_events <> None) then begin
+      Fmt.epr
+        "--resume/--checkpoint-events replay the refinement checker only; \
+         drop them or use --backend refinement@.";
+      exit 2
+    end;
     if resume || checkpoint_events <> None then begin
       if resume && checkpoint_events <> None then begin
         Fmt.epr
@@ -243,7 +273,7 @@ let check_cmd =
       if Report.is_pass outcome.Resume.report then exit 0 else exit 1
     end;
     let log = load_log file in
-    let report =
+    let refinement_report () =
       match
         match mode with
         | `Io -> Checker.check ~mode:`Io log subject.spec
@@ -258,21 +288,62 @@ let check_cmd =
         Fmt.epr "configuration error: %s@." msg;
         exit 2
     in
-    Fmt.pr "%a@." Report.pp report;
-    if (not (Report.is_pass report)) && explain then begin
-      Fmt.pr "@.%s@."
-        (Timeline.tail
-           ~options:{ Timeline.default with show_writes = true }
-           log ~until:report.Report.stats.events_processed);
-      Fmt.pr "%s@." (Timeline.witness log)
-    end;
-    if Report.is_pass report then exit 0 else exit 1
+    let explain_violation report =
+      if (not (Report.is_pass report)) && explain then begin
+        Fmt.pr "@.%s@."
+          (Timeline.tail
+             ~options:{ Timeline.default with show_writes = true }
+             log ~until:report.Report.stats.events_processed);
+        Fmt.pr "%s@." (Timeline.witness log)
+      end
+    in
+    let lin_result () =
+      Lin.check_log ~budget:lin_budget
+        ~specs:[ (subject.name, subject.spec) ]
+        log
+    in
+    match backend with
+    | `Refinement ->
+      let report = refinement_report () in
+      Fmt.pr "%a@." Report.pp report;
+      explain_violation report;
+      if Report.is_pass report then exit 0 else exit 1
+    | `Lin ->
+      let r = lin_result () in
+      Fmt.pr "%a@." Lin.pp r;
+      if Lin.violations r <> [] then exit 1
+      else begin
+        if Lin.inconclusive r then
+          Fmt.pr
+            "note: verdict inconclusive — some structure exhausted the \
+             %d-node budget; raise --lin-budget@."
+            lin_budget;
+        exit 0
+      end
+    | `Both ->
+      let report = refinement_report () in
+      let r = lin_result () in
+      Fmt.pr "refinement: %a@." Report.pp report;
+      Fmt.pr "lin:        %a@." Lin.pp r;
+      explain_violation report;
+      let ref_pass = Report.is_pass report in
+      let lin_fail = Lin.violations r <> [] in
+      let word pass = if pass then "pass" else "violation" in
+      if Lin.inconclusive r && not lin_fail then
+        Fmt.pr "backends: refinement says %s; lin is inconclusive (budget)@."
+          (word ref_pass)
+      else if ref_pass = not lin_fail then
+        Fmt.pr "backends agree: %s@." (word ref_pass)
+      else
+        Fmt.pr "backends disagree: refinement=%s lin=%s@." (word ref_pass)
+          (word (not lin_fail));
+      if ref_pass && not lin_fail then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a serialized log against a subject's specification.")
     Term.(
-      const run $ subject_arg $ mode $ invariants $ explain $ resume
-      $ checkpoint_events $ file)
+      const run $ subject_arg $ mode $ backend_arg $ lin_budget_arg
+      $ invariants $ explain $ resume $ checkpoint_events $ file)
 
 let timeline_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
@@ -605,7 +676,7 @@ let pipeline_cmd =
              and report their diagnostics with the verdict.")
   in
   let run names seed threads ops bug level capacity invariants segments rotate
-      checkpoint_events metrics_json native analyze =
+      checkpoint_events metrics_json native analyze backend lin_budget =
     let subjects = List.map resolve names in
     let cfg =
       { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
@@ -625,7 +696,13 @@ let pipeline_cmd =
         subjects
     in
     let passes =
-      if analyze then Vyrd_analysis.Pass.for_level level else []
+      (if backend <> `Refinement then
+         let specs =
+           List.map (fun (s : Subjects.t) -> (s.name, s.spec)) subjects
+         in
+         [ Lin.pass ~budget:lin_budget ~metrics ~specs () ]
+       else [])
+      @ if analyze then Vyrd_analysis.Pass.for_level level else []
     in
     let farm =
       match Farm.start ~capacity ~metrics ~passes ~level shards with
@@ -712,8 +789,35 @@ let pipeline_cmd =
     let analysis_clean =
       List.for_all Vyrd_analysis.Pass.clean result.Farm.analysis
     in
-    if Report.is_pass result.Farm.merged && analysis_clean then exit 0
-    else exit 1
+    (match backend with
+    | `Refinement -> ()
+    | `Lin | `Both -> (
+      match
+        List.find_opt
+          (fun (s : Vyrd_analysis.Pass.summary) -> s.pass = "lin")
+          result.Farm.analysis
+      with
+      | None -> ()
+      | Some s ->
+        let ref_pass = Report.is_pass result.Farm.merged in
+        let lin_pass = s.Vyrd_analysis.Pass.errors = 0 in
+        let word pass = if pass then "pass" else "violation" in
+        if ref_pass = lin_pass then
+          Fmt.pr "backends agree: %s@." (word ref_pass)
+        else
+          Fmt.pr "backends disagree: refinement=%s lin=%s@." (word ref_pass)
+            (word lin_pass)));
+    let verdict_pass =
+      match backend with
+      | `Lin ->
+        (* lin-only verdict: the farm's refinement shards still ran (they
+           are the consumption mechanism) and are reported above, but the
+           exit code reflects the lin lane and any analysis passes *)
+        analysis_clean
+      | `Refinement | `Both ->
+        Report.is_pass result.Farm.merged && analysis_clean
+    in
+    if verdict_pass then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "pipeline"
@@ -724,7 +828,7 @@ let pipeline_cmd =
     Term.(
       const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
       $ invariants $ segments $ rotate $ checkpoint_events $ metrics_json
-      $ native $ analyze)
+      $ native $ analyze $ backend_arg $ lin_budget_arg)
 
 (* ----------------------------------------------------------- serve/submit *)
 

@@ -16,12 +16,13 @@ type kind =
   | Nested_call of { outer : string }
   | Return_without_call of { mid : string }
   | Return_mismatch of { expected : string; got : string }
+  | Commit_missing of { mid : string; committed : int }
 
 type diag = { position : int; tid : Tid.t; severity : severity; kind : kind }
 type result = { diags : diag list; errors : int; warnings : int; events : int }
 
 let severity_of = function
-  | Uncommitted_mutation _ | Unreleased_lock _ -> Warning
+  | Uncommitted_mutation _ | Unreleased_lock _ | Commit_missing _ -> Warning
   | Duplicate_commit _ | Commit_outside_method | Write_outside_method _
   | Block_outside_method | Unbalanced_block_end | Unclosed_block _
   | Release_without_acquire _ | Nested_call _ | Return_without_call _
@@ -44,9 +45,21 @@ type tstate = {
          thread's first Call proves it is not a daemon thread *)
 }
 
+(* Per-mid commit statistics for the end-of-log consistency check: a method
+   some of whose completed executions commit and some of which do not is
+   missing a commit action on the latter (or terminated exceptionally,
+   §4.3).  Unlike [Uncommitted_mutation] this needs no [Write] events, so
+   it works on [`Io]-level logs — the only commit-discipline signal
+   available there. *)
+type mid_stat = {
+  mutable committed : int;
+  mutable uncommitted : (int * Tid.t) list;  (* Return position, thread *)
+}
+
 type t = {
   threads : (Tid.t, tstate) Hashtbl.t;
   calling : (Tid.t, unit) Hashtbl.t;
+  mids : (string, mid_stat) Hashtbl.t;
   mutable diags_rev : (int * diag) list;  (* creation seq * diag *)
   mutable seq : int;
   mutable index : int;
@@ -56,6 +69,7 @@ let create () =
   {
     threads = Hashtbl.create 16;
     calling = Hashtbl.create 16;
+    mids = Hashtbl.create 16;
     diags_rev = [];
     seq = 0;
     index = 0;
@@ -89,9 +103,23 @@ let emit_if_calling t position tid kind =
     let s = state t tid in
     s.pending <- mk_diag t position tid kind :: s.pending
 
+let mid_stat t mid =
+  match Hashtbl.find_opt t.mids mid with
+  | Some s -> s
+  | None ->
+    let s = { committed = 0; uncommitted = [] } in
+    Hashtbl.replace t.mids mid s;
+    s
+
 let close_exec t position tid (e : exec) =
   if e.first_commit = None && e.writes > 0 then
-    emit t position tid (Uncommitted_mutation { mid = e.mid; writes = e.writes })
+    emit t position tid (Uncommitted_mutation { mid = e.mid; writes = e.writes });
+  let s = mid_stat t e.mid in
+  if e.first_commit <> None then s.committed <- s.committed + 1
+  else if e.writes = 0 then
+    (* without writes the warning above stays silent; remember the return so
+       [finish] can compare against this mid's committing executions *)
+    s.uncommitted <- (position, tid) :: s.uncommitted
 
 let feed t ev =
   let i = t.index in
@@ -182,6 +210,18 @@ let finish t =
           tail := (acquired, tid, Unreleased_lock { lock; acquired }) :: !tail)
         s.held)
     t.threads;
+  (* Commit consistency per mid: only meaningful once some execution of the
+     same method did commit — a mid that never commits is an observer. *)
+  Hashtbl.iter
+    (fun mid (s : mid_stat) ->
+      if s.committed > 0 then
+        List.iter
+          (fun (position, tid) ->
+            tail :=
+              (position, tid, Commit_missing { mid; committed = s.committed })
+              :: !tail)
+          s.uncommitted)
+    t.mids;
   let tail =
     List.sort compare !tail
     |> List.map (fun (position, tid, kind) ->
@@ -215,6 +255,7 @@ let kind_id = function
   | Nested_call _ -> "nested-call"
   | Return_without_call _ -> "return-without-call"
   | Return_mismatch _ -> "return-mismatch"
+  | Commit_missing _ -> "commit-missing"
 
 let message = function
   | Duplicate_commit { mid; first } ->
@@ -243,6 +284,11 @@ let message = function
     Printf.sprintf "return from %s with no open call" mid
   | Return_mismatch { expected; got } ->
     Printf.sprintf "return from %s while the open call is %s" got expected
+  | Commit_missing { mid; committed } ->
+    Printf.sprintf
+      "execution of %s has no commit action though %d other execution(s) of \
+       it commit — exceptional termination (§4.3) or a missing annotation"
+      mid committed
 
 let pp_severity ppf = function
   | Error -> Fmt.string ppf "error"

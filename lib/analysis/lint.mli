@@ -11,7 +11,10 @@
     - a method execution must not record two [Commit]s, and a mutating
       execution (one with [Write]s) that commits nothing is suspicious
       (legal only for exceptional terminations, §4.3 — reported as a
-      warning);
+      warning); on [`Io]-level logs, where no [Write]s exist, the same
+      discipline is checked per method: an execution with no commit while
+      other executions of the same [mid] do commit is flagged
+      ({!Commit_missing});
     - [Block_begin]/[Block_end] must be balanced and properly nested per
       thread, and every block opened inside a method execution must close
       before its [Return];
@@ -50,6 +53,13 @@ type kind =
       (** [Call] while [outer]'s execution is still open on the thread *)
   | Return_without_call of { mid : string }
   | Return_mismatch of { expected : string; got : string }
+  | Commit_missing of { mid : string; committed : int }
+      (** a completed execution of [mid] recorded no [Commit] although
+          [committed] other execution(s) of the same method do commit —
+          exceptional termination (§4.3) or a missing annotation.  Needs no
+          [Write] events, so this is the commit-discipline signal that
+          works on [`Io]-level logs; emitted only when the execution also
+          has no writes (otherwise {!Uncommitted_mutation} already fired) *)
 
 type diag = {
   position : int;  (** log index the diagnostic anchors to *)

@@ -3,25 +3,48 @@ module Server = Vyrd_net.Server
 module Farm = Vyrd_pipeline.Farm
 module Metrics = Vyrd_pipeline.Metrics
 
-type entry = { e_name : string; e_server : Server.t }
-type t = { dir : string; mutable entries : entry list; lock : Mutex.t }
+type entry = {
+  e_name : string;
+  mutable e_server : Server.t option;  (* [None] while dead, awaiting respawn *)
+  mutable e_respawns : int;
+}
+
+type t = {
+  dir : string;
+  mutable entries : entry list;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  max_respawns : int;
+  backoff : float;
+  on_respawn : (string -> Wire.addr -> unit) option;
+  spawn : string -> Server.t;
+}
 
 let start ?(count = 2) ?(prefix = "w") ?max_sessions ?capacity ?window
-    ?(idle_timeout = 120.) ?checkpoint_events ?analyze ~dir ~shards () =
+    ?(idle_timeout = 120.) ?checkpoint_events ?analyze ?(max_respawns = 0)
+    ?(backoff = 0.05) ?on_respawn ~dir ~shards () =
   if count <= 0 then invalid_arg "Supervisor.start: count";
+  if max_respawns < 0 then invalid_arg "Supervisor.start: max_respawns";
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let spawn e_name =
+    let path = Filename.concat dir (e_name ^ ".sock") in
+    (* a killed worker leaves its socket file behind; clear it so the
+       respawn can bind the same address the coordinator knows *)
+    if Sys.file_exists path then Sys.remove path;
+    let cfg =
+      Server.config ?max_sessions ?capacity ?window ~idle_timeout
+        ?checkpoint_events ?analyze ~metrics:(Metrics.create ())
+        ~addr:(Wire.Unix_socket path) shards
+    in
+    Server.start cfg
+  in
   let entries =
     List.init count (fun i ->
         let e_name = Printf.sprintf "%s%d" prefix i in
-        let addr = Wire.Unix_socket (Filename.concat dir (e_name ^ ".sock")) in
-        let cfg =
-          Server.config ?max_sessions ?capacity ?window ~idle_timeout
-            ?checkpoint_events ?analyze ~metrics:(Metrics.create ()) ~addr
-            shards
-        in
-        { e_name; e_server = Server.start cfg })
+        { e_name; e_server = Some (spawn e_name); e_respawns = 0 })
   in
-  { dir; entries; lock = Mutex.create () }
+  { dir; entries; lock = Mutex.create (); stopping = false; max_respawns;
+    backoff; on_respawn; spawn }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -29,26 +52,92 @@ let locked t f =
 
 let workers t =
   locked t (fun () ->
-      List.map (fun e -> (e.e_name, Server.addr e.e_server)) t.entries)
+      List.filter_map
+        (fun e ->
+          Option.map (fun s -> (e.e_name, Server.addr s)) e.e_server)
+        t.entries)
 
 let server t name =
   locked t (fun () ->
       List.find_map
-        (fun e -> if e.e_name = name then Some e.e_server else None)
+        (fun e -> if e.e_name = name then e.e_server else None)
         t.entries)
+
+let respawns t name =
+  locked t (fun () ->
+      List.find_map
+        (fun e -> if e.e_name = name then Some e.e_respawns else None)
+        t.entries)
+  |> Option.value ~default:0
+
+(* After the backoff, rebuild the worker on its original socket path and
+   announce it.  The entry stays in [t.entries] the whole time (with
+   [e_server = None]) so a second kill arriving before the respawn lands is
+   a no-op rather than a leak. *)
+let respawn_later t e =
+  let delay = t.backoff *. (2. ** float_of_int (e.e_respawns - 1)) in
+  ignore
+    (Thread.create
+       (fun () ->
+         Thread.delay delay;
+         if not t.stopping then
+           match t.spawn e.e_name with
+           | srv ->
+               let keep =
+                 locked t (fun () ->
+                     if t.stopping then false
+                     else begin
+                       e.e_server <- Some srv;
+                       true
+                     end)
+               in
+               if keep then
+                 Option.iter
+                   (fun f -> f e.e_name (Server.addr srv))
+                   t.on_respawn
+               else Server.stop ~deadline:0. srv
+           | exception _ -> ())
+       ())
 
 (* Immediate teardown — the in-process stand-in for SIGKILLing a worker.
    In-flight sessions on it die mid-stream; the coordinator's failover path
-   is what brings them back elsewhere. *)
+   is what brings them back elsewhere.  With a respawn budget the worker
+   comes back on the same address after a doubling backoff. *)
 let kill t name =
-  match server t name with
-  | None -> ()
-  | Some s ->
-      Server.stop ~deadline:0. s;
-      locked t (fun () ->
-          t.entries <- List.filter (fun e -> e.e_name <> name) t.entries)
+  let action =
+    locked t (fun () ->
+        match List.find_opt (fun e -> e.e_name = name) t.entries with
+        | None -> `Nothing
+        | Some e -> (
+            match e.e_server with
+            | None -> `Nothing (* already dead, respawn pending *)
+            | Some srv ->
+                e.e_server <- None;
+                if (not t.stopping) && e.e_respawns < t.max_respawns then begin
+                  e.e_respawns <- e.e_respawns + 1;
+                  `Stop_and_respawn (srv, e)
+                end
+                else begin
+                  t.entries <-
+                    List.filter (fun e -> e.e_name <> name) t.entries;
+                  `Stop srv
+                end))
+  in
+  match action with
+  | `Nothing -> ()
+  | `Stop srv -> Server.stop ~deadline:0. srv
+  | `Stop_and_respawn (srv, e) ->
+      Server.stop ~deadline:0. srv;
+      respawn_later t e
 
 let stop t =
-  let entries = locked t (fun () -> t.entries) in
-  List.iter (fun e -> Server.stop e.e_server) entries;
-  locked t (fun () -> t.entries <- [])
+  let entries =
+    locked t (fun () ->
+        t.stopping <- true;
+        let es = t.entries in
+        t.entries <- [];
+        es)
+  in
+  List.iter
+    (fun e -> Option.iter (fun s -> Server.stop s) e.e_server)
+    entries

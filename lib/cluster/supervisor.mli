@@ -18,7 +18,15 @@ type t
     [prefix]["0"].., listening on [dir/<name>.sock].  The remaining
     optionals forward to {!Server.config}; [idle_timeout] defaults to a
     lenient 120 s because a coordinator leg can legitimately sit idle
-    between forwarded batches. *)
+    between forwarded batches.
+
+    [max_respawns] (default 0: off) lets the supervisor bring a {!kill}ed
+    worker back, at most that many times per worker.  The respawn rebinds
+    the worker's original socket path after a doubling backoff starting at
+    [backoff] seconds (default 0.05), then calls [on_respawn name addr] —
+    wire that to {!Coordinator.attach} to re-register the reborn worker
+    into the ring (attaching an existing name replaces its address and
+    resets its health state). *)
 val start :
   ?count:int ->
   ?prefix:string ->
@@ -28,18 +36,26 @@ val start :
   ?idle_timeout:float ->
   ?checkpoint_events:int ->
   ?analyze:bool ->
+  ?max_respawns:int ->
+  ?backoff:float ->
+  ?on_respawn:(string -> Wire.addr -> unit) ->
   dir:string ->
   shards:(Vyrd.Log.level -> Farm.shard list) ->
   unit ->
   t
 
-(** Live workers as [(name, bound address)], in spawn order. *)
+(** Live workers as [(name, bound address)], in spawn order.  A killed
+    worker awaiting respawn is not listed until it is back. *)
 val workers : t -> (string * Wire.addr) list
 
 val server : t -> string -> Server.t option
 
+(** How many times the named worker has been respawned (0 if unknown). *)
+val respawns : t -> string -> int
+
 (** [kill t name] force-stops the worker (deadline 0 — in-flight sessions
-    die mid-stream) and forgets it. *)
+    die mid-stream).  With respawn budget left the worker comes back on
+    the same address after the backoff; otherwise it is forgotten. *)
 val kill : t -> string -> unit
 
 (** Gracefully stop every remaining worker. *)

@@ -7,7 +7,8 @@ module Faults = Vyrd_faults.Faults
    insert_pair (Fig. 4).  Detected as a view violation at the intervening
    commit. *)
 let fault_dropped_block =
-  Faults.define ~name:"instrument.dropped_block" ~subject:"Multiset-Vector"
+  Faults.define ~semantic:false ~name:"instrument.dropped_block"
+    ~subject:"Multiset-Vector"
     ~description:
       "with_block emits no commit-block brackets; multi-write commit blocks \
        replay write-by-write and concurrent commits see half-published state"

@@ -5,6 +5,7 @@ type t = {
   f_subject : string;
   f_description : string;
   f_kind : kind;
+  f_semantic : bool;
   mutable f_armed : bool;
 }
 
@@ -14,12 +15,12 @@ type t = {
    is needed on the hot path. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
 
-let define ?(kind = Refinement) ~name ~subject ~description () =
+let define ?(kind = Refinement) ?(semantic = true) ~name ~subject ~description () =
   if Hashtbl.mem registry name then
     invalid_arg (Printf.sprintf "Faults.define: %S is already registered" name);
   let f =
     { f_name = name; f_subject = subject; f_description = description;
-      f_kind = kind; f_armed = false }
+      f_kind = kind; f_semantic = semantic; f_armed = false }
   in
   Hashtbl.replace registry name f;
   f
@@ -28,6 +29,7 @@ let name f = f.f_name
 let subject f = f.f_subject
 let description f = f.f_description
 let kind f = f.f_kind
+let semantic f = f.f_semantic
 
 let kind_id = function
   | Refinement -> "refinement"

@@ -35,11 +35,25 @@ type kind = Refinement | Deadlock | Benign
     [subject] names the {!Vyrd_harness.Subjects.t} entry whose workload
     exercises the injection site; [description] says what the seeded bug
     does; [kind] (default [Refinement]) says which detectors must catch it.
+    [semantic] (default [true]) says the bug corrupts return values on the
+    harness workloads, so an annotation-free oracle over calls and returns
+    (the linearizability backend) must convict it; pass [~semantic:false]
+    when no call/return oracle can — either because the implementation
+    behavior is correct and only the annotation layer is wrong (a misplaced
+    commit, a dropped commit block), or because the corruption stays inside
+    the structure's internal state and never reaches a return value on the
+    swept workloads (a transiently torn split that view-mode refinement
+    sees at the commit but I/O-mode refinement itself never fires on).
     @raise Invalid_argument if [name] is already registered. *)
 val define :
-  ?kind:kind -> name:string -> subject:string -> description:string -> unit -> t
+  ?kind:kind -> ?semantic:bool -> name:string -> subject:string ->
+  description:string -> unit -> t
 
 val kind : t -> kind
+
+(** Whether the armed bug is visible in the call/return history alone on
+    the harness workloads. *)
+val semantic : t -> bool
 
 (** Stable identifier: ["refinement"], ["deadlock"], ["benign"]. *)
 val kind_id : kind -> string

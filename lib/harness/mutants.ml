@@ -17,6 +17,7 @@ module Prng = Vyrd_sched.Prng
 module Explore = Vyrd_sched.Explore
 module Coop = Vyrd_sched.Coop
 module Lockgraph = Vyrd_analysis.Lockgraph
+module Lin = Vyrd_lin.Backend
 
 type cell = {
   regime : string;  (* "coop" | "native" | "explore" *)
@@ -40,6 +41,8 @@ type config = {
   explore_opseeds : int;  (* operation mixes tried before giving up *)
   explore_budget : int;  (* schedules per operation mix *)
   preemption_bound : int;
+  lin_seeds : int;  (* coop sweep budget for the linearizability channel *)
+  lin_budget : int;  (* JIT node budget per history *)
 }
 
 let quick =
@@ -54,6 +57,8 @@ let quick =
     explore_opseeds = 5;
     explore_budget = 3_000;
     preemption_bound = 2;
+    lin_seeds = 40;
+    lin_budget = 500_000;
   }
 
 let full =
@@ -68,6 +73,8 @@ let full =
     explore_opseeds = 8;
     explore_budget = 20_000;
     preemption_bound = 2;
+    lin_seeds = 120;
+    lin_budget = 2_000_000;
   }
 
 (* Some injection sites need a deeper workload before they are reachable at
@@ -176,6 +183,47 @@ let race_cell cfg fault (s : Subjects.t) =
     methods_checked = None;
     tag = !found;
   }
+
+(* --- annotation-free linearizability channel ------------------------------ *)
+
+(* Fourth independent channel: the JIT linearizability backend over the coop
+   seed sweep, reading only calls and returns — no commit annotations, no
+   logged writes.  Semantic mutants (a lost update, a stale write-back, a
+   torn split) corrupt the call/return history itself and must be convicted
+   here too; annotation and instrumentation mutants leave the implementation
+   behavior correct and are invisible by construction.  Measuring exactly
+   that asymmetry — what the commit annotations buy, and what they cost —
+   is the point of the column. *)
+let lin_cell ?(budget_seeds = None) cfg (s : Subjects.t) =
+  let specs = [ (s.Subjects.name, s.Subjects.spec) ] in
+  let max_seeds = Option.value ~default:cfg.lin_seeds budget_seeds in
+  let found = ref None and runs = ref 0 in
+  let seed = ref 0 in
+  while !found = None && !seed < max_seeds do
+    incr runs;
+    let log = Harness.run (harness_cfg cfg !seed) (s.build ~bug:false) in
+    let r = Lin.check_log ~budget:cfg.lin_budget ~specs log in
+    (match Lin.violations r with
+    | v :: _ -> found := Some v
+    | [] -> ());
+    incr seed
+  done;
+  match !found with
+  | Some v ->
+    {
+      regime = "coop";
+      mode = "lin";
+      detected = true;
+      runs = !runs;
+      methods_checked = Some v.Lin.ls_ops;
+      tag =
+        Some
+          (Printf.sprintf "not-linearizable nodes=%d"
+             v.Lin.ls_stats.Vyrd_lin.Jit.nodes);
+    }
+  | None ->
+    { regime = "coop"; mode = "lin"; detected = false; runs = !runs;
+      methods_checked = None; tag = None }
 
 (* --- native stress: real threads, inherently non-deterministic ----------- *)
 
@@ -378,6 +426,7 @@ let run_fault cfg fault =
           coop_cells cfg subject
           @ [
               race_cell cfg fault subject;
+              lin_cell cfg subject;
               native_cell cfg subject;
               explore_cell cfg fault subject;
             ]
@@ -385,7 +434,11 @@ let run_fault cfg fault =
           lockorder_cells cfg fault subject
           @ [ explore_deadlock_cell cfg fault subject ]
         | Faults.Benign ->
-          lockorder_cells cfg fault subject @ [ benign_view_cell cfg subject ]
+          lockorder_cells cfg fault subject
+          @ [
+              benign_view_cell cfg subject;
+              lin_cell ~budget_seeds:(Some (min cfg.lin_seeds 10)) cfg subject;
+            ]
       in
       { fault; subject; cells })
 
@@ -407,6 +460,11 @@ let deterministic_view_detection row =
 let race_detection row =
   List.exists (fun c -> c.mode = "race" && c.detected) row.cells
 
+(* The annotation-free linearizability backend convicted some coop-seed
+   history on calls and returns alone. *)
+let lin_detection row =
+  List.exists (fun c -> c.mode = "lin" && c.detected) row.cells
+
 (* The lock-order graph flagged an armed-only cycle from a completed trace. *)
 let lockgraph_detection row =
   List.exists (fun c -> c.regime = "lockgraph" && c.detected) row.cells
@@ -420,7 +478,12 @@ let deadlock_detection row =
    registry to count as validated. *)
 let expected_detections_hold row =
   match Faults.kind row.fault with
-  | Faults.Refinement -> deterministic_view_detection row
+  | Faults.Refinement ->
+    (* semantic mutants must also fall to the annotation-free backend;
+       annotation/instrumentation mutants must NOT (a lin conviction of a
+       behaviorally-correct implementation would be a false positive) *)
+    deterministic_view_detection row
+    && lin_detection row = Faults.semantic row.fault
   | Faults.Deadlock -> lockgraph_detection row && deadlock_detection row
   | Faults.Benign -> not (List.exists (fun c -> c.detected) row.cells)
 
@@ -446,10 +509,11 @@ let pp_cell ppf c =
   else Fmt.pf ppf "miss(%d)" c.runs
 
 let pp_matrix ppf rows =
-  let line = String.make 175 '-' in
-  Fmt.pf ppf "%-32s %-22s %-9s %-18s %-18s %-18s %-18s %-18s %-18s %-18s@."
-    "fault" "subject" "kind" "coop/io" "coop/view" "coop/race" "native/view"
-    "explore/view" "lockgraph" "deadlock";
+  let line = String.make 200 '-' in
+  Fmt.pf ppf
+    "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s@."
+    "fault" "subject" "kind" "coop/io" "coop/view" "coop/race" "coop/lin"
+    "native/view" "explore/view" "lockgraph" "deadlock";
   Fmt.pf ppf "%s@." line;
   List.iter
     (fun row ->
@@ -473,20 +537,24 @@ let pp_matrix ppf rows =
             Fmt.str "miss(%d)"
               (List.fold_left (fun acc c -> acc + c.runs) 0 cells))
       in
-      Fmt.pf ppf "%-32s %-22s %-9s %-18s %-18s %-18s %-18s %-18s %-18s %-18s@."
+      Fmt.pf ppf
+        "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s@."
         (Faults.name row.fault) row.subject.Subjects.name
         (Faults.kind_id (Faults.kind row.fault))
-        (c "coop" "io") (c "coop" "view") (c "coop" "race") (c "native" "view")
-        (c "explore" "view") (c "lockgraph" "cycle") deadlock_col)
+        (c "coop" "io") (c "coop" "view") (c "coop" "race") (c "coop" "lin")
+        (c "native" "view") (c "explore" "view") (c "lockgraph" "cycle")
+        deadlock_col)
     rows;
   Fmt.pf ppf "%s@." line;
   Fmt.pf ppf
     "(m = methods checked when the violation fired — Table 1's unit; r = \
      runs/schedules until detection; miss(n) = undetected after n; the race \
      column is the differential happens-before channel: armed-only racy \
-     variable, or miss; lockgraph = armed-only lock-order cycle over `Full \
-     traces; deadlock = schedules that genuinely hung — benign mutants must \
-     show miss in every column)@."
+     variable, or miss; lin = the annotation-free JIT linearizability \
+     backend over calls/returns only — annotation and instrumentation \
+     mutants must miss here, semantic ones must not; lockgraph = armed-only \
+     lock-order cycle over `Full traces; deadlock = schedules that \
+     genuinely hung — benign mutants must show miss in every column)@."
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -518,18 +586,19 @@ let to_json rows =
       Buffer.add_string b
         (Printf.sprintf
            "    {\"fault\":\"%s\",\"subject\":\"%s\",\"kind\":\"%s\",\
-            \"description\":\"%s\",\n\
+            \"semantic\":%b,\"description\":\"%s\",\n\
            \     \"deterministic_view_detection\":%b,\"view_beats_io\":%b,\
-            \"race_detection\":%b,\n\
+            \"race_detection\":%b,\"lin_detection\":%b,\n\
            \     \"lockgraph_detection\":%b,\"deadlock_detection\":%b,\
             \"expected_detections_hold\":%b,\n\
            \     \"cells\":[%s]}"
            (json_escape (Faults.name row.fault))
            (json_escape row.subject.Subjects.name)
            (Faults.kind_id (Faults.kind row.fault))
+           (Faults.semantic row.fault)
            (json_escape (Faults.description row.fault))
            (deterministic_view_detection row) (view_beats_io row)
-           (race_detection row) (lockgraph_detection row)
+           (race_detection row) (lin_detection row) (lockgraph_detection row)
            (deadlock_detection row)
            (expected_detections_hold row)
            (String.concat "," (List.map cell_json row.cells))))

@@ -28,7 +28,7 @@
 
 type cell = {
   regime : string;  (** ["coop"], ["native"] or ["explore"] *)
-  mode : string;  (** ["io"], ["view"] or ["race"] *)
+  mode : string;  (** ["io"], ["view"], ["race"] or ["lin"] *)
   detected : bool;
   runs : int;  (** seeds swept / native retries / schedules executed *)
   methods_checked : int option;  (** of the first detecting report *)
@@ -50,6 +50,8 @@ type config = {
   explore_opseeds : int;  (** operation mixes tried before giving up *)
   explore_budget : int;  (** schedules per operation mix *)
   preemption_bound : int;
+  lin_seeds : int;  (** coop sweep budget for the linearizability channel *)
+  lin_budget : int;  (** JIT node budget per history *)
 }
 
 (** CI-sized budgets (a few seconds for the whole registry). *)
@@ -80,6 +82,16 @@ val deterministic_view_detection : row -> bool
     detector can and cannot see. *)
 val race_detection : row -> bool
 
+(** The annotation-free linearizability backend ({!Vyrd_lin.Backend})
+    convicted some coop-seed history on calls and returns alone.  Required
+    of [Refinement] mutants with {!Vyrd_faults.Faults.semantic} behavior;
+    expected {e absent} otherwise — for annotation/instrumentation mutants
+    because the implementation behavior is correct (a conviction there
+    would be a lin false positive), and for non-semantic implementation
+    mutants because the corruption never reaches a return value on the
+    swept workloads (the view-only asymmetry the matrix measures). *)
+val lin_detection : row -> bool
+
 (** The lock-order graph ({!Vyrd_analysis.Lockgraph}) reported an armed-only
     cycle from a single completed [`Full] trace — the static half of what a
     [Deadlock]-kind mutant must show. *)
@@ -90,9 +102,10 @@ val lockgraph_detection : row -> bool
 val deadlock_detection : row -> bool
 
 (** Kind-aware ground truth: [Refinement] rows need
-    {!deterministic_view_detection}; [Deadlock] rows need both
-    {!lockgraph_detection} and {!deadlock_detection}; [Benign] rows must
-    show {e no} detection in any cell. *)
+    {!deterministic_view_detection} and a {!lin_detection} exactly when the
+    fault is semantic; [Deadlock] rows need both {!lockgraph_detection} and
+    {!deadlock_detection}; [Benign] rows must show {e no} detection in any
+    cell. *)
 val expected_detections_hold : row -> bool
 
 (** Table 1's inequality on ground truth: view-mode time-to-detection is no

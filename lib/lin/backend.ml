@@ -1,0 +1,169 @@
+open Vyrd
+module Metrics = Vyrd_pipeline.Metrics
+
+type verdict = Pass | Fail | Inconclusive
+
+let verdict_string = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Inconclusive -> "inconclusive"
+
+type structure_result = {
+  ls_structure : string;
+  ls_engine : string;
+  ls_ops : int;
+  ls_pending : int;
+  ls_verdict : verdict;
+  ls_stats : Jit.stats;
+  ls_anchor : int;
+}
+
+type t = { structures : structure_result list; events : int }
+
+let clean t = List.for_all (fun r -> r.ls_verdict = Pass) t.structures
+let violations t = List.filter (fun r -> r.ls_verdict = Fail) t.structures
+let inconclusive t = List.exists (fun r -> r.ls_verdict = Inconclusive) t.structures
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-16s %-12s engine=%s ops=%d pending=%d nodes=%d undos=%d memo=%d@,"
+        r.ls_structure
+        (verdict_string r.ls_verdict)
+        r.ls_engine r.ls_ops r.ls_pending r.ls_stats.Jit.nodes
+        r.ls_stats.Jit.undos r.ls_stats.Jit.memo_hits)
+    t.structures;
+  Format.fprintf ppf "@]"
+
+type lane = { l_name : string; l_spec : Spec.t; l_builder : History.Builder.b }
+
+type collector = {
+  budget : int;
+  exhaustive : int;
+  pending_rets : Repr.t list;
+  metrics : Metrics.t option;
+  lanes : lane list;
+  mutable c_events : int;
+}
+
+let collector ?(budget = 1_000_000) ?(exhaustive = 0)
+    ?(pending_rets = Jit.default_pending_rets) ?metrics ~specs () =
+  let lanes =
+    List.map
+      (fun (name, spec) ->
+        { l_name = name; l_spec = spec;
+          l_builder = History.Builder.create ~owns:(History.owner spec) () })
+      specs
+  in
+  { budget; exhaustive; pending_rets; metrics; lanes; c_events = 0 }
+
+let feed c ev =
+  c.c_events <- c.c_events + 1;
+  (* only calls and returns matter; skip the common non-method events before
+     fanning out to every lane *)
+  match ev with
+  | Event.Call _ | Event.Return _ ->
+    List.iter (fun l -> History.Builder.feed l.l_builder ev) c.lanes
+  | _ -> ()
+
+let check_history c name spec (h : History.t) =
+  let ops = History.length h and pending = History.pending h in
+  let anchor =
+    Array.fold_left
+      (fun a (o : History.op) ->
+        if o.History.op_ret_at < max_int then max a o.History.op_ret_at else a)
+      0 h.History.ops
+  in
+  let engine, (res : Jit.result) =
+    if c.exhaustive > 0 && ops <= c.exhaustive then
+      let outcome, nodes =
+        Enum.check ~budget:c.budget ~pending_rets:c.pending_rets
+          ~max_ops:c.exhaustive h spec
+      in
+      ( "enum",
+        { Jit.outcome;
+          stats = { Jit.nodes; undos = 0; memo_hits = 0; memo_entries = 0 } } )
+    else ("jit", Jit.check ~budget:c.budget ~pending_rets:c.pending_rets h spec)
+  in
+  let verdict =
+    match res.Jit.outcome with
+    | Jit.Linearizable -> Pass
+    | Jit.Not_linearizable -> Fail
+    | Jit.Budget_exhausted -> Inconclusive
+  in
+  { ls_structure = name; ls_engine = engine; ls_ops = ops;
+    ls_pending = pending; ls_verdict = verdict; ls_stats = res.Jit.stats;
+    ls_anchor = anchor }
+
+let finish c =
+  let structures =
+    List.map
+      (fun l ->
+        check_history c l.l_name l.l_spec (History.Builder.finish l.l_builder))
+      c.lanes
+  in
+  let t = { structures; events = c.c_events } in
+  (match c.metrics with
+  | None -> ()
+  | Some m ->
+    let add name v = Metrics.add (Metrics.counter m name) v in
+    List.iter
+      (fun r ->
+        add "lin.histories_checked" 1;
+        add "lin.ops" r.ls_ops;
+        add "lin.pending" r.ls_pending;
+        add "lin.nodes" r.ls_stats.Jit.nodes;
+        add "lin.undos" r.ls_stats.Jit.undos;
+        add "lin.memo_hits" r.ls_stats.Jit.memo_hits;
+        if r.ls_verdict = Inconclusive then add "lin.budget_exhausted" 1;
+        if r.ls_verdict = Fail then add "lin.violations" 1)
+      structures);
+  t
+
+let check_log ?budget ?exhaustive ?pending_rets ?metrics ~specs log =
+  let c = collector ?budget ?exhaustive ?pending_rets ?metrics ~specs () in
+  Log.iter (feed c) log;
+  finish c
+
+let pass ?budget ?exhaustive ?pending_rets ?metrics ~specs () =
+  let c = collector ?budget ?exhaustive ?pending_rets ?metrics ~specs () in
+  let finish () =
+    let t = finish c in
+    let diags =
+      List.filter_map
+        (fun r ->
+          match r.ls_verdict with
+          | Pass -> None
+          | Fail ->
+            Some
+              { Vyrd_analysis.Pass.pass = "lin"; id = "lin-not-linearizable";
+                severity = `Error; position = r.ls_anchor; tid = None;
+                text =
+                  Printf.sprintf
+                    "%s: no linearization of %d operations matches the spec \
+                     (%d nodes, %d undos)"
+                    r.ls_structure r.ls_ops r.ls_stats.Jit.nodes
+                    r.ls_stats.Jit.undos }
+          | Inconclusive ->
+            Some
+              { Vyrd_analysis.Pass.pass = "lin"; id = "lin-budget-exhausted";
+                severity = `Warning; position = r.ls_anchor; tid = None;
+                text =
+                  Printf.sprintf
+                    "%s: search budget exhausted after %d nodes (%d operations)"
+                    r.ls_structure r.ls_stats.Jit.nodes r.ls_ops })
+        t.structures
+    in
+    let errors =
+      List.length (List.filter (fun d -> d.Vyrd_analysis.Pass.severity = `Error) diags)
+    in
+    let warnings = List.length diags - errors in
+    let kept =
+      List.filteri (fun i _ -> i < Vyrd_analysis.Pass.max_diags) diags
+    in
+    { Vyrd_analysis.Pass.pass = "lin"; events = t.events; errors; warnings;
+      diags = kept; dropped = List.length diags - List.length kept }
+  in
+  { Vyrd_analysis.Pass.name = "lin"; feed = feed c; finish }

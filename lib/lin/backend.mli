@@ -1,0 +1,69 @@
+(** The linearizability backend as a second oracle next to refinement
+    checking.
+
+    A {!collector} splits one event stream into per-structure histories (the
+    same method-ownership sharding the farm uses) while it streams, then
+    runs the {!Jit} checker — or the {!Enum} exhaustive checker for
+    histories of at most [exhaustive] operations — on each at {!finish}.
+    {!pass} wraps a collector as a {!Vyrd_analysis.Pass.t}, so
+    [vyrd_check pipeline --backend lin|both] runs it on the farm's analysis
+    lane with zero farm changes, and [serve --analyze] could do the same.
+
+    When a [metrics] registry is supplied, {!finish} publishes the [lin.*]
+    family: [lin.histories_checked], [lin.ops], [lin.pending], [lin.nodes],
+    [lin.undos], [lin.memo_hits], [lin.budget_exhausted],
+    [lin.violations]. *)
+
+type verdict = Pass | Fail | Inconclusive  (** [Inconclusive]: budget ran out *)
+
+val verdict_string : verdict -> string
+
+type structure_result = {
+  ls_structure : string;
+  ls_engine : string;  (** ["jit"] or ["enum"] *)
+  ls_ops : int;
+  ls_pending : int;
+  ls_verdict : verdict;
+  ls_stats : Jit.stats;  (** [Enum] fills only [nodes] *)
+  ls_anchor : int;  (** log index of the last return, 0 on empty histories *)
+}
+
+type t = { structures : structure_result list; events : int }
+
+(** No structure failed and none was inconclusive. *)
+val clean : t -> bool
+
+(** Structures whose verdict is [Fail]. *)
+val violations : t -> structure_result list
+
+(** Some structure exhausted its node budget. *)
+val inconclusive : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Checking} *)
+
+type collector
+
+(** [exhaustive] (default 0): histories with at most that many operations
+    are checked by brute-force enumeration instead of the JIT search. *)
+val collector :
+  ?budget:int -> ?exhaustive:int -> ?pending_rets:Vyrd.Repr.t list ->
+  ?metrics:Vyrd_pipeline.Metrics.t -> specs:(string * Vyrd.Spec.t) list ->
+  unit -> collector
+
+val feed : collector -> Vyrd.Event.t -> unit
+val finish : collector -> t
+
+val check_log :
+  ?budget:int -> ?exhaustive:int -> ?pending_rets:Vyrd.Repr.t list ->
+  ?metrics:Vyrd_pipeline.Metrics.t -> specs:(string * Vyrd.Spec.t) list ->
+  Vyrd.Log.t -> t
+
+(** A farm-lane pass named ["lin"]: a [Fail] structure becomes an [`Error]
+    diagnostic ([lin-not-linearizable]), a budget exhaustion a [`Warning]
+    ([lin-budget-exhausted]). *)
+val pass :
+  ?budget:int -> ?exhaustive:int -> ?pending_rets:Vyrd.Repr.t list ->
+  ?metrics:Vyrd_pipeline.Metrics.t -> specs:(string * Vyrd.Spec.t) list ->
+  unit -> Vyrd_analysis.Pass.t

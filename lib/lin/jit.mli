@@ -1,0 +1,53 @@
+(** Just-in-time backtracking linearizability checker (Lowe's refinement of
+    Wing & Gong, SNIPPETS.md Snippet 1), over the sequential {!Vyrd.Spec}.
+
+    The search walks the history in real time and linearizes an operation as
+    late as possible: only when its return event is reached and it has not
+    been linearized yet.  At such a {e block point} the candidates are every
+    operation whose call has passed and that is not yet linearized; each
+    candidate is tried by taking its spec transition, and exhausting all
+    candidates backtracks with an explicit undo (the one linearization that
+    created the configuration is reverted — states are snapshots, so undo is
+    a pointer pop, not an inverse transition).
+
+    Configurations that exhausted every candidate are memoized as {e dead},
+    keyed on (linearized-set, [Spec.S.save] of the state): the block
+    position and the candidate set are functions of the linearized set, and
+    [save] is faithful (equal saves ⇒ equivalent states), so reaching a dead
+    key again cannot succeed.  Memoization only costs anything once the
+    search has backtracked at least once — a greedy linearizable history
+    (the overwhelmingly common case in service) never serializes a state.
+
+    Operations pending at end of log need not be linearized; a pending
+    mutator {e may} be, with each return value from [pending_rets]
+    (unknown-result semantics: the witness order chooses whether and how the
+    incomplete call took effect).  Pending observers are never linearized —
+    they cannot change the state, so dropping them is complete.
+
+    [budget] bounds the number of spec transitions attempted, so an
+    adversarial history answers {!Budget_exhausted} instead of hanging. *)
+
+type stats = {
+  nodes : int;  (** spec transitions attempted *)
+  undos : int;  (** linearization choices reverted *)
+  memo_hits : int;  (** configurations pruned by the dead set *)
+  memo_entries : int;  (** dead configurations recorded *)
+}
+
+type outcome = Linearizable | Not_linearizable | Budget_exhausted
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type result = { outcome : outcome; stats : stats }
+
+(** Return values tried for operations pending at end of log:
+    [unit], [success], [failure]. *)
+val default_pending_rets : Vyrd.Repr.t list
+
+(** [check h spec] decides whether [h] is linearizable with respect to
+    [spec].  Default [budget]: 1_000_000 nodes.
+    @raise Invalid_argument if [h] contains a method [spec] does not know
+      (filter with {!History.owner} first). *)
+val check :
+  ?budget:int -> ?pending_rets:Vyrd.Repr.t list -> History.t -> Vyrd.Spec.t ->
+  result

@@ -10,7 +10,8 @@ module Faults = Vyrd_faults.Faults
    (§4.1) that view refinement flags deterministically at the first
    duplicate insert, with no concurrency required. *)
 let fault_misplaced_commit =
-  Faults.define ~name:"multiset_btree.misplaced_commit" ~subject:"Multiset-BinaryTree"
+  Faults.define ~semantic:false ~name:"multiset_btree.misplaced_commit"
+    ~subject:"Multiset-BinaryTree"
     ~description:
       "duplicate-key insert commits before the count-increment write is \
        published, so viewI at the commit lags viewS by one occurrence"

@@ -319,6 +319,39 @@ let test_lint_daemon_threads_exempt () =
   in
   Alcotest.(check (list string)) "daemon writes accepted" [] (kinds r)
 
+let test_lint_commit_missing () =
+  (* `Io-level shape: calls, returns and commits only.  insert commits on
+     T1 but not on T2; lookup never commits anywhere and stays clean (it is
+     an observer, not a missing annotation) *)
+  let r =
+    lint
+      [
+        ev_call 1 "insert"; ev_commit 1; ev_ret 1 "insert";
+        ev_call 2 "insert"; ev_ret 2 "insert";
+        ev_call 1 "lookup"; ev_ret 1 "lookup";
+      ]
+  in
+  Alcotest.(check (list string)) "missing commit flagged once"
+    [ "commit-missing" ] (kinds r);
+  Alcotest.(check bool) "warning, not error" true (Lint.ok r);
+  (match r.Lint.diags with
+  | [ d ] ->
+    Alcotest.(check int) "anchored at the non-committing return" 4
+      d.Lint.position;
+    Alcotest.(check int) "on the right thread" 2 d.Lint.tid
+  | _ -> Alcotest.fail "expected exactly one diagnostic");
+  (* at view/full the write-based warning already covers the execution;
+     commit-missing must not double-report it *)
+  let r =
+    lint
+      [
+        ev_call 1 "insert"; ev_write 1 "x"; ev_commit 1; ev_ret 1 "insert";
+        ev_call 2 "insert"; ev_write 2 "x"; ev_ret 2 "insert";
+      ]
+  in
+  Alcotest.(check (list string)) "richer logs keep the write-based warning"
+    [ "uncommitted-mutation" ] (kinds r)
+
 let test_lint_real_logs_clean () =
   (* every event the real instrumentation emits obeys the contract *)
   let log = multiset_full_log ~seed:4 () in
@@ -563,6 +596,7 @@ let suite =
     ("lint: unbalanced commit blocks", `Quick, test_lint_unbalanced_blocks);
     ("lint: locks and returns", `Quick, test_lint_locks_and_returns);
     ("lint: daemon threads exempt", `Quick, test_lint_daemon_threads_exempt);
+    ("lint: commit-missing on Io-level logs", `Quick, test_lint_commit_missing);
     ("lint: real instrumentation lints clean", `Quick, test_lint_real_logs_clean);
     ("lockgraph: ABBA cycle with witnesses", `Quick, test_lockgraph_reports_abba);
     ("lockgraph: gate-lock suppression", `Quick, test_lockgraph_gate_suppression);

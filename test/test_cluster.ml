@@ -620,6 +620,84 @@ let test_cluster_drain_reroutes () =
             (Server.active srv)
       | None -> ())
 
+let test_cluster_respawn_rejoins () =
+  (* the supervisor's auto-respawn: kill the same worker twice, let the
+     backoff bring it back on its original address, and check the
+     coordinator's verdicts still match offline checking every time *)
+  let log = buggy_log () in
+  let offline_idx = local_fail_index log in
+  let dir = temp_dir "vyrd_respawn" in
+  let coord_ref = ref None in
+  let respawned = ref 0 in
+  let sup =
+    Supervisor.start ~count:2 ~max_respawns:2 ~backoff:0.01
+      ~on_respawn:(fun name addr ->
+        (match !coord_ref with
+        | Some coord -> Coordinator.attach coord ~name ~addr
+        | None -> ());
+        incr respawned)
+      ~dir ~shards ()
+  in
+  let metrics = Metrics.create () in
+  let coord =
+    Coordinator.start
+      (Coordinator.config ~metrics
+         ~addr:(Wire.Unix_socket (Filename.concat dir "vyrdc.sock"))
+         ~spool_dir:(Filename.concat dir "spool") ())
+  in
+  coord_ref := Some coord;
+  Fun.protect
+    ~finally:(fun () ->
+      Coordinator.stop ~deadline:5. coord;
+      Supervisor.stop sup;
+      rm_rf (Filename.concat dir "spool");
+      rm_rf dir)
+    (fun () ->
+      List.iter
+        (fun (name, addr) -> Coordinator.attach coord ~name ~addr)
+        (Supervisor.workers sup);
+      let wait_back name generation =
+        let deadline = Unix.gettimeofday () +. 5. in
+        let rec loop () =
+          if Supervisor.server sup name <> None && !respawned >= generation
+          then ()
+          else if Unix.gettimeofday () > deadline then
+            Alcotest.fail (name ^ " did not respawn in time")
+          else begin
+            Thread.delay 0.01;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let submit_and_check tag =
+        match Client.submit_log ~batch_events:64 (Coordinator.addr coord) log with
+        | Client.Spilled _ -> Alcotest.fail (tag ^ ": session spilled")
+        | Client.Checked { report; fail_index } ->
+            Alcotest.(check bool) (tag ^ ": buggy log convicts") false
+              (Report.is_pass report);
+            Alcotest.(check (option int))
+              (tag ^ ": fail index matches offline") offline_idx fail_index
+      in
+      submit_and_check "before any kill";
+      Supervisor.kill sup "w0";
+      wait_back "w0" 1;
+      submit_and_check "after first respawn";
+      Supervisor.kill sup "w0";
+      wait_back "w0" 2;
+      submit_and_check "after second respawn";
+      Alcotest.(check int) "two respawns recorded" 2
+        (Supervisor.respawns sup "w0");
+      Alcotest.(check int) "the ring re-registered the reborn worker" 2
+        !respawned;
+      (* budget spent: a third kill forgets the worker for good *)
+      Supervisor.kill sup "w0";
+      Thread.delay 0.1;
+      Alcotest.(check bool) "third kill exceeds the cap: worker stays down"
+        true
+        (Supervisor.server sup "w0" = None);
+      submit_and_check "after the final kill")
+
 let test_cluster_spools_reclaimed () =
   let log = buggy_log () in
   with_cluster (fun coord _sup ->
@@ -689,6 +767,8 @@ let suite =
     Alcotest.test_case "cluster: failover resumes from checkpoint" `Quick
       test_cluster_failover_resumes_from_checkpoint;
     Alcotest.test_case "cluster: drain reroutes" `Quick test_cluster_drain_reroutes;
+    Alcotest.test_case "cluster: killed worker respawns and rejoins" `Quick
+      test_cluster_respawn_rejoins;
     Alcotest.test_case "cluster: spools reclaimed" `Quick test_cluster_spools_reclaimed;
     Alcotest.test_case "cluster: status scrape" `Quick test_cluster_status_scrape;
   ]

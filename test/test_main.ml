@@ -10,6 +10,7 @@ let () =
       ("scanfs", Test_scanfs.suite);
       ("harness", Test_harness.suite);
       ("baselines", Test_baselines.suite);
+      ("lin", Test_lin.suite);
       ("analysis", Test_analysis.suite);
       ("fuzz", Test_fuzz.suite);
       ("oracle", Test_oracle.suite);
