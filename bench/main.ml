@@ -1652,6 +1652,148 @@ let cluster_bench ?(json_out = Some "BENCH_cluster.json") ~baseline ~max_regress
   end;
   Fmt.pr "@.all cluster gates passed@."
 
+(* ------------------------------------------------- monitor-lane overhead *)
+
+module Monitor = Vyrd_monitor.Monitor
+
+(* What the temporal-monitor lane costs on the hotpath workload: the same
+   ~1.1M-event composed `View drain with and without the built-in pack
+   (lock reversal + resource leak) attached as a farm pass.  Gates (any
+   failure exits 1):
+
+   - verdict identical with and without the monitor pass;
+   - the pass saw the whole stream and every built-in stayed clean on the
+     correct workload;
+   - monitor-lane overhead at most --max-overhead percent over the plain
+     drain (paired trials, same two spike-discarding statistics as the
+     analyze bench);
+   - when --baseline BENCH_monitor.json is given, the monitored drain not
+     more than --max-regress percent below the committed number.
+
+   Also reports standalone monitor feed throughput over a `Full-level log —
+   the built-in packs key on Acquire/Release events, which `View traces do
+   not carry, so that row is the packs' real per-event cost. *)
+let monitor_bench ?(json_out = Some "BENCH_monitor.json") ~baseline
+    ~max_regress ~max_overhead ~ops () =
+  Fmt.pr
+    "@.Temporal monitors: farm drain with vs without the built-in pack \
+     (gate: <= %.0f%% overhead)@.@."
+    max_overhead;
+  let level = `View in
+  let log = multi_log ~threads:8 ~ops ~seed:11 ~level in
+  let events = Log.snapshot log in
+  let n = Array.length events in
+  let passes () = [ Monitor.pass (Monitor.builtins ()) ] in
+  Fmt.pr "%d events at `View level; monitors: %s@.@." n
+    (String.concat ", " Monitor.builtin_names);
+  let failures = ref [] in
+  let gate name ok =
+    Fmt.pr "gate: %-52s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then failures := name :: !failures
+  in
+  let drain ?passes () =
+    let farm = Farm.start ~capacity:8192 ?passes ~level (farm_shards ()) in
+    Array.iter (Farm.feed farm) events;
+    Farm.finish farm
+  in
+  (* -- correctness: the monitor lane must not perturb the verdict --------- *)
+  let plain = drain () in
+  let monitored = drain ~passes:(passes ()) () in
+  gate "verdict identical with and without monitors"
+    (String.equal (Report.tag plain.Farm.merged)
+       (Report.tag monitored.Farm.merged)
+    && Farm.min_fail_index plain = Farm.min_fail_index monitored);
+  gate "the monitor pass saw the whole stream"
+    (monitored.Farm.analysis <> []
+    && List.for_all
+         (fun (s : Vyrd_analysis.Pass.summary) ->
+           s.Vyrd_analysis.Pass.events = n)
+         monitored.Farm.analysis);
+  gate "built-ins clean on the correct workload"
+    (List.for_all Vyrd_analysis.Pass.clean monitored.Farm.analysis);
+  (* -- throughput: paired trials, spike-discarding (see analyze_bench) ---- *)
+  let pairs = 5 in
+  let plain_dt = ref infinity and mon_dt = ref infinity in
+  let pair_ratio = ref infinity in
+  for _ = 1 to pairs do
+    let t0 = Unix.gettimeofday () in
+    ignore (drain () : Farm.result);
+    let p = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    ignore (drain ~passes:(passes ()) () : Farm.result);
+    let m = Unix.gettimeofday () -. t0 in
+    if p < !plain_dt then plain_dt := p;
+    if m < !mon_dt then mon_dt := m;
+    if m /. p < !pair_ratio then pair_ratio := m /. p
+  done;
+  let ratio = Float.min !pair_ratio (!mon_dt /. !plain_dt) in
+  Fmt.pr "@.%-30s %10s %12s   (best of %d pairs)@." "configuration" "wall ms"
+    "events/s" pairs;
+  Fmt.pr "%s@." (line 60);
+  let row label dt count =
+    Fmt.pr "%-30s %10.2f %12s@." label (dt *. 1e3)
+      (Fmt.str "%.2fM" (float_of_int count /. dt /. 1e6))
+  in
+  row "farm view drain, no monitors" !plain_dt n;
+  row "farm view drain, --monitor" !mon_dt n;
+  (* standalone feed cost on a lock-bearing `Full trace *)
+  let full_log =
+    multi_log ~threads:8 ~ops:(max 1 (ops / 10)) ~seed:3 ~level:`Full
+  in
+  let full_events = Log.snapshot full_log in
+  let fn = Array.length full_events in
+  let feed_dt = ref infinity in
+  for _ = 1 to 3 do
+    let ms = Monitor.builtins () in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun ev -> List.iter (fun m -> Monitor.feed m ev) ms) full_events;
+    List.iter (fun m -> ignore (Monitor.finish m : Monitor.verdict)) ms;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !feed_dt then feed_dt := dt
+  done;
+  row (Fmt.str "builtin feed, %d ev `Full" fn) !feed_dt fn;
+  let overhead_pct = (ratio -. 1.) *. 100. in
+  gate
+    (Printf.sprintf "--monitor overhead %.1f%% <= %.0f%% (best of %d pairs)"
+       overhead_pct max_overhead pairs)
+    (ratio <= 1. +. (max_overhead /. 100.));
+  let mon_evps = float_of_int n /. !mon_dt in
+  (match baseline with
+  | None -> ()
+  | Some file ->
+    let old = read_json_field file "farm_monitor_events_per_sec" in
+    if Float.is_nan old then
+      Fmt.pr "gate: baseline %s unreadable — skipping the regression gate@."
+        file
+    else
+      let floor = old *. (1. -. (max_regress /. 100.)) in
+      gate
+        (Printf.sprintf
+           "--monitor drain %.2fM >= %.2fM (baseline %.2fM - %.0f%%)"
+           (mon_evps /. 1e6) (floor /. 1e6) (old /. 1e6) max_regress)
+        (mon_evps >= floor));
+  (match json_out with
+  | None -> ()
+  | Some file ->
+    write_json file
+      [
+        ("experiment", "\"monitor\"");
+        ("events", string_of_int n);
+        ("pairs", string_of_int pairs);
+        ("farm_plain_events_per_sec", jnum (float_of_int n /. !plain_dt));
+        ("farm_monitor_events_per_sec", jnum mon_evps);
+        ("overhead_pct", jnum overhead_pct);
+        ("feed_full_events", string_of_int fn);
+        ("feed_full_events_per_sec", jnum (float_of_int fn /. !feed_dt));
+        ("max_overhead_pct_gate", jnum max_overhead);
+      ]);
+  if !failures <> [] then begin
+    Fmt.epr "@.monitor gates failed:@.";
+    List.iter (fun f -> Fmt.epr "  - %s@." f) (List.rev !failures);
+    exit 1
+  end;
+  Fmt.pr "@.all monitor gates passed@."
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all () =
@@ -1669,6 +1811,7 @@ let all () =
   cluster_bench ~baseline:None ~max_regress:40. ~min_speedup:1.8 ~sessions:16 ();
   hotpath ~baseline:None ~max_regress:20. ~min_evps:1e6 ~ops:20_000 ();
   analyze_bench ~baseline:None ~max_regress:25. ~max_overhead:15. ~ops:20_000 ();
+  monitor_bench ~baseline:None ~max_regress:25. ~max_overhead:15. ~ops:20_000 ();
   lin_bench ~baseline:None ~max_regress:30. ~min_evps:5e5 ~ops:20_000 ();
   mutants ~json_out:(Some "detection_matrix.json") ()
 
@@ -1773,6 +1916,39 @@ let () =
                 & info [ "max-overhead" ] ~docv:"PCT"
                     ~doc:
                       "Allowed analysis-lane overhead over the plain drain, \
+                       in percent.")
+            $ Arg.(
+                value & opt int 20_000
+                & info [ "ops" ] ~docv:"N" ~doc:"Operations per thread."));
+        Cmd.v
+          (Cmd.info "monitor"
+             ~doc:
+               "Temporal-monitor overhead: farm view drain with vs without \
+                the built-in pack (lock reversal + resource leak) on the \
+                hotpath workload, gated at --max-overhead percent with a \
+                verdict-equality gate, plus standalone pack feed throughput \
+                over a `Full trace and an optional baseline regression gate \
+                (writes BENCH_monitor.json).")
+          Term.(
+            const (fun baseline max_regress max_overhead ops ->
+                monitor_bench ~baseline ~max_regress ~max_overhead ~ops ())
+            $ Arg.(
+                value
+                & opt (some string) None
+                & info [ "baseline" ] ~docv:"FILE"
+                    ~doc:
+                      "Committed BENCH_monitor.json to gate against: fail if \
+                       the monitored drain drops more than \
+                       $(b,--max-regress) percent below it.")
+            $ Arg.(
+                value & opt float 25.
+                & info [ "max-regress" ] ~docv:"PCT"
+                    ~doc:"Allowed regression vs the baseline, in percent.")
+            $ Arg.(
+                value & opt float 15.
+                & info [ "max-overhead" ] ~docv:"PCT"
+                    ~doc:
+                      "Allowed monitor-lane overhead over the plain drain, \
                        in percent.")
             $ Arg.(
                 value & opt int 20_000

@@ -39,6 +39,8 @@ module Client = Vyrd_net.Client
 module Coordinator = Vyrd_cluster.Coordinator
 module Supervisor = Vyrd_cluster.Supervisor
 module Lin = Vyrd_lin.Backend
+module Monitor = Vyrd_monitor.Monitor
+module Faults = Vyrd_faults.Faults
 
 (* Oracle selection shared by check and pipeline: the paper's
    commit-annotation refinement checker, the annotation-free JIT
@@ -61,6 +63,46 @@ let lin_budget_arg =
     value & opt int 1_000_000
     & info [ "lin-budget" ] ~docv:"N"
         ~doc:"Search-node budget per structure for the lin backend.")
+
+(* Shared by check, pipeline and serve: temporal monitors over the event
+   stream.  Specs are validated eagerly so a typo fails fast with a parse
+   error, but monitors themselves are built fresh per use (they are
+   stateful). *)
+let monitor_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "monitor" ] ~docv:"SPEC"
+        ~doc:
+          "Attach a streaming temporal-property monitor: a built-in pack \
+           name ($(b,lock-reversal), $(b,resource-leak)) or a formula in \
+           the tiny LTL syntax, e.g. $(b,\"G (call(Insert) -> F \
+           return(Insert))\").  Repeatable; any violation makes the exit \
+           status 1.")
+
+(* Validate every spec up front; return a factory building fresh monitors. *)
+let monitor_factory specs =
+  List.iter
+    (fun spec ->
+      match Monitor.of_spec spec with
+      | Ok _ -> ()
+      | Error msg ->
+        Fmt.epr "--monitor %s: %s@." spec msg;
+        (match specs with
+        | _ :: _ ->
+          Fmt.epr "built-in packs: %a@."
+            Fmt.(list ~sep:comma string)
+            Monitor.builtin_names
+        | [] -> ());
+        exit 2)
+    specs;
+  fun () ->
+    List.map
+      (fun spec ->
+        match Monitor.of_spec spec with
+        | Ok m -> m
+        | Error msg -> failwith msg (* unreachable: validated above *))
+      specs
 
 (* Load a serialized log, sniffing the binary segment format by magic.
    Text-format errors come out as positioned [file:line] diagnostics; a
@@ -200,8 +242,15 @@ let check_cmd =
              $(b,--resume).")
   in
   let run subject mode backend lin_budget invariants explain resume
-      checkpoint_events file =
+      checkpoint_events monitor_specs file =
     let subject = resolve subject in
+    let make_monitors = monitor_factory monitor_specs in
+    if monitor_specs <> [] && (resume || checkpoint_events <> None) then begin
+      Fmt.epr
+        "--monitor needs the whole event stream; drop --resume or \
+         --checkpoint-events@.";
+      exit 2
+    end;
     if backend <> `Refinement && (resume || checkpoint_events <> None) then begin
       Fmt.epr
         "--resume/--checkpoint-events replay the refinement checker only; \
@@ -273,6 +322,29 @@ let check_cmd =
       if Report.is_pass outcome.Resume.report then exit 0 else exit 1
     end;
     let log = load_log file in
+    (* Offline monitor pass over the loaded snapshot: feed every event,
+       resolve at stream end, print each monitor's verdict. *)
+    let monitor_fail =
+      match make_monitors () with
+      | [] -> false
+      | ms ->
+        Log.iter (fun ev -> List.iter (fun m -> Monitor.feed m ev) ms) log;
+        List.fold_left
+          (fun fail m ->
+            match Monitor.finish m with
+            | Monitor.Viol _ ->
+              List.iter
+                (fun w ->
+                  Fmt.pr "monitor %s: violation %a@." (Monitor.name m)
+                    Monitor.pp_witness w)
+                (Monitor.violations m);
+              true
+            | Monitor.Sat | Monitor.Pending ->
+              Fmt.pr "monitor %s: clean (%d events)@." (Monitor.name m)
+                (Monitor.fed m);
+              fail)
+          false ms
+    in
     let refinement_report () =
       match
         match mode with
@@ -307,7 +379,7 @@ let check_cmd =
       let report = refinement_report () in
       Fmt.pr "%a@." Report.pp report;
       explain_violation report;
-      if Report.is_pass report then exit 0 else exit 1
+      if Report.is_pass report && not monitor_fail then exit 0 else exit 1
     | `Lin ->
       let r = lin_result () in
       Fmt.pr "%a@." Lin.pp r;
@@ -318,7 +390,7 @@ let check_cmd =
             "note: verdict inconclusive — some structure exhausted the \
              %d-node budget; raise --lin-budget@."
             lin_budget;
-        exit 0
+        if monitor_fail then exit 1 else exit 0
       end
     | `Both ->
       let report = refinement_report () in
@@ -337,13 +409,13 @@ let check_cmd =
       else
         Fmt.pr "backends disagree: refinement=%s lin=%s@." (word ref_pass)
           (word (not lin_fail));
-      if ref_pass && not lin_fail then exit 0 else exit 1
+      if ref_pass && (not lin_fail) && not monitor_fail then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check a serialized log against a subject's specification.")
     Term.(
       const run $ subject_arg $ mode $ backend_arg $ lin_budget_arg
-      $ invariants $ explain $ resume $ checkpoint_events $ file)
+      $ invariants $ explain $ resume $ checkpoint_events $ monitor_arg $ file)
 
 let timeline_cmd =
   let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG") in
@@ -675,9 +747,31 @@ let pipeline_cmd =
              and at level full the race detector) to a dedicated farm lane \
              and report their diagnostics with the verdict.")
   in
+  let fault_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "fault" ] ~docv:"NAME"
+          ~doc:
+            "Arm a seeded mutant from the fault registry for this run \
+             (repeatable) — the ground-truth bugs the detectors are \
+             validated against, e.g. $(b,cache.lock_order_inversion).")
+  in
   let run names seed threads ops bug level capacity invariants segments rotate
-      checkpoint_events metrics_json native analyze backend lin_budget =
+      checkpoint_events metrics_json native analyze backend lin_budget
+      monitor_specs fault_names =
     let subjects = List.map resolve names in
+    let make_monitors = monitor_factory monitor_specs in
+    List.iter
+      (fun n ->
+        match Faults.find n with
+        | f -> Faults.arm f
+        | exception Not_found ->
+          Fmt.epr "unknown fault %S; registered: %a@." n
+            Fmt.(list ~sep:comma (using Faults.name string))
+            (Faults.registered ());
+          exit 2)
+      fault_names;
     let cfg =
       { Harness.default with seed; threads; ops_per_thread = ops; log_level = level }
     in
@@ -702,6 +796,9 @@ let pipeline_cmd =
          in
          [ Lin.pass ~budget:lin_budget ~metrics ~specs () ]
        else [])
+      @ (match make_monitors () with
+        | [] -> []
+        | ms -> [ Monitor.pass ~metrics ms ])
       @ if analyze then Vyrd_analysis.Pass.for_level level else []
     in
     let farm =
@@ -749,8 +846,16 @@ let pipeline_cmd =
                 incr checkpoints
               | None -> ())));
     let t0 = Unix.gettimeofday () in
-    Harness.run_into ~native ~log cfg
-      (List.map (fun (s : Subjects.t) -> s.build ~bug) subjects);
+    (match
+       Harness.run_into ~native ~log cfg
+         (List.map (fun (s : Subjects.t) -> s.build ~bug) subjects)
+     with
+    | () -> ()
+    | exception Vyrd_sched.Coop.Deadlock msg ->
+      (* an armed deadlock-kind fault genuinely hung this schedule; pick
+         another --seed to get a completed trace for the monitors *)
+      Fmt.epr "workload deadlocked (%s); retry with a different --seed@." msg;
+      exit 2);
     Option.iter Segment.close writer;
     let result = Farm.finish farm in
     let dt = Unix.gettimeofday () -. t0 in
@@ -828,7 +933,8 @@ let pipeline_cmd =
     Term.(
       const run $ subjects_arg $ seed $ threads $ ops $ bug $ level $ capacity
       $ invariants $ segments $ rotate $ checkpoint_events $ metrics_json
-      $ native $ analyze $ backend_arg $ lin_budget_arg)
+      $ native $ analyze $ backend_arg $ lin_budget_arg $ monitor_arg
+      $ fault_arg)
 
 (* ----------------------------------------------------------- serve/submit *)
 
@@ -947,12 +1053,20 @@ let serve_cmd =
              farm; diagnostic counts surface in the analysis.* metrics.")
   in
   let run addr names capacity window max_sessions spill_dir idle_timeout
-      invariants recheck_spills checkpoint_events metrics_json analyze =
+      invariants recheck_spills checkpoint_events metrics_json analyze
+      monitor_specs =
     let subjects = List.map resolve names in
+    let make_monitors = monitor_factory monitor_specs in
     let metrics = Metrics.create () in
+    let monitors () =
+      (* fresh monitors per session: they are stateful stream machines *)
+      match make_monitors () with
+      | [] -> []
+      | ms -> [ Monitor.pass ~metrics ms ]
+    in
     let cfg =
       Server.config ~capacity ~window ~max_sessions ?spill_dir ~idle_timeout
-        ~recheck_spills ~checkpoint_events ~analyze ~metrics ~addr
+        ~recheck_spills ~checkpoint_events ~analyze ~monitors ~metrics ~addr
         (shards_for subjects invariants)
     in
     let server =
@@ -972,11 +1086,24 @@ let serve_cmd =
     let handle _ = stop := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+    (* The handler only flips a flag: [Metrics.pp] takes the registry
+       mutex, and printing from the handler could re-enter a session
+       thread's locked section and deadlock the daemon.  The dump itself
+       happens below, on the main wait loop. *)
+    let dump_requested = ref false in
     Sys.set_signal Sys.sigusr1
-      (Sys.Signal_handle (fun _ -> Fmt.epr "%a@." Metrics.pp metrics));
+      (Sys.Signal_handle (fun _ -> dump_requested := true));
+    let dump_if_requested () =
+      if !dump_requested then begin
+        dump_requested := false;
+        Fmt.epr "%a@." Metrics.pp metrics
+      end
+    in
     while not !stop do
+      dump_if_requested ();
       (try Thread.delay 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
     done;
+    dump_if_requested ();
     Fmt.pr "vyrdd: draining %d open session(s)...@." (Server.active server);
     Server.stop server;
     Fmt.pr "%a@." Metrics.pp metrics;
@@ -991,7 +1118,7 @@ let serve_cmd =
     Term.(
       const run $ addr_arg $ subjects_arg $ capacity $ window $ max_sessions
       $ spill_dir $ idle_timeout $ invariants $ recheck_spills
-      $ checkpoint_events $ metrics_json $ analyze)
+      $ checkpoint_events $ metrics_json $ analyze $ monitor_arg)
 
 let cluster_cmd =
   let subjects_arg =
@@ -1177,12 +1304,23 @@ let cluster_cmd =
     let handle _ = stop := true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+    (* Flag only — [Coordinator.aggregate] polls workers and [Metrics.pp]
+       takes the registry mutex; neither is safe from a signal handler
+       (see the vyrdd loop above).  Dump from the main wait loop. *)
+    let dump_requested = ref false in
     Sys.set_signal Sys.sigusr1
-      (Sys.Signal_handle
-         (fun _ -> Fmt.epr "%a@." Metrics.pp (Coordinator.aggregate coord)));
+      (Sys.Signal_handle (fun _ -> dump_requested := true));
+    let dump_if_requested () =
+      if !dump_requested then begin
+        dump_requested := false;
+        Fmt.epr "%a@." Metrics.pp (Coordinator.aggregate coord)
+      end
+    in
     while not !stop do
+      dump_if_requested ();
       (try Thread.delay 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
     done;
+    dump_if_requested ();
     Fmt.pr "vyrdc: draining %d open session(s)...@." (Coordinator.active coord);
     Coordinator.stop coord;
     let agg = Coordinator.aggregate coord in

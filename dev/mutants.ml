@@ -66,7 +66,7 @@ let () =
           (if Mutants.expected_detections_hold row then
              match Faults.kind f with
              | Faults.Benign -> "silent (as required)"
-             | Faults.Refinement | Faults.Deadlock -> "detected"
+             | Faults.Refinement | Faults.Deadlock | Faults.Leak -> "detected"
            else "REQUIRED DETECTIONS MISSING")
           (if Mutants.race_detection row then " (+hb-race)" else "");
         row)

@@ -39,6 +39,12 @@ type t = {
 (** Diagnostics kept per summary; counts stay exact beyond it. *)
 val max_diags : int
 
+(** [summarize ~pass ~events diags] builds a bounded {!summary}: exact
+    error/warning counts, at most {!max_diags} diagnostics kept, the rest
+    counted in [dropped].  Exposed so external passes (the monitor layer)
+    obey the same bound. *)
+val summarize : pass:string -> events:int -> diag list -> summary
+
 val racedetect : unit -> t
 val lint : unit -> t
 val lockgraph : unit -> t

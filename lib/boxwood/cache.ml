@@ -47,6 +47,20 @@ let fault_gated_inversion =
        unreachable, so the lock-order graph must stay silent"
     ()
 
+(* Ground truth for the resource-leak temporal monitor: a lock acquired and
+   never released.  Reentrancy keeps later armed flushes from blocking on
+   their own abandoned acquisition, and no other path touches [stray], so
+   armed runs complete with correct results — only the monitor's
+   end-of-stream resolution can see the still-held lock. *)
+let fault_unreleased_lock =
+  Faults.define ~kind:Faults.Leak ~semantic:false
+    ~name:"cache.unreleased_lock" ~subject:"Cache"
+    ~description:
+      "flush acquires a stray instrumented lock and returns without \
+       releasing it; the resource-leak monitor must convict at stream end \
+       with the still-held set while refinement stays clean"
+    ()
+
 type bug = Unprotected_dirty_copy
 
 type entry_state = Absent | Clean | Dirty
@@ -62,6 +76,8 @@ type t = {
   gate : Sched.mutex;
   order_a : Sched.mutex;
   order_b : Sched.mutex;
+  (* instrumented lock used only by the armed [fault_unreleased_lock] *)
+  stray : Sched.mutex;
   entries : entry array;
   buf_size : int;
   bugs : bug list;
@@ -94,6 +110,7 @@ let create ?(bugs = []) ~buf_size ctx cm =
     gate = Instrument.mutex ctx ~name:"gate";
     order_a = Instrument.mutex ctx ~name:"order_a";
     order_b = Instrument.mutex ctx ~name:"order_b";
+    stray = Instrument.mutex ctx ~name:"stray";
     entries = Array.init (Chunk_manager.handles cm) entry;
     buf_size;
     bugs;
@@ -211,6 +228,11 @@ let read_fill t h =
    unchanged (dirty bytes become chunk bytes but keep masking them). *)
 let flush t =
   let body () =
+    if Faults.enabled fault_unreleased_lock then
+      (* MUTANT: acquire and never release — the unlock is simply missing.
+         Each armed flush re-acquires reentrantly, so the run completes;
+         the stream just ends with [stray] held. *)
+      t.stray.Sched.lock ();
     if Faults.enabled fault_gated_inversion then
       (* gate -> order_b -> order_a: inverted w.r.t. [write], but benign —
          the shared gate serializes the two sections *)

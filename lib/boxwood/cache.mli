@@ -79,3 +79,10 @@ val fault_lock_order_inversion : Vyrd_faults.Faults.t
     [gate -> order_b -> order_a].  The shared gate makes the ABBA cycle
     unreachable, so armed runs stay correct and no detector may fire. *)
 val fault_gated_inversion : Vyrd_faults.Faults.t
+
+(** Seeded unreleased lock ([Leak] kind): when armed, [flush] acquires a
+    stray instrumented lock and never releases it.  Runs still complete
+    (reentrant mutex, no other path touches it) with correct results; the
+    resource-leak temporal monitor must convict at stream end with the
+    still-held set. *)
+val fault_unreleased_lock : Vyrd_faults.Faults.t

@@ -1,4 +1,4 @@
-type kind = Refinement | Deadlock | Benign
+type kind = Refinement | Deadlock | Benign | Leak
 
 type t = {
   f_name : string;
@@ -35,6 +35,7 @@ let kind_id = function
   | Refinement -> "refinement"
   | Deadlock -> "deadlock"
   | Benign -> "benign"
+  | Leak -> "leak"
 let enabled f = f.f_armed
 let arm f = f.f_armed <- true
 let disarm f = f.f_armed <- false

@@ -26,8 +26,12 @@ type t
       flag it from one healthy [`Full] trace, and some schedules genuinely
       deadlock ({!Vyrd_sched.Explore} can find them);
     - [Benign]: a gate-protected inversion — armed runs stay correct and
-      {e no} detector may fire (the false-positive pin). *)
-type kind = Refinement | Deadlock | Benign
+      {e no} detector may fire (the false-positive pin);
+    - [Leak]: a lock acquired and never released — the resource-leak
+      temporal monitor must convict at stream end (armed runs still
+      complete: our mutexes are reentrant and only the leaking thread
+      touches the stray lock), while refinement stays clean. *)
+type kind = Refinement | Deadlock | Benign | Leak
 
 (** [define ~name ~subject ~description] declares a fault and registers it.
 
@@ -55,7 +59,7 @@ val kind : t -> kind
     the harness workloads. *)
 val semantic : t -> bool
 
-(** Stable identifier: ["refinement"], ["deadlock"], ["benign"]. *)
+(** Stable identifier: ["refinement"], ["deadlock"], ["benign"], ["leak"]. *)
 val kind_id : kind -> string
 
 val name : t -> string

@@ -18,6 +18,7 @@ module Explore = Vyrd_sched.Explore
 module Coop = Vyrd_sched.Coop
 module Lockgraph = Vyrd_analysis.Lockgraph
 module Lin = Vyrd_lin.Backend
+module Monitor = Vyrd_monitor.Monitor
 
 type cell = {
   regime : string;  (* "coop" | "native" | "explore" *)
@@ -401,6 +402,72 @@ let explore_deadlock_cell cfg fault (s : Subjects.t) =
     tag = (if !hangs > 0 then Some (Printf.sprintf "hangs=%d" !hangs) else None);
   }
 
+(* --- temporal-monitor channel: Deadlock, Benign and Leak kinds ------------ *)
+
+(* Fifth independent channel: the built-in temporal monitors (lock reversal,
+   resource leak) over `Full coop traces that complete.  Differential like
+   the race and lockgraph channels: only an armed-only violation counts.
+   Deadlock mutants must fall to the lock-reversal monitor — the dynamic
+   twin of the lockgraph column; Benign mutants must stay silent (the
+   monitor carries the same gate suppression); Leak mutants must fall to
+   the resource-leak monitor's end-of-stream resolution. *)
+let monitor_cell cfg fault (s : Subjects.t) =
+  let full_log seed =
+    Harness.run
+      { (harness_cfg cfg seed) with log_level = `Full }
+      (s.build ~bug:false)
+  in
+  let monitor_violations log =
+    let ms = Monitor.builtins () in
+    Log.iter (fun ev -> List.iter (fun m -> Monitor.feed m ev) ms) log;
+    List.filter_map
+      (fun m ->
+        match Monitor.finish m with
+        | Monitor.Viol w -> Some (Monitor.name m, w)
+        | Monitor.Sat | Monitor.Pending -> None)
+      ms
+  in
+  let baseline_names seed =
+    (* run_fault calls us under with_armed, which restores state on exit *)
+    Faults.disarm fault;
+    Fun.protect
+      ~finally:(fun () -> Faults.arm fault)
+      (fun () ->
+        match full_log seed with
+        | log -> List.map fst (monitor_violations log)
+        | exception Coop.Deadlock _ -> [])
+  in
+  let budget =
+    match Faults.kind fault with
+    | Faults.Benign -> min cfg.seeds 12
+    | _ -> cfg.seeds
+  in
+  let found = ref None and analyzed = ref 0 in
+  let seed = ref 0 in
+  while !found = None && !seed < budget do
+    (match full_log !seed with
+    | exception Coop.Deadlock _ -> ()
+    | log ->
+      incr analyzed;
+      (match monitor_violations log with
+      | [] -> ()
+      | vs -> (
+        let base = baseline_names !seed in
+        match List.filter (fun (n, _) -> not (List.mem n base)) vs with
+        | (n, w) :: _ ->
+          found := Some (Printf.sprintf "%s@%d" n w.Monitor.at)
+        | [] -> ())));
+    incr seed
+  done;
+  {
+    regime = "coop";
+    mode = "monitor";
+    detected = !found <> None;
+    runs = !analyzed;
+    methods_checked = None;
+    tag = !found;
+  }
+
 (* Benign mutants must also keep refining: a short armed `View sweep in
    which any violation is a (forbidden) detection. *)
 let benign_view_cell cfg (s : Subjects.t) =
@@ -432,13 +499,21 @@ let run_fault cfg fault =
             ]
         | Faults.Deadlock ->
           lockorder_cells cfg fault subject
-          @ [ explore_deadlock_cell cfg fault subject ]
+          @ [
+              explore_deadlock_cell cfg fault subject;
+              monitor_cell cfg fault subject;
+            ]
         | Faults.Benign ->
           lockorder_cells cfg fault subject
           @ [
               benign_view_cell cfg subject;
               lin_cell ~budget_seeds:(Some (min cfg.lin_seeds 10)) cfg subject;
+              monitor_cell cfg fault subject;
             ]
+        | Faults.Leak ->
+          (* armed runs must stay correct under refinement; only the
+             resource-leak monitor may (and must) convict *)
+          [ monitor_cell cfg fault subject; benign_view_cell cfg subject ]
       in
       { fault; subject; cells })
 
@@ -474,6 +549,10 @@ let lockgraph_detection row =
 let deadlock_detection row =
   List.exists (fun c -> c.mode = "deadlock" && c.detected) row.cells
 
+(* A built-in temporal monitor convicted an armed-only completed trace. *)
+let monitor_detection row =
+  List.exists (fun c -> c.mode = "monitor" && c.detected) row.cells
+
 (* Kind-aware ground truth: what each mutant's row must show for the
    registry to count as validated. *)
 let expected_detections_hold row =
@@ -484,8 +563,15 @@ let expected_detections_hold row =
        behaviorally-correct implementation would be a false positive) *)
     deterministic_view_detection row
     && lin_detection row = Faults.semantic row.fault
-  | Faults.Deadlock -> lockgraph_detection row && deadlock_detection row
+  | Faults.Deadlock ->
+    (* static and dynamic lock-order analyses must both convict, and some
+       schedule must genuinely hang *)
+    lockgraph_detection row && deadlock_detection row && monitor_detection row
   | Faults.Benign -> not (List.exists (fun c -> c.detected) row.cells)
+  | Faults.Leak ->
+    (* only the temporal monitor sees it; refinement must stay clean *)
+    monitor_detection row
+    && not (List.exists (fun c -> c.mode = "view" && c.detected) row.cells)
 
 (* Table 1's headline inequality, on ground truth: view refinement needs no
    more checked methods than I/O refinement (which may miss outright). *)
@@ -509,11 +595,11 @@ let pp_cell ppf c =
   else Fmt.pf ppf "miss(%d)" c.runs
 
 let pp_matrix ppf rows =
-  let line = String.make 200 '-' in
+  let line = String.make 222 '-' in
   Fmt.pf ppf
-    "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s@."
+    "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s %-20s@."
     "fault" "subject" "kind" "coop/io" "coop/view" "coop/race" "coop/lin"
-    "native/view" "explore/view" "lockgraph" "deadlock";
+    "native/view" "explore/view" "lockgraph" "deadlock" "coop/monitor";
   Fmt.pf ppf "%s@." line;
   List.iter
     (fun row ->
@@ -538,12 +624,12 @@ let pp_matrix ppf rows =
               (List.fold_left (fun acc c -> acc + c.runs) 0 cells))
       in
       Fmt.pf ppf
-        "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s@."
+        "%-32s %-22s %-9s %-18s %-18s %-18s %-24s %-18s %-18s %-18s %-18s %-20s@."
         (Faults.name row.fault) row.subject.Subjects.name
         (Faults.kind_id (Faults.kind row.fault))
         (c "coop" "io") (c "coop" "view") (c "coop" "race") (c "coop" "lin")
         (c "native" "view") (c "explore" "view") (c "lockgraph" "cycle")
-        deadlock_col)
+        deadlock_col (c "coop" "monitor"))
     rows;
   Fmt.pf ppf "%s@." line;
   Fmt.pf ppf
@@ -554,7 +640,9 @@ let pp_matrix ppf rows =
      backend over calls/returns only — annotation and instrumentation \
      mutants must miss here, semantic ones must not; lockgraph = armed-only \
      lock-order cycle over `Full traces; deadlock = schedules that \
-     genuinely hung — benign mutants must show miss in every column)@."
+     genuinely hung; monitor = armed-only temporal-monitor violation \
+     (lock reversal / resource leak) on a completed `Full trace — benign \
+     mutants must show miss in every column)@."
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -590,7 +678,7 @@ let to_json rows =
            \     \"deterministic_view_detection\":%b,\"view_beats_io\":%b,\
             \"race_detection\":%b,\"lin_detection\":%b,\n\
            \     \"lockgraph_detection\":%b,\"deadlock_detection\":%b,\
-            \"expected_detections_hold\":%b,\n\
+            \"monitor_detection\":%b,\"expected_detections_hold\":%b,\n\
            \     \"cells\":[%s]}"
            (json_escape (Faults.name row.fault))
            (json_escape row.subject.Subjects.name)
@@ -599,7 +687,7 @@ let to_json rows =
            (json_escape (Faults.description row.fault))
            (deterministic_view_detection row) (view_beats_io row)
            (race_detection row) (lin_detection row) (lockgraph_detection row)
-           (deadlock_detection row)
+           (deadlock_detection row) (monitor_detection row)
            (expected_detections_hold row)
            (String.concat "," (List.map cell_json row.cells))))
     rows;

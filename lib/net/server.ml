@@ -16,19 +16,20 @@ type config = {
   recheck_spills : bool;
   checkpoint_events : int;
   analyze : bool;
+  monitors : unit -> Vyrd_analysis.Pass.t list;
   metrics : Metrics.t;
 }
 
 let config ?(capacity = 4096) ?(window = 8192) ?(max_sessions = 8) ?spill_dir
     ?(idle_timeout = 30.) ?(recheck_spills = false) ?(checkpoint_events = 50_000)
-    ?(analyze = false) ?metrics ~addr shards =
+    ?(analyze = false) ?(monitors = fun () -> []) ?metrics ~addr shards =
   if checkpoint_events <= 0 then invalid_arg "Server.config: checkpoint_events";
   let spill_dir =
     match spill_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
   in
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   { addr; shards; capacity; window; max_sessions; spill_dir; idle_timeout;
-    recheck_spills; checkpoint_events; analyze; metrics }
+    recheck_spills; checkpoint_events; analyze; monitors; metrics }
 
 type session = {
   s_id : int;
@@ -73,7 +74,21 @@ type t = {
   m_spill_reclaimed : Metrics.counter;
   m_resumes : Metrics.counter;
   m_resume_replayed : Metrics.counter;
+  m_monitor_events : Metrics.counter;
+  m_monitor_violations : Metrics.counter;
 }
+
+(* Per-session temporal monitors ride the analysis lane; roll their
+   summaries up into the [net.*] family so an operator sees violations
+   without scraping per-session reports. *)
+let count_monitor_summaries t (result : Farm.result) =
+  List.iter
+    (fun (s : Vyrd_analysis.Pass.summary) ->
+      if s.Vyrd_analysis.Pass.pass = "monitor" then begin
+        Metrics.add t.m_monitor_events s.Vyrd_analysis.Pass.events;
+        Metrics.add t.m_monitor_violations s.Vyrd_analysis.Pass.errors
+      end)
+    result.Farm.analysis
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -209,7 +224,8 @@ let serve_data_session t (s : session) hello =
        hello) must fail this session, not kill the server *)
     (* each session gets fresh pass instances: pass state is per-stream *)
     let passes =
-      if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else []
+      (if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else [])
+      @ t.cfg.monitors ()
     in
     match Farm.start ~capacity:t.cfg.capacity ~metrics:t.cfg.metrics ~passes
             ~level (t.cfg.shards level) with
@@ -225,7 +241,7 @@ let serve_data_session t (s : session) hello =
   end;
   let cleanup () =
     (match !farm with
-    | Some f -> ignore (Farm.finish f : Farm.result)
+    | Some f -> count_monitor_summaries t (Farm.finish f)
     | None -> ());
     match !writer with Some w -> Segment.close w | None -> ()
   in
@@ -273,6 +289,7 @@ let serve_data_session t (s : session) hello =
         | Some f ->
           let result = Farm.finish f in
           farm := None;
+          count_monitor_summaries t result;
           {
             Wire.v_report = result.Farm.merged;
             v_fail_index = min_fail_index result;
@@ -310,7 +327,8 @@ let serve_data_session t (s : session) hello =
         farm := None
       | None -> ());
       let passes =
-        if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else []
+        (if t.cfg.analyze then Vyrd_analysis.Pass.for_level level else [])
+        @ t.cfg.monitors ()
       in
       (match
          Resume.resume_farm_open ~capacity:t.cfg.capacity
@@ -523,6 +541,8 @@ let start cfg =
         m_spill_reclaimed = Metrics.counter m "net.spill_reclaimed";
         m_resumes = Metrics.counter m "net.session_resumes";
         m_resume_replayed = Metrics.counter m "net.session_resume_replayed";
+        m_monitor_events = Metrics.counter m "net.monitor_events";
+        m_monitor_violations = Metrics.counter m "net.monitor_violations";
       }
     in
     t.accept_thread <- Some (Thread.create accept_loop t);

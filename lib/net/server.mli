@@ -53,6 +53,11 @@ type config = {
       (** attach fresh {!Vyrd_analysis.Pass} instances (picked by the
           session's hello level) to every session farm: diagnostics counts
           surface in the [analysis.*] metrics family (default false) *)
+  monitors : unit -> Vyrd_analysis.Pass.t list;
+      (** fresh temporal-monitor passes to attach to every session farm
+          (monitor state is per-stream, hence a factory; default none).
+          Their violation counts roll up into [net.monitor_events] /
+          [net.monitor_violations]. *)
   metrics : Metrics.t;
 }
 
@@ -66,6 +71,7 @@ val config :
   ?recheck_spills:bool ->
   ?checkpoint_events:int ->
   ?analyze:bool ->
+  ?monitors:(unit -> Vyrd_analysis.Pass.t list) ->
   ?metrics:Metrics.t ->
   addr:Wire.addr ->
   (Vyrd.Log.level -> Farm.shard list) ->

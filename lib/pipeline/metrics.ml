@@ -1,16 +1,18 @@
 type counter = int Atomic.t
 type gauge = int Atomic.t
 
-type histogram = {
+type t = { lock : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+and entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+and histogram = {
   buckets : int Atomic.t array;  (* bucket i counts values in [2^i, 2^(i+1)) *)
   h_count : int Atomic.t;
   h_sum : int Atomic.t;
   h_max : int Atomic.t;
+  owner : t;  (* registry the histogram lives in, for the clamp counter *)
+  hname : string;
 }
-
-type entry = Counter of counter | Gauge of gauge | Histogram of histogram
-
-type t = { lock : Mutex.t; entries : (string, entry) Hashtbl.t }
 
 let create () = { lock = Mutex.create (); entries = Hashtbl.create 32 }
 
@@ -73,6 +75,8 @@ let histogram t name =
             h_count = Atomic.make 0;
             h_sum = Atomic.make 0;
             h_max = Atomic.make 0;
+            owner = t;
+            hname = name;
           }
         in
         Hashtbl.add t.entries name (Histogram h);
@@ -85,6 +89,11 @@ let bucket_of v =
     go 0 v
 
 let observe h v =
+  (* A negative observation is an instrumentation bug (clock regression,
+     bad subtraction); clamping silently would hide it, so count clamps in
+     a sibling counter — registered only on the first clamp, so registries
+     that never misbehave are unchanged. *)
+  if v < 0 then incr (counter h.owner (h.hname ^ ".clamped"));
   let v = max 0 v in
   Atomic.incr h.buckets.(bucket_of v);
   Atomic.incr h.h_count;
@@ -230,8 +239,17 @@ let sorted t =
       Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries [])
   |> List.sort compare
 
+(* A [.clamped] sibling that never fired is noise in exports (it can appear
+   at zero via [merge]/[decode] of a registry that had one); surface clamp
+   counters only once they count something. *)
+let hidden name = function
+  | Counter c -> value c = 0 && String.ends_with ~suffix:".clamped" name
+  | Gauge _ | Histogram _ -> false
+
+let exported t = List.filter (fun (name, e) -> not (hidden name e)) (sorted t)
+
 let pp ppf t =
-  let entries = sorted t in
+  let entries = exported t in
   let counters = List.filter (function _, Counter _ -> true | _ -> false) entries in
   let gauges = List.filter (function _, Gauge _ -> true | _ -> false) entries in
   let hists = List.filter (function _, Histogram _ -> true | _ -> false) entries in
@@ -281,7 +299,7 @@ let json_escape s =
 
 let to_json t =
   let b = Buffer.create 1024 in
-  let entries = sorted t in
+  let entries = exported t in
   let emit kind pr =
     let rows = List.filter (fun (_, e) -> kind e) entries in
     List.iteri

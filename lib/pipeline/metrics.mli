@@ -42,6 +42,13 @@ val gauge_value : gauge -> int
 type histogram
 
 val histogram : t -> string -> histogram
+
+(** [observe h v] records [v].  Negative values are clamped to [0] {e and
+    counted}: the first clamp registers a sibling counter named
+    [<name>.clamped] in the histogram's registry (so registries that never
+    clamp are unchanged), and {!pp}/{!to_json} surface it only when
+    nonzero — a nonzero clamp count means an instrumentation bug upstream
+    (e.g. a clock regression). *)
 val observe : histogram -> int -> unit
 val hist_count : histogram -> int
 val hist_max : histogram -> int

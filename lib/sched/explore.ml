@@ -3,6 +3,8 @@ type result = {
   exhausted : bool;
   deadlocks : int;
   first_deadlock : int array option;
+  flagged : int;
+  first_flagged : int array option;
 }
 
 (* Per decision point of one run: the arity, the choice taken, and whether
@@ -24,12 +26,14 @@ let index_of tid candidates =
    preemption budget is spent, else choice 0", and record every decision so
    the untried siblings can be enqueued. *)
 let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
-    ?(stop = fun () -> false) make_main =
+    ?(stop = fun () -> false) ?(flagged = fun () -> false) make_main =
   let pending = ref [ [||] ] in
   let schedules = ref 0 in
   let out_of_budget = ref false in
   let deadlocks = ref 0 in
   let first_deadlock = ref None in
+  let flagged_runs = ref 0 in
+  let first_flagged = ref None in
   let run_prefix (prefix : int array) =
     let steps = ref [] in
     let pos = ref 0 in
@@ -83,6 +87,14 @@ let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
           if !first_deadlock = None then
             first_deadlock := Some (Array.map (fun s -> s.taken) steps)
         end;
+        (* same certificate machinery for caller-defined properties: the
+           monitor layer flags runs whose completed trace violates a
+           temporal property, and gets back a replayable schedule *)
+        if flagged () then begin
+          incr flagged_runs;
+          if !first_flagged = None then
+            first_flagged := Some (Array.map (fun s -> s.taken) steps)
+        end;
         (* Branch on the untried alternatives of every unforced decision at
            or beyond the prefix.  Sibling prefixes replay the choices
            actually taken up to that point, then divert.  Deeper positions
@@ -105,6 +117,8 @@ let explore ?(max_schedules = 10_000) ?(max_steps = 1_000_000) ?preemption_bound
     exhausted = (not !out_of_budget) && not (stop ());
     deadlocks = !deadlocks;
     first_deadlock = !first_deadlock;
+    flagged = !flagged_runs;
+    first_flagged = !first_flagged;
   }
 
 let replay ?(max_steps = 1_000_000) (schedule : int array) main =

@@ -22,6 +22,10 @@ type result = {
       (** the complete decision script of the first deadlocking schedule
           (one entry per decision point, the run-queue index taken) — feed
           it to {!replay} to reproduce the hang deterministically *)
+  flagged : int;  (** runs the caller's [flagged] predicate accepted *)
+  first_flagged : int array option;
+      (** decision script of the first flagged run — the certificate
+          [Vyrd_monitor] returns for temporal-property violations *)
 }
 
 (** [explore ?max_schedules ?max_steps make_main] runs one schedule per
@@ -42,6 +46,14 @@ type result = {
     [exhausted] then means "verified for every schedule with at most that
     many preemptions".
 
+    [flagged] is evaluated once after every schedule (completed or
+    deadlocked); when it returns true the run's full decision script is
+    recorded — {!result.first_flagged} is then a replayable certificate of
+    the first accepted run, exactly like [first_deadlock].  Callers
+    typically close [flagged] over per-run state captured by [make_main]
+    (e.g. the run's log) and combine it with [stop] to halt on the first
+    hit.
+
     @param max_schedules budget (default [10_000])
     @param max_steps per-run livelock guard (default [1_000_000]) *)
 val explore :
@@ -49,6 +61,7 @@ val explore :
   ?max_steps:int ->
   ?preemption_bound:int ->
   ?stop:(unit -> bool) ->
+  ?flagged:(unit -> bool) ->
   (unit -> Sched.t -> unit) ->
   result
 

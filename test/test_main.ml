@@ -26,4 +26,5 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("net", Test_net.suite);
       ("cluster", Test_cluster.suite);
+      ("monitor", Test_monitor.suite);
     ]
